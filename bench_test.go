@@ -1,0 +1,173 @@
+// bench_test.go hosts one testing.B benchmark per paper table/figure.
+// Each benchmark drives the same experiment code as cmd/edcbench (with
+// reduced request counts so `go test -bench=.` completes in minutes) and
+// reports the headline metric of its figure via b.ReportMetric, so the
+// benchmark output doubles as a compact reproduction record.
+//
+// Regenerate the full-size tables with:  go run ./cmd/edcbench
+package edc_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"edc"
+	"edc/internal/bench"
+)
+
+// benchParams keeps testing.B runs small; cmd/edcbench uses the full
+// defaults.
+var benchParams = bench.Params{Requests: 3000, VolumeMiB: 192}
+
+// runExperiment executes one bench experiment once per benchmark run.
+func runExperiment(b *testing.B, id string) []*bench.Table {
+	b.Helper()
+	var tables []*bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = bench.Run(id, benchParams)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return tables
+}
+
+// cell parses table cell [row][col] as a float metric.
+func cell(b *testing.B, t *bench.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell [%d][%d] = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkTab1Setup(b *testing.B) {
+	tables := runExperiment(b, "tab1")
+	b.ReportMetric(float64(len(tables[0].Rows)), "config-rows")
+}
+
+func BenchmarkTab2WorkloadCharacteristics(b *testing.B) {
+	tables := runExperiment(b, "tab2")
+	// Report Fin1 read percentage: the headline Table II column.
+	b.ReportMetric(cell(b, tables[0], 0, 2), "fin1-read-pct")
+}
+
+func BenchmarkFig1RequestSizeLatency(b *testing.B) {
+	tables := runExperiment(b, "fig1")
+	t := tables[0]
+	// Linearity: normalized latency of the largest size over the size
+	// factor (1.0 = perfectly linear).
+	last := len(t.Rows) - 1
+	norm := cell(b, t, last, 3)
+	sizeKiB := cell(b, t, last, 0)
+	b.ReportMetric(norm/(sizeKiB/4), "linearity")
+}
+
+func BenchmarkFig2CodecEfficiency(b *testing.B) {
+	tables := runExperiment(b, "fig2")
+	t := tables[0]
+	// Report the linux-src bwz/lzf ratio gap (paper: bzip2 best ratio).
+	lzfRatio := cell(b, t, 0, 2)
+	bwzRatio := cell(b, t, 3, 2)
+	b.ReportMetric(bwzRatio/lzfRatio, "bwz-vs-lzf-ratio")
+}
+
+func BenchmarkFig3Burstiness(b *testing.B) {
+	tables := runExperiment(b, "fig3")
+	// Peak/mean of the OLTP workload: the burstiness EDC exploits.
+	b.ReportMetric(cell(b, tables[0], 0, 3), "fin1-peak-over-mean")
+}
+
+// evalMetric extracts scheme x "average" from a fig8/9/10/11 table.
+func evalMetric(b *testing.B, t *bench.Table, scheme edc.Scheme) float64 {
+	b.Helper()
+	for i, row := range t.Rows {
+		if row[0] == string(scheme) {
+			return cell(b, t, i, len(row)-1)
+		}
+	}
+	b.Fatalf("scheme %s not in table %s", scheme, t.ID)
+	return 0
+}
+
+func BenchmarkFig8CompressionRatio(b *testing.B) {
+	tables := runExperiment(b, "fig8")
+	b.ReportMetric(evalMetric(b, tables[0], edc.SchemeEDC), "edc-ratio")
+	b.ReportMetric(evalMetric(b, tables[0], edc.SchemeBzip2), "bzip2-ratio")
+}
+
+func BenchmarkFig9Composite(b *testing.B) {
+	tables := runExperiment(b, "fig9")
+	b.ReportMetric(evalMetric(b, tables[0], edc.SchemeEDC), "edc-composite")
+	b.ReportMetric(evalMetric(b, tables[0], edc.SchemeGzip), "gzip-composite")
+}
+
+func BenchmarkFig10ResponseTime(b *testing.B) {
+	tables := runExperiment(b, "fig10")
+	b.ReportMetric(evalMetric(b, tables[0], edc.SchemeEDC), "edc-resp-norm")
+	b.ReportMetric(evalMetric(b, tables[0], edc.SchemeBzip2), "bzip2-resp-norm")
+}
+
+func BenchmarkFig11RAIS5(b *testing.B) {
+	tables := runExperiment(b, "fig11")
+	b.ReportMetric(evalMetric(b, tables[0], edc.SchemeEDC), "edc-resp-norm")
+}
+
+func BenchmarkFig12ThresholdSensitivity(b *testing.B) {
+	tables := runExperiment(b, "fig12")
+	t := tables[0]
+	// Ratio span across the sweep: how much the knob matters.
+	lo := cell(b, t, 0, 2)
+	hi := cell(b, t, len(t.Rows)-1, 2)
+	b.ReportMetric(hi-lo, "ratio-span")
+}
+
+func BenchmarkAblationSD(b *testing.B) {
+	tables := runExperiment(b, "ablation-sd")
+	t := tables[0]
+	with := cell(b, t, 0, 3)
+	without := cell(b, t, 1, 3)
+	b.ReportMetric(with/without, "sd-ratio-gain")
+}
+
+func BenchmarkAblationSampling(b *testing.B) {
+	tables := runExperiment(b, "ablation-sampling")
+	t := tables[0]
+	withCPU := cell(b, t, 0, 5)
+	withoutCPU := cell(b, t, 1, 5)
+	b.ReportMetric(withoutCPU/withCPU, "cpu-waste-factor")
+}
+
+func BenchmarkAblationSlots(b *testing.B) {
+	tables := runExperiment(b, "ablation-slots")
+	t := tables[0]
+	quant := cell(b, t, 0, 4)
+	exact := cell(b, t, 1, 4)
+	b.ReportMetric(exact/quant, "fragmentation-factor")
+}
+
+// BenchmarkReplayThroughput measures raw simulator speed: replayed
+// requests per wall-clock second for the default EDC stack.
+func BenchmarkReplayThroughput(b *testing.B) {
+	const volume = 128 << 20
+	tr, err := edc.Workload("fin1", volume).GenerateN(2000, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := edc.DefaultSSDConfig()
+	cfg.Blocks = 1024
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := edc.Replay(tr, volume,
+			edc.WithScheme(edc.SchemeEDC),
+			edc.WithSSDConfig(cfg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(2000*b.N)/elapsed.Seconds(), "requests/s")
+}

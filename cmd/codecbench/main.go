@@ -1,0 +1,89 @@
+// Command codecbench microbenchmarks the four block codecs on synthetic
+// datasets with controlled compressibility (the paper's Fig. 2 setup):
+// compression ratio and measured compress/decompress throughput.
+//
+// Usage:
+//
+//	codecbench                          # all codecs, both Fig. 2 datasets
+//	codecbench -dataset media -size 64  # one dataset, 64 MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edc/internal/compress"
+	_ "edc/internal/compress/bwz"
+	_ "edc/internal/compress/gz"
+	_ "edc/internal/compress/lz4x"
+	_ "edc/internal/compress/lzf"
+	"edc/internal/datagen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset: linux-src, firefox-bin, media, enterprise (empty = Fig. 2 pair)")
+		sizeMiB = flag.Int("size", 32, "dataset size in MiB")
+		chunkKB = flag.Int("chunk", 128, "chunk size in KiB")
+		seed    = flag.Int64("seed", 21, "content seed")
+	)
+	flag.Parse()
+
+	profiles := map[string]datagen.Profile{
+		"linux-src":   datagen.LinuxSrc(),
+		"firefox-bin": datagen.FirefoxBin(),
+		"media":       datagen.Media(),
+		"enterprise":  datagen.Enterprise(),
+	}
+	var selected []datagen.Profile
+	if *dataset == "" {
+		selected = []datagen.Profile{datagen.LinuxSrc(), datagen.FirefoxBin()}
+	} else {
+		p, ok := profiles[*dataset]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "codecbench: unknown dataset %q\n", *dataset)
+			os.Exit(1)
+		}
+		selected = []datagen.Profile{p}
+	}
+
+	reg := compress.Default()
+	total := *sizeMiB << 20
+	chunk := *chunkKB << 10
+	fmt.Printf("%-12s %-5s %7s %10s %10s\n", "dataset", "codec", "ratio", "comp MB/s", "dec MB/s")
+	for _, prof := range selected {
+		data := datagen.New(prof, *seed).Block(0, total, 0)
+		for _, name := range []string{"lzf", "lz4", "gz", "bwz"} {
+			c, err := reg.ByName(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "codecbench: %v\n", err)
+				os.Exit(1)
+			}
+			var compBytes int
+			blobs := make([][]byte, 0, total/chunk)
+			start := time.Now()
+			for off := 0; off+chunk <= total; off += chunk {
+				b := c.Compress(data[off : off+chunk])
+				compBytes += len(b)
+				blobs = append(blobs, b)
+			}
+			compDur := time.Since(start)
+			start = time.Now()
+			for _, b := range blobs {
+				if _, err := c.Decompress(b, chunk); err != nil {
+					fmt.Fprintf(os.Stderr, "codecbench: decompress: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			decDur := time.Since(start)
+			n := float64(len(blobs) * chunk)
+			fmt.Printf("%-12s %-5s %7.2f %10.1f %10.1f\n",
+				prof.Name, name,
+				n/float64(compBytes),
+				n/compDur.Seconds()/1e6,
+				n/decDur.Seconds()/1e6)
+		}
+	}
+}

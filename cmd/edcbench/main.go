@@ -1,0 +1,63 @@
+// Command edcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	edcbench                     # run every experiment
+//	edcbench -experiment fig10   # one experiment
+//	edcbench -list               # list experiment IDs
+//	edcbench -requests 30000     # bigger replays
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"edc/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID (empty = all)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		requests   = flag.Int("requests", 0, "requests per trace replay (default 12000)")
+		volumeMiB  = flag.Int("volume", 0, "logical volume size in MiB (default 256)")
+		seed       = flag.Int64("seed", 0, "seed offset for all generators")
+		format     = flag.String("format", "table", "output format: table, csv, json")
+	)
+	flag.Parse()
+
+	if *list {
+		desc := bench.Describe()
+		ids := bench.Experiments()
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-18s %s\n", id, desc[id])
+		}
+		return
+	}
+	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed}
+	start := time.Now()
+	var (
+		tables []*bench.Table
+		err    error
+	)
+	if *experiment == "" {
+		tables, err = bench.RunAll(p)
+	} else {
+		tables, err = bench.Run(*experiment, p)
+	}
+	if werr := bench.WriteTables(os.Stdout, tables, *format); werr != nil {
+		fmt.Fprintf(os.Stderr, "edcbench: %v\n", werr)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edcbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *format == "table" {
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

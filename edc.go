@@ -1,0 +1,378 @@
+// Package edc is an open reimplementation of Elastic Data Compression
+// (EDC) for flash-based storage systems (Mao, Jiang, Wu, Yang, Xi —
+// IPDPS 2017), together with everything needed to reproduce the paper's
+// evaluation: four from-scratch block codecs (LZF-, LZ4-, Gzip- and
+// Bzip2-class), an event-driven SSD/FTL simulator with garbage
+// collection, RAIS0/RAIS5 arrays, SPC and MSR trace parsers, synthetic
+// bursty workload generators, and an SDGen-style content generator with
+// controlled compressibility.
+//
+// EDC adapts the compression algorithm per write to the measured I/O
+// intensity (4 KB-normalized "calculated IOPS") and to the data's
+// estimated compressibility: heavier codecs during idle periods, light
+// or no compression during bursts, and write-through for incompressible
+// blocks. This package exposes the system behind a small facade:
+//
+//	tr, _ := edc.Workload("fin1", 256<<20).GenerateN(20000, 1)
+//	res, _ := edc.Replay(tr, 256<<20, edc.WithScheme(edc.SchemeEDC))
+//	fmt.Println(res.MeanResponse(), res.TrafficRatio())
+//
+// All simulation happens in virtual time: multi-hour traces replay in
+// seconds and results are bit-for-bit reproducible for a given seed.
+package edc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"edc/internal/compress"
+	_ "edc/internal/compress/bwz"
+	_ "edc/internal/compress/gz"
+	_ "edc/internal/compress/lz4x"
+	_ "edc/internal/compress/lzf"
+	"edc/internal/core"
+	"edc/internal/datagen"
+	"edc/internal/rais"
+	"edc/internal/sim"
+	"edc/internal/ssd"
+	"edc/internal/trace"
+	"edc/internal/workload"
+)
+
+// Re-exported building blocks. The aliases make internal types usable by
+// importers of this package.
+type (
+	// Trace is an ordered block-level I/O trace.
+	Trace = trace.Trace
+	// Request is one trace record.
+	Request = trace.Request
+	// Results carries everything a replay measured.
+	Results = core.RunStats
+	// Policy selects compression per write run.
+	Policy = core.Policy
+	// DataProfile describes synthetic payload compressibility.
+	DataProfile = datagen.Profile
+	// WorkloadProfile describes a synthetic arrival/size/mix model.
+	WorkloadProfile = workload.Profile
+	// SSDConfig parameterizes the simulated device.
+	SSDConfig = ssd.Config
+	// CostModel maps codecs to CPU throughput in the simulator.
+	CostModel = core.CostModel
+)
+
+// Scheme names the paper's five evaluated schemes.
+type Scheme string
+
+// The evaluated schemes (paper Sec. IV-A).
+const (
+	SchemeNative Scheme = "Native"
+	SchemeLzf    Scheme = "Lzf"
+	SchemeLz4    Scheme = "Lz4"
+	SchemeGzip   Scheme = "Gzip"
+	SchemeBzip2  Scheme = "Bzip2"
+	SchemeEDC    Scheme = "EDC"
+	// SchemeEDCPlus is EDC with the content-aware upgrade (paper future
+	// work #1): highly compressible runs get Bzip2-class compression in
+	// idle periods.
+	SchemeEDCPlus Scheme = "EDC+"
+)
+
+// Schemes returns the five schemes in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeNative, SchemeLzf, SchemeGzip, SchemeBzip2, SchemeEDC}
+}
+
+// BackendKind selects the storage organization under EDC.
+type BackendKind int
+
+// Supported backends.
+const (
+	SingleSSD BackendKind = iota // one device (Figs. 8-10)
+	RAIS0                        // striped array
+	RAIS5                        // rotating-parity array (Fig. 11)
+)
+
+type options struct {
+	scheme       Scheme
+	gzCeiling    float64
+	lzfCeiling   float64
+	backend      BackendKind
+	devices      int
+	ssdCfg       ssd.Config
+	data         DataProfile
+	dataSeed     int64
+	cost         CostModel
+	verify       bool
+	disableSD    bool
+	exactSlots   bool
+	cpuWorkers   int
+	cacheBytes   int64
+	offload      bool
+	noEstimate   bool
+	maxRun       int64
+	flushTimeout time.Duration
+	stripePages  int
+}
+
+// Option customizes a System.
+type Option func(*options)
+
+// WithScheme selects the compression scheme (default SchemeEDC).
+func WithScheme(s Scheme) Option { return func(o *options) { o.scheme = s } }
+
+// WithElasticThresholds overrides EDC's calculated-IOPS ceilings: Gzip
+// below gzMax, Lzf between gzMax and lzfMax, none above (Fig. 12 sweeps
+// gzMax).
+func WithElasticThresholds(gzMax, lzfMax float64) Option {
+	return func(o *options) { o.gzCeiling, o.lzfCeiling = gzMax, lzfMax }
+}
+
+// WithBackend selects the storage organization and device count.
+func WithBackend(kind BackendKind, devices int) Option {
+	return func(o *options) { o.backend, o.devices = kind, devices }
+}
+
+// WithSSDConfig overrides the simulated device parameters.
+func WithSSDConfig(cfg SSDConfig) Option { return func(o *options) { o.ssdCfg = cfg } }
+
+// WithDataProfile selects the synthetic payload model and its seed.
+func WithDataProfile(p DataProfile, seed int64) Option {
+	return func(o *options) { o.data, o.dataSeed = p, seed }
+}
+
+// WithCostModel overrides the CPU cost model.
+func WithCostModel(cm CostModel) Option { return func(o *options) { o.cost = cm } }
+
+// WithVerify stores payloads and checks every read round-trips
+// (memory-hungry; tests and demos).
+func WithVerify() Option { return func(o *options) { o.verify = true } }
+
+// WithoutSD disables write merging (ablation).
+func WithoutSD() Option { return func(o *options) { o.disableSD = true } }
+
+// WithExactSlots disables the 25/50/75/100 % slot quantization
+// (ablation).
+func WithExactSlots() Option { return func(o *options) { o.exactSlots = true } }
+
+// WithoutEstimator disables EDC's compressibility sampling (ablation:
+// compress everything the intensity ladder selects).
+func WithoutEstimator() Option { return func(o *options) { o.noEstimate = true } }
+
+// WithMaxRun caps SD merging in bytes.
+func WithMaxRun(bytes int64) Option { return func(o *options) { o.maxRun = bytes } }
+
+// WithCPUWorkers models a multicore host: n parallel compression
+// workers (default 1, the paper's single-threaded prototype).
+func WithCPUWorkers(n int) Option { return func(o *options) { o.cpuWorkers = n } }
+
+// WithCache enables a host DRAM read cache of the given size (the upper
+// DRAM buffer in the paper's Fig. 4 architecture).
+func WithCache(bytes int64) Option { return func(o *options) { o.cacheBytes = bytes } }
+
+// WithOffload moves compression into the device controller, as
+// FTL-integrated designs do (zFTL; hardware-assisted compression): the
+// host CPU is free, but every compressed operation occupies the device's
+// codec engine.
+func WithOffload() Option { return func(o *options) { o.offload = true } }
+
+// WithFlushTimeout bounds SD buffering delay (negative disables).
+func WithFlushTimeout(d time.Duration) Option { return func(o *options) { o.flushTimeout = d } }
+
+// WithStripeUnit sets the RAIS stripe unit in pages (default 16).
+func WithStripeUnit(pages int) Option { return func(o *options) { o.stripePages = pages } }
+
+// System is one ready-to-replay EDC stack: virtual-time engine, backend
+// devices, and the EDC block layer. A System replays exactly one trace.
+type System struct {
+	eng *sim.Engine
+	dev *core.Device
+}
+
+// DataProfiles maps the named payload models usable with
+// WithDataProfile: "enterprise" (default), "linux-src", "firefox-bin",
+// "media".
+func DataProfiles() map[string]DataProfile {
+	return map[string]DataProfile{
+		"enterprise":  datagen.Enterprise(),
+		"linux-src":   datagen.LinuxSrc(),
+		"firefox-bin": datagen.FirefoxBin(),
+		"media":       datagen.Media(),
+	}
+}
+
+// Workload returns a named synthetic workload profile over a volume:
+// "fin1", "fin2", "usr0", "prxy0" (the paper's Table II traces).
+func Workload(name string, volumeBytes int64) WorkloadProfile {
+	switch strings.ToLower(name) {
+	case "fin1":
+		return workload.Fin1(volumeBytes)
+	case "fin2":
+		return workload.Fin2(volumeBytes)
+	case "usr0", "usr_0":
+		return workload.Usr0(volumeBytes)
+	case "prxy0", "prxy_0":
+		return workload.Prxy0(volumeBytes)
+	default:
+		panic(fmt.Sprintf("edc: unknown workload %q", name))
+	}
+}
+
+// StandardWorkloads returns the paper's four evaluation profiles.
+func StandardWorkloads(volumeBytes int64) []WorkloadProfile {
+	return workload.Standard(volumeBytes)
+}
+
+// policyFor builds the core policy for a scheme.
+func policyFor(o options) (core.Policy, error) {
+	reg := compress.Default()
+	switch o.scheme {
+	case SchemeNative:
+		return core.Native(), nil
+	case SchemeLzf:
+		c, err := reg.ByName("lzf")
+		if err != nil {
+			return nil, err
+		}
+		return core.Fixed("Lzf", c), nil
+	case SchemeLz4:
+		c, err := reg.ByName("lz4")
+		if err != nil {
+			return nil, err
+		}
+		return core.Fixed("Lz4", c), nil
+	case SchemeGzip:
+		c, err := reg.ByName("gz")
+		if err != nil {
+			return nil, err
+		}
+		return core.Fixed("Gzip", c), nil
+	case SchemeBzip2:
+		c, err := reg.ByName("bwz")
+		if err != nil {
+			return nil, err
+		}
+		return core.Fixed("Bzip2", c), nil
+	case SchemeEDC, SchemeEDCPlus:
+		gz, err := reg.ByName("gz")
+		if err != nil {
+			return nil, err
+		}
+		lzf, err := reg.ByName("lzf")
+		if err != nil {
+			return nil, err
+		}
+		elastic, err := core.NewElastic("EDC", []core.Level{
+			{MaxIOPS: o.gzCeiling, Codec: gz},
+			{MaxIOPS: o.lzfCeiling, Codec: lzf},
+		})
+		if err != nil || o.scheme == SchemeEDC {
+			return elastic, err
+		}
+		bwz, err := reg.ByName("bwz")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewContentAware(elastic, bwz, 2.5)
+	default:
+		return nil, fmt.Errorf("edc: unknown scheme %q", o.scheme)
+	}
+}
+
+// NewSystem builds a System exposing volumeBytes of logical space.
+func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
+	o := options{
+		scheme:      SchemeEDC,
+		gzCeiling:   core.DefaultGzCeiling,
+		lzfCeiling:  core.DefaultLzfCeiling,
+		backend:     SingleSSD,
+		devices:     1,
+		ssdCfg:      ssd.DefaultConfig(),
+		data:        datagen.Enterprise(),
+		dataSeed:    1,
+		stripePages: 16,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	eng := sim.NewEngine()
+	var be core.Backend
+	switch o.backend {
+	case SingleSSD:
+		d, err := ssd.New(o.ssdCfg)
+		if err != nil {
+			return nil, err
+		}
+		be = core.NewSingleSSD(eng, d)
+	case RAIS0, RAIS5:
+		n := o.devices
+		if n < 2 {
+			n = 5 // the paper's array size
+		}
+		devs := make([]*ssd.SSD, n)
+		for i := range devs {
+			d, err := ssd.New(o.ssdCfg)
+			if err != nil {
+				return nil, err
+			}
+			devs[i] = d
+		}
+		level := rais.RAIS0
+		if o.backend == RAIS5 {
+			level = rais.RAIS5
+		}
+		arr, err := rais.New(level, devs, o.stripePages)
+		if err != nil {
+			return nil, err
+		}
+		be = core.NewRAISBackend(eng, arr)
+	default:
+		return nil, fmt.Errorf("edc: unknown backend kind %d", o.backend)
+	}
+	pol, err := policyFor(o)
+	if err != nil {
+		return nil, err
+	}
+	if o.noEstimate {
+		pol = core.WithoutEstimator(pol)
+	}
+	dev, err := core.NewDevice(eng, be, volumeBytes, core.Options{
+		Policy:       pol,
+		Cost:         o.cost,
+		Data:         datagen.New(o.data, o.dataSeed),
+		VerifyReads:  o.verify,
+		DisableSD:    o.disableSD,
+		ExactSlots:   o.exactSlots,
+		CPUWorkers:   o.cpuWorkers,
+		CacheBytes:   o.cacheBytes,
+		Offload:      o.offload,
+		MaxRun:       o.maxRun,
+		FlushTimeout: o.flushTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng, dev: dev}, nil
+}
+
+// Play replays t and returns the measured results. A System is
+// single-use.
+func (s *System) Play(t *Trace) (*Results, error) {
+	return s.dev.Play(t)
+}
+
+// Replay is the one-shot form: build a System, play the trace.
+func Replay(t *Trace, volumeBytes int64, opts ...Option) (*Results, error) {
+	s, err := NewSystem(volumeBytes, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Play(t)
+}
+
+// DefaultSSDConfig returns the X25-E-class device model used throughout
+// the evaluation.
+func DefaultSSDConfig() SSDConfig { return ssd.DefaultConfig() }
+
+// DefaultCostModel returns the calibrated CPU cost model.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }

@@ -1,0 +1,55 @@
+// OLTP: replay a synthetic SPC-financial-style workload (the paper's
+// Fin1) through all five schemes on a single simulated SSD — the
+// Fig. 8/9/10 experiment in miniature — and print the space/performance
+// trade-off each scheme lands on.
+//
+//	go run ./examples/oltp
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"edc"
+)
+
+func main() {
+	const volume = 128 << 20
+
+	tr, err := edc.Workload("fin1", volume).GenerateN(10000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("workload: %s — %d requests, %.0f%% reads, avg %.1f KiB, %.0f IOPS mean\n\n",
+		tr.Name, st.Requests, st.ReadRatio*100, st.AvgSize/1024, st.AvgIOPS)
+
+	ssd := edc.DefaultSSDConfig()
+	ssd.Blocks = 1024 // 256 MiB raw
+
+	fmt.Printf("%-7s %12s %12s %8s %12s %10s\n",
+		"scheme", "mean resp", "p99 resp", "ratio", "ratio/time", "erases")
+	var native *edc.Results
+	for _, scheme := range edc.Schemes() {
+		res, err := edc.Replay(tr, volume,
+			edc.WithScheme(scheme),
+			edc.WithSSDConfig(ssd),
+			edc.WithDataProfile(edc.DataProfiles()["enterprise"], 7))
+		if err != nil {
+			log.Fatalf("%s: %v", scheme, err)
+		}
+		if scheme == edc.SchemeNative {
+			native = res
+		}
+		fmt.Printf("%-7s %12v %12v %8.2f %12.2f %10d\n",
+			scheme,
+			res.MeanResponse().Round(time.Microsecond),
+			res.Resp.Percentile(99).Round(time.Microsecond),
+			res.TrafficRatio(),
+			res.Composite()/native.Composite(),
+			res.TotalErases())
+	}
+	fmt.Println("\nratio/time is the paper's composite metric normalized to Native:")
+	fmt.Println("fixed heavy codecs win on ratio but lose the composite; EDC balances both.")
+}

@@ -1,0 +1,60 @@
+// Tuning: sweep EDC's Gzip intensity ceiling on a read-heavy OLTP
+// workload (the paper's Fig. 12 sensitivity study) to expose the
+// space-vs-latency trade-off a storage administrator controls.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"edc"
+)
+
+func main() {
+	const volume = 128 << 20
+
+	tr, err := edc.Workload("fin2", volume).GenerateN(10000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssd := edc.DefaultSSDConfig()
+	ssd.Blocks = 1024
+
+	fmt.Println("EDC Gzip-ceiling sweep on Fin2 (Lzf ceiling held at infinity):")
+	fmt.Printf("%14s %10s %8s %12s %12s\n",
+		"gz ceiling", "gz share", "ratio", "mean resp", "p99 resp")
+	for _, ceil := range []float64{0.001, 100, 400, 800, 1600, 5e8} {
+		res, err := edc.Replay(tr, volume,
+			edc.WithScheme(edc.SchemeEDC),
+			edc.WithElasticThresholds(ceil, 1e9),
+			edc.WithSSDConfig(ssd),
+			edc.WithDataProfile(edc.DataProfiles()["enterprise"], 9))
+		if err != nil {
+			log.Fatalf("ceiling %v: %v", ceil, err)
+		}
+		var runs, gzRuns int64
+		for tag, n := range res.RunsByTag {
+			runs += n
+			if tag == 3 { // gz
+				gzRuns = n
+			}
+		}
+		label := fmt.Sprintf("%.0f", ceil)
+		if ceil >= 5e8 {
+			label = "inf"
+		} else if ceil < 1 {
+			label = "0"
+		}
+		fmt.Printf("%14s %9.1f%% %8.2f %12v %12v\n",
+			label,
+			float64(gzRuns)/float64(runs)*100,
+			res.TrafficRatio(),
+			res.MeanResponse().Round(time.Microsecond),
+			res.Resp.Percentile(99).Round(time.Microsecond))
+	}
+	fmt.Println("\nMore Gzip = better ratio but higher latency; the knee gives the")
+	fmt.Println("balance the paper reports around a ~20% Gzip share.")
+}

@@ -1,0 +1,3 @@
+module edc
+
+go 1.22

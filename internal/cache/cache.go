@@ -1,0 +1,172 @@
+// Package cache implements the block-granular LRU host cache that sits
+// above EDC in the paper's architecture (Fig. 4 places a DRAM buffer and
+// I/O scheduling in the upper layers; the bursty arrival patterns EDC
+// sees are partly shaped by such caches). A hit is served from DRAM,
+// skipping the device read *and* the decompression that a compressed
+// extent would otherwise require.
+package cache
+
+import (
+	"container/list"
+)
+
+// BlockSize is the cache line granularity (matches the EDC block size).
+const BlockSize = 4096
+
+// Cache is an LRU set of logical block numbers. It tracks presence, not
+// contents: the simulator's payloads are synthesized deterministically,
+// so only hit/miss behaviour and capacity pressure need modeling.
+// Not safe for concurrent use (the simulation is single-threaded).
+type Cache struct {
+	capBlocks int
+	lru       *list.List // front = most recent; values are int64 blocks
+	index     map[int64]*list.Element
+
+	hits       int64
+	misses     int64
+	insertions int64
+	evictions  int64
+}
+
+// New returns a cache holding up to capacityBytes of blocks (rounded
+// down; at least one block if capacityBytes > 0). A nil *Cache is a
+// valid always-miss cache.
+func New(capacityBytes int64) *Cache {
+	blocks := int(capacityBytes / BlockSize)
+	if capacityBytes > 0 && blocks == 0 {
+		blocks = 1
+	}
+	if blocks <= 0 {
+		return nil
+	}
+	return &Cache{
+		capBlocks: blocks,
+		lru:       list.New(),
+		index:     make(map[int64]*list.Element, blocks),
+	}
+}
+
+// CapacityBlocks returns the block capacity (0 for a nil cache).
+func (c *Cache) CapacityBlocks() int {
+	if c == nil {
+		return 0
+	}
+	return c.capBlocks
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.lru.Len()
+}
+
+// Contains reports whether block is cached, counting and refreshing it
+// as an access.
+func (c *Cache) Contains(block int64) bool {
+	if c == nil {
+		return false
+	}
+	if el, ok := c.index[block]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Peek reports presence without touching recency or counters.
+func (c *Cache) Peek(block int64) bool {
+	if c == nil {
+		return false
+	}
+	_, ok := c.index[block]
+	return ok
+}
+
+// Insert adds (or refreshes) a block, evicting the LRU block if full.
+func (c *Cache) Insert(block int64) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.index[block]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.insertions++
+	if c.lru.Len() >= c.capBlocks {
+		oldest := c.lru.Back()
+		if oldest != nil {
+			delete(c.index, oldest.Value.(int64))
+			c.lru.Remove(oldest)
+			c.evictions++
+		}
+	}
+	c.index[block] = c.lru.PushFront(block)
+}
+
+// InsertRange caches every block of the byte range [off, off+size).
+func (c *Cache) InsertRange(off, size int64) {
+	if c == nil || size <= 0 {
+		return
+	}
+	for b := off / BlockSize; b <= (off+size-1)/BlockSize; b++ {
+		c.Insert(b)
+	}
+}
+
+// ContainsRange reports whether every block of the range is cached
+// (counting one aggregate hit or miss per block).
+func (c *Cache) ContainsRange(off, size int64) bool {
+	if c == nil {
+		return false
+	}
+	if size <= 0 {
+		return true
+	}
+	all := true
+	for b := off / BlockSize; b <= (off+size-1)/BlockSize; b++ {
+		if !c.Contains(b) {
+			all = false
+		}
+	}
+	return all
+}
+
+// Invalidate drops a block if present.
+func (c *Cache) Invalidate(block int64) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.index[block]; ok {
+		delete(c.index, block)
+		c.lru.Remove(el)
+	}
+}
+
+// Stats reports cumulative counters.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Insertions int64
+	Evictions  int64
+}
+
+// Stats returns a snapshot (zero for a nil cache).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits, Misses: c.misses, Insertions: c.insertions, Evictions: c.evictions}
+}
+
+// HitRate returns hits / (hits+misses), 0 when no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

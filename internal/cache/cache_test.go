@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	if c.Contains(5) || c.Peek(5) {
+		t.Fatal("nil cache must miss")
+	}
+	c.Insert(5)     // must not panic
+	c.Invalidate(5) // must not panic
+	c.InsertRange(0, 8192)
+	if c.ContainsRange(0, 8192) {
+		t.Fatal("nil cache must miss ranges")
+	}
+	if c.Len() != 0 || c.CapacityBlocks() != 0 {
+		t.Fatal("nil cache has no capacity")
+	}
+	if c.Stats() != (Stats{}) {
+		t.Fatal("nil cache stats must be zero")
+	}
+}
+
+func TestNewSizing(t *testing.T) {
+	if New(0) != nil {
+		t.Fatal("zero capacity should yield nil cache")
+	}
+	if New(-5) != nil {
+		t.Fatal("negative capacity should yield nil cache")
+	}
+	if c := New(100); c.CapacityBlocks() != 1 {
+		t.Fatalf("sub-block capacity = %d blocks; want 1", c.CapacityBlocks())
+	}
+	if c := New(10 * BlockSize); c.CapacityBlocks() != 10 {
+		t.Fatalf("capacity = %d; want 10", c.CapacityBlocks())
+	}
+}
+
+func TestHitMissAndLRU(t *testing.T) {
+	c := New(3 * BlockSize)
+	for b := int64(0); b < 3; b++ {
+		if c.Contains(b) {
+			t.Fatalf("block %d should miss cold", b)
+		}
+		c.Insert(b)
+	}
+	if !c.Contains(0) { // refresh 0: order now 0,2,1
+		t.Fatal("block 0 should hit")
+	}
+	c.Insert(3) // evicts LRU = 1
+	if c.Peek(1) {
+		t.Fatal("block 1 should have been evicted")
+	}
+	if !c.Peek(0) || !c.Peek(2) || !c.Peek(3) {
+		t.Fatal("blocks 0,2,3 should remain")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Insertions != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("hit/miss = %d/%d", st.Hits, st.Misses)
+	}
+}
+
+func TestInsertRefreshesWithoutDuplicating(t *testing.T) {
+	c := New(2 * BlockSize)
+	c.Insert(1)
+	c.Insert(1)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Insert(2)
+	c.Insert(1) // refresh: 2 becomes LRU
+	c.Insert(3)
+	if c.Peek(2) {
+		t.Fatal("block 2 should have been evicted")
+	}
+	if !c.Peek(1) {
+		t.Fatal("refreshed block 1 should survive")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4 * BlockSize)
+	c.Insert(7)
+	c.Invalidate(7)
+	if c.Peek(7) || c.Len() != 0 {
+		t.Fatal("invalidate failed")
+	}
+	c.Invalidate(99) // absent: no-op
+}
+
+func TestRangeOps(t *testing.T) {
+	c := New(16 * BlockSize)
+	c.InsertRange(8192, 12288) // blocks 2,3,4
+	for b := int64(2); b <= 4; b++ {
+		if !c.Peek(b) {
+			t.Fatalf("block %d missing", b)
+		}
+	}
+	if c.Peek(1) || c.Peek(5) {
+		t.Fatal("range insert leaked outside range")
+	}
+	if !c.ContainsRange(8192, 12288) {
+		t.Fatal("full range should hit")
+	}
+	if c.ContainsRange(8192, 16384) { // extends to block 5: miss
+		t.Fatal("partially-cached range should miss")
+	}
+	if !c.ContainsRange(0, 0) {
+		t.Fatal("empty range is trivially contained")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+	s := Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+// Property: Len never exceeds capacity, and the most recently inserted
+// block is always present.
+func TestQuickCapacityInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capBlocks := rng.Intn(16) + 1
+		c := New(int64(capBlocks) * BlockSize)
+		for i := 0; i < 500; i++ {
+			b := int64(rng.Intn(64))
+			switch rng.Intn(4) {
+			case 0:
+				c.Invalidate(b)
+			case 1:
+				c.Contains(b)
+			default:
+				c.Insert(b)
+				if !c.Peek(b) {
+					return false
+				}
+			}
+			if c.Len() > capBlocks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(1 << 20)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk := int64(rng.Intn(512))
+		if !c.Contains(blk) {
+			c.Insert(blk)
+		}
+	}
+}

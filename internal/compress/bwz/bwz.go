@@ -1,0 +1,421 @@
+// Package bwz implements a Bzip2-class block codec from scratch:
+// Burrows–Wheeler transform (suffix array by prefix doubling), move-to-
+// front, bzip2-style zero run-length coding (RUNA/RUNB bijective base-2)
+// and canonical Huffman entropy coding. It is the slowest and highest-
+// ratio codec in the suite — the paper's Bzip2 reference point, which EDC
+// would reserve for deep-idle periods and which the fixed-Bzip2 baseline
+// applies everywhere (Figs. 2, 8, 10).
+//
+// Container layout (bit stream, LSB first):
+//
+//	[24-bit primary index][code lengths for 258-symbol alphabet][symbols]
+//
+// The symbol alphabet after MTF+RLE is: RUNA=0, RUNB=1 (zero-run digits),
+// 2..256 for MTF values 1..255, and EOB=257.
+package bwz
+
+import (
+	"edc/internal/bitio"
+	"edc/internal/compress"
+	"edc/internal/huffman"
+)
+
+const (
+	symRunA = 0
+	symRunB = 1
+	symEOB  = 257
+	numSyms = 258
+
+	// MaxBlock bounds the BWT block size; larger inputs are split into
+	// independent blocks (each with its own primary index and tables).
+	MaxBlock = 1 << 20
+)
+
+// Codec is the bwz codec. The zero value is ready to use.
+type Codec struct{}
+
+// New returns the bwz codec.
+func New() *Codec { return &Codec{} }
+
+// Name implements compress.Codec.
+func (*Codec) Name() string { return "bwz" }
+
+// Tag implements compress.Codec.
+func (*Codec) Tag() compress.Tag { return compress.TagBWZ }
+
+// suffixArray returns the suffix array of s+sentinel using prefix
+// doubling with counting-sort passes (O(n log n)); index n (the
+// sentinel) sorts first.
+func suffixArray(s []byte) []int32 {
+	n := len(s) + 1 // including sentinel
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	cntLen := n + 1
+	if cntLen < 257 {
+		cntLen = 257 // round 0 buckets span the byte alphabet + sentinel
+	}
+	cnt := make([]int32, cntLen)
+
+	// Round 0: counting sort by first character (sentinel = 0).
+	key0 := func(i int) int32 {
+		if i == n-1 {
+			return 0
+		}
+		return int32(s[i]) + 1
+	}
+	for i := 0; i < n; i++ {
+		cnt[key0(i)]++
+	}
+	for v := int32(1); v <= 256; v++ {
+		cnt[v] += cnt[v-1]
+	}
+	for i := n - 1; i >= 0; i-- {
+		k := key0(i)
+		cnt[k]--
+		sa[cnt[k]] = int32(i)
+	}
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		rank[sa[i]] = rank[sa[i-1]]
+		if key0(int(sa[i])) != key0(int(sa[i-1])) {
+			rank[sa[i]]++
+		}
+	}
+
+	for k := 1; int(rank[sa[n-1]]) != n-1; k <<= 1 {
+		// Sort by (rank[i], rank[i+k]) with two radix passes.
+		// Pass 1 (second key): suffixes i >= n-k have empty second key
+		// (smallest); they go first, followed by sa order shifted by -k.
+		idx := 0
+		for i := n - k; i < n; i++ {
+			tmp[idx] = int32(i)
+			idx++
+		}
+		for i := 0; i < n; i++ {
+			if int(sa[i]) >= k {
+				tmp[idx] = sa[i] - int32(k)
+				idx++
+			}
+		}
+		// Pass 2 (first key): stable counting sort by rank.
+		for i := range cnt[:n] {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[rank[i]]++
+		}
+		for v := 1; v < n; v++ {
+			cnt[v] += cnt[v-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			r := rank[tmp[i]]
+			cnt[r]--
+			sa[cnt[r]] = tmp[i]
+		}
+		// Re-rank.
+		second := func(i int32) int32 {
+			if int(i)+k < n {
+				return rank[int(i)+k] + 1
+			}
+			return 0
+		}
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if rank[sa[i]] != rank[sa[i-1]] || second(sa[i]) != second(sa[i-1]) {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+	}
+	return sa
+}
+
+// bwt computes the sentinel Burrows–Wheeler transform. It returns the
+// last column (length len(s)) and the primary index: the sorted-rotation
+// row occupied by the original string, whose last character (the
+// sentinel) is omitted from the output.
+func bwt(s []byte) ([]byte, int) {
+	sa := suffixArray(s)
+	out := make([]byte, 0, len(s))
+	primary := 0
+	for j, i := range sa {
+		if i == 0 {
+			primary = j
+			continue
+		}
+		out = append(out, s[i-1])
+	}
+	return out, primary
+}
+
+// unbwt inverts bwt.
+func unbwt(l []byte, primary int) ([]byte, error) {
+	n := len(l)
+	if n == 0 {
+		if primary != 0 {
+			return nil, compress.ErrCorrupt
+		}
+		return []byte{}, nil
+	}
+	if primary < 1 || primary > n {
+		return nil, compress.ErrCorrupt
+	}
+	var count [256]int
+	for _, c := range l {
+		count[c]++
+	}
+	// c0[b] = row of the first occurrence of byte b in the first column;
+	// row 0 is the sentinel rotation.
+	var c0 [256]int
+	sum := 1
+	for b := 0; b < 256; b++ {
+		c0[b] = sum
+		sum += count[b]
+	}
+	// lf[j] maps conceptual row j (sentinel inserted at row `primary`) to
+	// the row beginning with that row's last character.
+	lf := make([]int32, n+1)
+	var occ [256]int
+	for j := 0; j <= n; j++ {
+		if j == primary {
+			lf[j] = 0 // the $-terminated row maps to the $ rotation
+			continue
+		}
+		jj := j
+		if j > primary {
+			jj = j - 1
+		}
+		c := l[jj]
+		lf[j] = int32(c0[c] + occ[c])
+		occ[c]++
+	}
+	out := make([]byte, n)
+	j := 0 // start at the sentinel rotation, whose last char is s[n-1]
+	for k := n - 1; k >= 0; k-- {
+		if j == primary {
+			return nil, compress.ErrCorrupt
+		}
+		jj := j
+		if j > primary {
+			jj = j - 1
+		}
+		out[k] = l[jj]
+		j = int(lf[j])
+	}
+	if j != primary {
+		return nil, compress.ErrCorrupt
+	}
+	return out, nil
+}
+
+// mtf applies the move-to-front transform in place semantics (returns a
+// new slice of the same length).
+func mtf(src []byte) []byte {
+	var alpha [256]byte
+	for i := range alpha {
+		alpha[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, c := range src {
+		var j int
+		for alpha[j] != c {
+			j++
+		}
+		out[i] = byte(j)
+		copy(alpha[1:j+1], alpha[:j])
+		alpha[0] = c
+	}
+	return out
+}
+
+// unmtf inverts mtf.
+func unmtf(src []byte) []byte {
+	var alpha [256]byte
+	for i := range alpha {
+		alpha[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, j := range src {
+		c := alpha[j]
+		out[i] = c
+		copy(alpha[1:int(j)+1], alpha[:j])
+		alpha[0] = c
+	}
+	return out
+}
+
+// rleEncode maps MTF output to the RUNA/RUNB symbol stream.
+func rleEncode(mtfd []byte) []uint16 {
+	out := make([]uint16, 0, len(mtfd)/2+8)
+	i := 0
+	for i < len(mtfd) {
+		if mtfd[i] == 0 {
+			run := 0
+			for i < len(mtfd) && mtfd[i] == 0 {
+				run++
+				i++
+			}
+			// bijective base-2 digits of run
+			for run > 0 {
+				if run&1 == 1 {
+					out = append(out, symRunA)
+					run = (run - 1) / 2
+				} else {
+					out = append(out, symRunB)
+					run = (run - 2) / 2
+				}
+			}
+			continue
+		}
+		out = append(out, uint16(mtfd[i])+1)
+		i++
+	}
+	return out
+}
+
+// rleDecode inverts rleEncode given the expected MTF length.
+func rleDecode(syms []uint16, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	i := 0
+	for i < len(syms) {
+		s := syms[i]
+		if s == symRunA || s == symRunB {
+			run := 0
+			shift := uint(0)
+			for i < len(syms) && (syms[i] == symRunA || syms[i] == symRunB) {
+				if syms[i] == symRunA {
+					run += 1 << shift
+				} else {
+					run += 2 << shift
+				}
+				shift++
+				i++
+			}
+			if len(out)+run > n {
+				return nil, compress.ErrCorrupt
+			}
+			for k := 0; k < run; k++ {
+				out = append(out, 0)
+			}
+			continue
+		}
+		if s < 2 || s > 256 || len(out)+1 > n {
+			return nil, compress.ErrCorrupt
+		}
+		out = append(out, byte(s-1))
+		i++
+	}
+	if len(out) != n {
+		return nil, compress.ErrSizeMismatch
+	}
+	return out, nil
+}
+
+// compressBlock encodes one BWT block into w.
+func compressBlock(w *bitio.Writer, block []byte) {
+	l, primary := bwt(block)
+	syms := rleEncode(mtf(l))
+
+	freqs := make([]int64, numSyms)
+	freqs[symEOB] = 1
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lengths, err := huffman.BuildLengths(freqs, huffman.MaxBits)
+	if err != nil {
+		panic("bwz: " + err.Error())
+	}
+	enc, err := huffman.NewEncoderFromLengths(lengths)
+	if err != nil {
+		panic("bwz: " + err.Error())
+	}
+	w.WriteBits(uint64(primary), 24)
+	huffman.WriteLengths(w, lengths)
+	for _, s := range syms {
+		_ = enc.Encode(w, int(s))
+	}
+	_ = enc.Encode(w, symEOB)
+}
+
+// decompressBlock decodes one block of blockLen original bytes from r.
+func decompressBlock(r *bitio.Reader, blockLen int) ([]byte, error) {
+	p64, err := r.ReadBits(24)
+	if err != nil {
+		return nil, compress.ErrCorrupt
+	}
+	lengths, err := huffman.ReadLengths(r, numSyms)
+	if err != nil {
+		return nil, compress.ErrCorrupt
+	}
+	dec, err := huffman.NewDecoderFromLengths(lengths)
+	if err != nil {
+		return nil, compress.ErrCorrupt
+	}
+	syms := make([]uint16, 0, blockLen/2+8)
+	for {
+		s, err := dec.Decode(r)
+		if err != nil {
+			return nil, compress.ErrCorrupt
+		}
+		if s == symEOB {
+			break
+		}
+		if len(syms) > 3*blockLen+16 {
+			return nil, compress.ErrCorrupt
+		}
+		syms = append(syms, uint16(s))
+	}
+	mtfd, err := rleDecode(syms, blockLen)
+	if err != nil {
+		return nil, err
+	}
+	return unbwt(unmtf(mtfd), int(p64))
+}
+
+// Compress implements compress.Codec.
+func (*Codec) Compress(src []byte) []byte {
+	w := bitio.NewWriter(len(src)/2 + 64)
+	for off := 0; off < len(src); off += MaxBlock {
+		end := off + MaxBlock
+		if end > len(src) {
+			end = len(src)
+		}
+		compressBlock(w, src[off:end])
+	}
+	if len(src) == 0 {
+		compressBlock(w, nil)
+	}
+	return w.Bytes()
+}
+
+// Decompress implements compress.Codec.
+func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
+	r := bitio.NewReader(src)
+	out := make([]byte, 0, origLen)
+	remaining := origLen
+	for {
+		blockLen := remaining
+		if blockLen > MaxBlock {
+			blockLen = MaxBlock
+		}
+		block, err := decompressBlock(r, blockLen)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block...)
+		remaining -= blockLen
+		if remaining == 0 {
+			break
+		}
+	}
+	if len(out) != origLen {
+		return nil, compress.ErrSizeMismatch
+	}
+	return out, nil
+}
+
+func init() {
+	compress.MustRegister(New())
+}

@@ -1,0 +1,194 @@
+// Package codectest provides a conformance suite run against every codec
+// implementation: round trips over adversarial and realistic payloads,
+// corruption rejection, and a testing/quick property over random inputs.
+package codectest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"edc/internal/compress"
+)
+
+// textish returns n bytes of low-entropy English-like text.
+func textish(n int, seed int64) []byte {
+	words := []string{
+		"the", "elastic", "data", "compression", "flash", "storage",
+		"system", "request", "latency", "throughput", "block", "device",
+		"write", "read", "queue", "idle", "bursty", "workload", "monitor",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for b.Len() < n {
+		b.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(12) == 0 {
+			b.WriteString(".\n")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return []byte(b.String()[:n])
+}
+
+func random(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+func repeated(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i % 7)
+	}
+	return out
+}
+
+// Corpus returns the named standard test payloads.
+func Corpus() map[string][]byte {
+	return map[string][]byte{
+		"empty":       {},
+		"one-byte":    {0x42},
+		"two-bytes":   {0x42, 0x42},
+		"all-zero-4k": make([]byte, 4096),
+		"all-ff":      bytes.Repeat([]byte{0xff}, 1000),
+		"repeated":    repeated(8192),
+		"text-4k":     textish(4096, 1),
+		"text-64k":    textish(65536, 2),
+		"random-4k":   random(4096, 3),
+		"random-64k":  random(65536, 4),
+		"mixed":       append(textish(20000, 5), random(20000, 6)...),
+		"short-text":  []byte("abcabcabcabcabc"),
+		"alternating": bytes.Repeat([]byte{0, 255}, 3000),
+		"sawtooth": func() []byte {
+			b := make([]byte, 5000)
+			for i := range b {
+				b[i] = byte(i)
+			}
+			return b
+		}(),
+		"runs-of-runs": bytes.Repeat(append(bytes.Repeat([]byte{'a'}, 100), 'b'), 50),
+	}
+}
+
+// RunRoundTrip exercises c over the whole corpus.
+func RunRoundTrip(t *testing.T, c compress.Codec) {
+	t.Helper()
+	for name, src := range Corpus() {
+		src := src
+		t.Run(name, func(t *testing.T) {
+			comp := c.Compress(src)
+			got, err := c.Decompress(comp, len(src))
+			if err != nil {
+				t.Fatalf("%s: Decompress: %v", c.Name(), err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s: round trip mismatch (len got %d want %d)", c.Name(), len(got), len(src))
+			}
+		})
+	}
+}
+
+// RunCompressesRedundantData asserts the codec actually shrinks
+// low-entropy payloads.
+func RunCompressesRedundantData(t *testing.T, c compress.Codec, minRatio float64) {
+	t.Helper()
+	src := textish(65536, 42)
+	comp := c.Compress(src)
+	r := compress.Ratio(len(src), len(comp))
+	if r < minRatio {
+		t.Fatalf("%s: ratio %.2f on text; want >= %.2f", c.Name(), r, minRatio)
+	}
+}
+
+// RunQuick round-trips random structured inputs via testing/quick.
+func RunQuick(t *testing.T, c compress.Codec) {
+	t.Helper()
+	f := func(seed int64, kind uint8, size uint16) bool {
+		n := int(size) % 20000
+		var src []byte
+		switch kind % 4 {
+		case 0:
+			src = random(n, seed)
+		case 1:
+			src = textish(n, seed)
+		case 2:
+			src = make([]byte, n) // zeros
+		default:
+			// random with planted repeats
+			src = random(n, seed)
+			if n > 64 {
+				copy(src[n/2:], src[:n/4])
+			}
+		}
+		comp := c.Compress(src)
+		got, err := c.Decompress(comp, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatalf("%s: %v", c.Name(), err)
+	}
+}
+
+// RunRejectsCorruption flips bits/truncates and expects either an error or
+// a non-matching output — never a panic.
+func RunRejectsCorruption(t *testing.T, c compress.Codec) {
+	t.Helper()
+	src := textish(8192, 9)
+	comp := c.Compress(src)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		bad := append([]byte(nil), comp...)
+		switch trial % 3 {
+		case 0:
+			if len(bad) == 0 {
+				continue
+			}
+			bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+		case 1:
+			bad = bad[:rng.Intn(len(bad)+1)]
+		case 2:
+			bad = append(bad, byte(rng.Intn(256)))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: panic on corrupt input (trial %d): %v", c.Name(), trial, r)
+				}
+			}()
+			got, err := c.Decompress(bad, len(src))
+			if err == nil && !bytes.Equal(got, src) {
+				// Silent mis-decode is acceptable for checksum-free codec
+				// payloads (the frame layer adds CRC); what matters is no
+				// panic and no out-of-bounds.
+				_ = got
+			}
+		}()
+	}
+}
+
+// RunBench benchmarks Compress and Decompress over a 256 KiB text block.
+func RunBench(b *testing.B, c compress.Codec) {
+	src := textish(256<<10, 77)
+	comp := c.Compress(src)
+	b.Run(fmt.Sprintf("%s/compress", c.Name()), func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			_ = c.Compress(src)
+		}
+	})
+	b.Run(fmt.Sprintf("%s/decompress", c.Name()), func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Decompress(comp, len(src)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package codectest
+
+import (
+	"bytes"
+	"testing"
+
+	"edc/internal/compress"
+)
+
+// FuzzDecompress drives a codec's Decompress with arbitrary bytes; the
+// only acceptable outcomes are a clean error or a successful decode —
+// never a panic or out-of-bounds access.
+func FuzzDecompress(f *testing.F, c compress.Codec) {
+	for _, src := range Corpus() {
+		f.Add(c.Compress(src), len(src))
+	}
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0x00, 0x12}, 4096)
+	f.Fuzz(func(t *testing.T, data []byte, origLen int) {
+		if origLen < 0 || origLen > 1<<20 {
+			return
+		}
+		out, err := c.Decompress(data, origLen)
+		if err == nil && len(out) != origLen {
+			t.Fatalf("%s: silent size mismatch: %d != %d", c.Name(), len(out), origLen)
+		}
+	})
+}
+
+// FuzzRoundTrip compresses arbitrary input and requires exact recovery.
+func FuzzRoundTrip(f *testing.F, c compress.Codec) {
+	for _, src := range Corpus() {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<20 {
+			return
+		}
+		comp := c.Compress(src)
+		got, err := c.Decompress(comp, len(src))
+		if err != nil {
+			t.Fatalf("%s: decompress own output: %v", c.Name(), err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: round trip mismatch", c.Name())
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNoneRoundTrip(t *testing.T) {
+	src := []byte("hello, flash storage")
+	c := None.Compress(src)
+	if !bytes.Equal(c, src) {
+		t.Fatalf("None.Compress changed data")
+	}
+	d, err := None.Decompress(c, len(src))
+	if err != nil || !bytes.Equal(d, src) {
+		t.Fatalf("None.Decompress = %q, %v", d, err)
+	}
+}
+
+func TestNoneSizeMismatch(t *testing.T) {
+	if _, err := None.Decompress([]byte("abc"), 5); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.ByTag(TagNone); err != nil {
+		t.Fatalf("ByTag(TagNone): %v", err)
+	}
+	if _, err := r.ByName("none"); err != nil {
+		t.Fatalf("ByName(none): %v", err)
+	}
+	if _, err := r.ByTag(TagLZF); err == nil {
+		t.Fatal("expected unknown tag error in fresh registry")
+	}
+	if _, err := r.ByTag(99); err == nil {
+		t.Fatal("expected error for tag > MaxTag")
+	}
+}
+
+type fakeCodec struct {
+	name string
+	tag  Tag
+}
+
+func (f fakeCodec) Name() string                               { return f.name }
+func (f fakeCodec) Tag() Tag                                   { return f.tag }
+func (f fakeCodec) Compress(src []byte) []byte                 { return src }
+func (f fakeCodec) Decompress(s []byte, n int) ([]byte, error) { return s, nil }
+
+func TestRegistryConflicts(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(fakeCodec{"x", 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(fakeCodec{"y", 5}); err == nil {
+		t.Fatal("expected tag conflict")
+	}
+	if err := r.Register(fakeCodec{"x", 6}); err == nil {
+		t.Fatal("expected name conflict")
+	}
+	if err := r.Register(fakeCodec{"z", 9}); err == nil {
+		t.Fatal("expected out-of-range tag error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(4096, 2048); got != 2.0 {
+		t.Fatalf("Ratio = %v; want 2.0", got)
+	}
+	if got := Ratio(4096, 0); got != 0 {
+		t.Fatalf("Ratio with zero divisor = %v; want 0", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	src := []byte("some payload worth framing, some payload worth framing")
+	f := EncodeFrame(None, src)
+	out, err := DecodeFrame(r, f)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("frame round trip mismatch")
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	r := NewRegistry()
+	src := []byte("payload")
+	f := EncodeFrame(None, src)
+
+	short := f[:frameHeaderSize-1]
+	if _, err := DecodeFrame(r, short); err == nil {
+		t.Fatal("expected error for truncated frame")
+	}
+
+	bad := append([]byte(nil), f...)
+	bad[0] = 'X'
+	if _, err := DecodeFrame(r, bad); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+
+	flipped := append([]byte(nil), f...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := DecodeFrame(r, flipped); err == nil {
+		t.Fatal("expected error for checksum mismatch")
+	}
+
+	badTag := append([]byte(nil), f...)
+	badTag[4] = 6 // unregistered tag
+	if _, err := DecodeFrame(r, badTag); err == nil {
+		t.Fatal("expected error for unknown tag")
+	}
+}

@@ -1,0 +1,10 @@
+package lz4x
+
+import (
+	"testing"
+
+	"edc/internal/compress/codectest"
+)
+
+func FuzzDecompress(f *testing.F) { codectest.FuzzDecompress(f, New()) }
+func FuzzRoundTrip(f *testing.F)  { codectest.FuzzRoundTrip(f, New()) }

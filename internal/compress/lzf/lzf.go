@@ -1,0 +1,161 @@
+// Package lzf implements an LZF-style byte-oriented Lempel-Ziv codec
+// (the fast/low-ratio end of the paper's codec spectrum, used by EDC
+// during high-intensity periods).
+//
+// Stream format (compatible in spirit with libLZF):
+//
+//	ctrl < 0x20:  literal run, ctrl+1 literal bytes follow
+//	ctrl >= 0x20: back reference
+//	    length  = ctrl>>5 (+ next byte if the 3-bit field is 7) + 2
+//	    offset  = ((ctrl&0x1f)<<8 | next byte) + 1, counted back from
+//	              the current output position
+//
+// Matches are found with a 3-byte hash table; maximum offset is 8 KiB,
+// maximum match length 264.
+package lzf
+
+import (
+	"edc/internal/compress"
+)
+
+const (
+	hashBits  = 14
+	hashSize  = 1 << hashBits
+	maxOff    = 1 << 13 // 8192
+	maxRef    = maxOff
+	maxLit    = 32
+	maxMatch  = 255 + 7 + 2 // extended length byte + field + base
+	minMatch  = 3
+	tailGuard = 4 // do not start matches within the final bytes
+)
+
+// Codec is the LZF codec. The zero value is ready to use.
+type Codec struct{}
+
+// New returns the LZF codec.
+func New() *Codec { return &Codec{} }
+
+// Name implements compress.Codec.
+func (*Codec) Name() string { return "lzf" }
+
+// Tag implements compress.Codec.
+func (*Codec) Tag() compress.Tag { return compress.TagLZF }
+
+func hash3(v uint32) uint32 {
+	// Multiplicative hash of the low 3 bytes.
+	return ((v & 0xffffff) * 2654435761) >> (32 - hashBits)
+}
+
+func load3(src []byte, i int) uint32 {
+	return uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16
+}
+
+// Compress implements compress.Codec.
+func (*Codec) Compress(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(src)/16+16)
+	if len(src) == 0 {
+		return out
+	}
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0 // start of the pending literal run
+	i := 0
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > maxLit {
+				n = maxLit
+			}
+			out = append(out, byte(n-1))
+			out = append(out, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+	for i+minMatch <= len(src)-tailGuard {
+		h := hash3(load3(src, i))
+		cand := table[h]
+		table[h] = int32(i)
+		if cand < 0 || i-int(cand) > maxOff || load3(src, int(cand)) != load3(src, i) {
+			i++
+			continue
+		}
+		// Extend the match.
+		ref := int(cand)
+		mlen := minMatch
+		limit := len(src) - i
+		if limit > maxMatch {
+			limit = maxMatch
+		}
+		for mlen < limit && src[ref+mlen] == src[i+mlen] {
+			mlen++
+		}
+		flushLits(i)
+		off := i - ref - 1
+		l := mlen - 2
+		if l < 7 {
+			out = append(out, byte(l<<5)|byte(off>>8), byte(off))
+		} else {
+			out = append(out, 7<<5|byte(off>>8), byte(l-7), byte(off))
+		}
+		// Insert hashes inside the match so later matches can refer in.
+		end := i + mlen
+		for j := i + 1; j < end && j+minMatch <= len(src); j++ {
+			table[hash3(load3(src, j))] = int32(j)
+		}
+		i = end
+		litStart = i
+	}
+	flushLits(len(src))
+	return out
+}
+
+// Decompress implements compress.Codec.
+func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
+	out := make([]byte, 0, origLen)
+	i := 0
+	for i < len(src) {
+		ctrl := int(src[i])
+		i++
+		if ctrl < 0x20 {
+			n := ctrl + 1
+			if i+n > len(src) || len(out)+n > origLen {
+				return nil, compress.ErrCorrupt
+			}
+			out = append(out, src[i:i+n]...)
+			i += n
+			continue
+		}
+		l := ctrl >> 5
+		if l == 7 {
+			if i >= len(src) {
+				return nil, compress.ErrCorrupt
+			}
+			l += int(src[i])
+			i++
+		}
+		mlen := l + 2
+		if i >= len(src) {
+			return nil, compress.ErrCorrupt
+		}
+		off := (ctrl&0x1f)<<8 | int(src[i])
+		i++
+		ref := len(out) - off - 1
+		if ref < 0 || len(out)+mlen > origLen {
+			return nil, compress.ErrCorrupt
+		}
+		// Byte-by-byte copy: overlapping references are legal.
+		for k := 0; k < mlen; k++ {
+			out = append(out, out[ref+k])
+		}
+	}
+	if len(out) != origLen {
+		return nil, compress.ErrSizeMismatch
+	}
+	return out, nil
+}
+
+func init() {
+	compress.MustRegister(New())
+}

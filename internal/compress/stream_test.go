@@ -1,0 +1,89 @@
+package compress
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf, None)
+	blocks := [][]byte{
+		[]byte("first block"),
+		{},
+		bytes.Repeat([]byte{0xaa}, 5000),
+	}
+	for _, b := range blocks {
+		if err := fw.WriteBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Blocks() != 3 {
+		t.Fatalf("blocks = %d", fw.Blocks())
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()), NewRegistry())
+	for i, want := range blocks {
+		got, err := fr.ReadBlock()
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+	if _, err := fr.ReadBlock(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestVerifyStream(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf, None)
+	for i := 0; i < 5; i++ {
+		if err := fw.WriteBlock([]byte("payload payload payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := VerifyStream(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 5 {
+		t.Fatalf("verify = %d, %v", n, err)
+	}
+	// Flip a payload bit: verification must fail with a frame count of
+	// the frames before the damage.
+	data := buf.Bytes()
+	data[len(data)-1] ^= 1
+	n, err = VerifyStream(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if n != 4 {
+		t.Fatalf("valid frames before corruption = %d; want 4", n)
+	}
+}
+
+func TestFrameStreamTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf, None)
+	if err := fw.WriteBlock(bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{2, 10, len(data) - 1} {
+		fr := NewFrameReader(bytes.NewReader(data[:cut]), NewRegistry())
+		if _, err := fr.ReadBlock(); err == nil {
+			t.Fatalf("cut at %d: expected error", cut)
+		}
+	}
+}
+
+func TestFrameStreamRejectsHugeLength(t *testing.T) {
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	fr := NewFrameReader(bytes.NewReader(bad), NewRegistry())
+	if _, err := fr.ReadBlock(); err == nil {
+		t.Fatal("expected error for absurd frame length")
+	}
+	if _, err := VerifyStream(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected error for absurd frame length")
+	}
+}

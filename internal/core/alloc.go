@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoSpace reports allocator exhaustion: the compressed store no longer
+// fits on the backing device.
+var ErrNoSpace = errors.New("core: device space exhausted")
+
+// Allocator manages byte extents of the backing device's logical address
+// space for compressed slots. Because EDC quantizes slot sizes to
+// quarters of the (4 KiB-aligned) run size (Sec. III-C), the set of
+// distinct slot sizes is small, so segregated exact-size free lists
+// recycle space without fragmentation; a split fallback handles mixed
+// sizes.
+type Allocator struct {
+	capacity int64
+	bump     int64
+	free     map[int64][]int64 // slot size -> free offsets (LIFO)
+	inUse    int64
+	peakUse  int64
+	allocs   int64
+	splits   int64
+}
+
+// NewAllocator manages [0, capacity) bytes.
+func NewAllocator(capacity int64) *Allocator {
+	return &Allocator{capacity: capacity, free: make(map[int64][]int64)}
+}
+
+// Capacity returns the managed space in bytes.
+func (a *Allocator) Capacity() int64 { return a.capacity }
+
+// InUse returns currently allocated bytes.
+func (a *Allocator) InUse() int64 { return a.inUse }
+
+// PeakUse returns the high-water mark of allocated bytes.
+func (a *Allocator) PeakUse() int64 { return a.peakUse }
+
+// Alloc returns the device offset of a slot of exactly `size` bytes.
+func (a *Allocator) Alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("core: Alloc(%d): size must be positive", size)
+	}
+	a.allocs++
+	// 1. Exact-size free list.
+	if lst := a.free[size]; len(lst) > 0 {
+		off := lst[len(lst)-1]
+		a.free[size] = lst[:len(lst)-1]
+		a.account(size)
+		return off, nil
+	}
+	// 2. Fresh space.
+	if a.bump+size <= a.capacity {
+		off := a.bump
+		a.bump += size
+		a.account(size)
+		return off, nil
+	}
+	// 3. Split the smallest adequate free slot.
+	bestSize := int64(-1)
+	for s, lst := range a.free {
+		if s >= size && len(lst) > 0 && (bestSize < 0 || s < bestSize) {
+			bestSize = s
+		}
+	}
+	if bestSize < 0 {
+		return 0, ErrNoSpace
+	}
+	lst := a.free[bestSize]
+	off := lst[len(lst)-1]
+	a.free[bestSize] = lst[:len(lst)-1]
+	if rem := bestSize - size; rem > 0 {
+		a.free[rem] = append(a.free[rem], off+size)
+	}
+	a.splits++
+	a.account(size)
+	return off, nil
+}
+
+func (a *Allocator) account(size int64) {
+	a.inUse += size
+	if a.inUse > a.peakUse {
+		a.peakUse = a.inUse
+	}
+}
+
+// Free returns a slot to its size class.
+func (a *Allocator) Free(off, size int64) {
+	if size <= 0 {
+		return
+	}
+	a.free[size] = append(a.free[size], off)
+	a.inUse -= size
+}
+
+// FreeBytes returns bytes available (free lists + untouched space).
+func (a *Allocator) FreeBytes() int64 {
+	var freeList int64
+	for s, lst := range a.free {
+		freeList += s * int64(len(lst))
+	}
+	return freeList + (a.capacity - a.bump)
+}
+
+// SizeClasses returns the distinct free-list sizes in ascending order
+// (diagnostics).
+func (a *Allocator) SizeClasses() []int64 {
+	out := make([]int64, 0, len(a.free))
+	for s, lst := range a.free {
+		if len(lst) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Range is one reserved extent used when rebuilding from a snapshot.
+type Range struct {
+	Off, Len int64
+}
+
+// Rebuild resets the allocator to exactly the given reserved ranges
+// (mapping-snapshot restore): gaps between reservations become free
+// slots, and fresh space resumes after the last reservation. Ranges must
+// be in-capacity and non-overlapping.
+func (a *Allocator) Rebuild(reserved []Range) error {
+	sort.Slice(reserved, func(i, j int) bool { return reserved[i].Off < reserved[j].Off })
+	a.free = make(map[int64][]int64)
+	a.inUse = 0
+	a.bump = 0
+	for _, r := range reserved {
+		if r.Len <= 0 || r.Off < 0 || r.Off+r.Len > a.capacity {
+			return fmt.Errorf("core: rebuild range [%d,+%d) invalid", r.Off, r.Len)
+		}
+		if r.Off < a.bump {
+			return fmt.Errorf("core: rebuild range [%d,+%d) overlaps", r.Off, r.Len)
+		}
+		if gap := r.Off - a.bump; gap > 0 {
+			a.free[gap] = append(a.free[gap], a.bump)
+		}
+		a.inUse += r.Len
+		a.bump = r.Off + r.Len
+	}
+	if a.inUse > a.peakUse {
+		a.peakUse = a.inUse
+	}
+	return nil
+}
+
+// QuantizeSlot maps a compressed length to the paper's quantized slot
+// size: the smallest of 25/50/75/100 % of origLen that fits. It returns
+// origLen (and false) when the compressed form would need more than 75 %
+// — the block should then be stored uncompressed (Sec. III-C).
+func QuantizeSlot(origLen, compLen int64) (slot int64, compressed bool) {
+	if origLen <= 0 {
+		return 0, false
+	}
+	quarter := (origLen + 3) / 4
+	switch {
+	case compLen <= quarter:
+		return quarter, true
+	case compLen <= 2*quarter:
+		return 2 * quarter, true
+	case compLen <= 3*quarter:
+		return 3 * quarter, true
+	default:
+		return origLen, false
+	}
+}

@@ -1,0 +1,600 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"edc/internal/cache"
+	"edc/internal/compress"
+	"edc/internal/datagen"
+	"edc/internal/sim"
+	"edc/internal/trace"
+)
+
+// Options configures a Device. Zero fields take documented defaults.
+type Options struct {
+	// Policy selects the compression scheme (default: DefaultElastic).
+	Policy Policy
+	// Cost is the CPU cost model (default: DefaultCostModel).
+	Cost CostModel
+	// Registry resolves codec tags (default: compress.Default()).
+	Registry *compress.Registry
+	// MonitorWindow/MonitorBins configure the workload monitor
+	// (default: 1 s window, 10 bins).
+	MonitorWindow time.Duration
+	MonitorBins   int
+	// MaxRun caps SD merging in bytes (default: DefaultMaxRun).
+	MaxRun int64
+	// FlushTimeout bounds how long a pending run may wait for a
+	// contiguous successor before being compressed anyway
+	// (default: 10 ms). Zero keeps the default; negative disables.
+	FlushTimeout time.Duration
+	// Estimator samples write payloads (default: NewEstimator).
+	Estimator *Estimator
+	// Data generates write payload content (default: datagen.Enterprise
+	// profile, seed 1).
+	Data *datagen.Generator
+	// VerifyReads stores compressed payloads and checks every read
+	// decompresses to the original content (tests only: memory-hungry).
+	VerifyReads bool
+	// DisableSD turns off write merging (ablation).
+	DisableSD bool
+	// ExactSlots disables the 25/50/75/100 % slot quantization and
+	// allocates compressed runs at their exact size (ablation: shows the
+	// fragmentation/relocation cost quantization avoids, Sec. III-C).
+	ExactSlots bool
+	// CPUWorkers is the number of parallel compression workers (default
+	// 1, the paper's single-threaded engine; raise it to model a
+	// multicore host absorbing compression cost).
+	CPUWorkers int
+	// MaxOutstanding bounds host requests in flight (closed-loop replay:
+	// arrivals beyond the bound are admitted as earlier requests
+	// complete, as a real block layer's bounded queue does). Zero keeps
+	// the default of 64; negative disables the bound.
+	MaxOutstanding int
+	// CacheBytes enables a host DRAM read cache of the given size
+	// (0 disables). Hits skip both the device read and decompression.
+	CacheBytes int64
+	// Offload moves (de)compression into the device, as FTL-integrated
+	// designs do (zFTL [28]; hardware-assisted compression [23]): the
+	// host CPU is not charged, and the codec engine's time (OffloadCost)
+	// is added to the device operation instead.
+	Offload bool
+	// OffloadCost is the device-side codec engine throughput (default:
+	// a hardware-assisted engine at 150/300 MB/s).
+	OffloadCost CodecCost
+}
+
+// DefaultOffloadCost models a hardware compression engine in the device
+// controller.
+func DefaultOffloadCost() CodecCost {
+	return CodecCost{CompressBps: 150e6, DecompressBps: 300e6}
+}
+
+// CacheHitLatency is the DRAM service time for a fully cached read.
+const CacheHitLatency = 10 * time.Microsecond
+
+// DefaultMaxOutstanding is the stock host queue-depth bound.
+const DefaultMaxOutstanding = 64
+
+// DefaultFlushTimeout bounds SD buffering delay. It is short relative
+// to burst inter-arrival gaps so the merge wait does not dominate write
+// response time.
+const DefaultFlushTimeout = 300 * time.Microsecond
+
+// Device is the EDC block device: the paper's three modules — Workload
+// Monitor, Compression/Decompression Engine, Request Distributer — wired
+// between a trace replay source and a simulated flash backend (Fig. 4).
+type Device struct {
+	eng *sim.Engine
+	cpu sim.Server
+	be  Backend
+
+	policy     Policy
+	cost       CostModel
+	reg        *compress.Registry
+	monitor    *Monitor // long window: detects idle periods
+	fastMon    *Monitor // short window: reacts to burst onsets
+	sd         *SeqDetector
+	est        *Estimator
+	data       *datagen.Generator
+	alloc      *Allocator
+	mapping    *Mapping
+	volBytes   int64
+	flushWait  time.Duration
+	disableSD  bool
+	exactSlots bool
+	verify     bool
+
+	version     uint32
+	flushGen    int64
+	inFlight    int64
+	maxInFlight int64
+	deferred    []trace.Request
+	hostCache   *cache.Cache
+	offload     bool
+	offloadCost CodecCost
+
+	payloads map[*Extent][]byte // verify mode
+
+	stats *RunStats
+	err   error
+}
+
+// NewDevice builds an EDC device over backend be exposing volumeBytes of
+// logical space. volumeBytes must fit the backend.
+func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*Device, error) {
+	if volumeBytes <= 0 {
+		return nil, errors.New("core: volumeBytes must be positive")
+	}
+	if volumeBytes > be.LogicalBytes() {
+		return nil, fmt.Errorf("core: volume %d exceeds backend capacity %d",
+			volumeBytes, be.LogicalBytes())
+	}
+	if opts.Policy == nil {
+		p, err := DefaultElastic(compress.Default())
+		if err != nil {
+			return nil, err
+		}
+		opts.Policy = p
+	}
+	if opts.Cost == nil {
+		opts.Cost = DefaultCostModel()
+	}
+	if err := opts.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Registry == nil {
+		opts.Registry = compress.Default()
+	}
+	if opts.MonitorWindow <= 0 {
+		opts.MonitorWindow = 500 * time.Millisecond
+	}
+	if opts.MonitorBins <= 0 {
+		opts.MonitorBins = 10
+	}
+	if opts.Estimator == nil {
+		opts.Estimator = NewEstimator()
+	}
+	if opts.Data == nil {
+		opts.Data = datagen.New(datagen.Enterprise(), 1)
+	}
+	if opts.Offload && (opts.OffloadCost.CompressBps <= 0 || opts.OffloadCost.DecompressBps <= 0) {
+		opts.OffloadCost = DefaultOffloadCost()
+	}
+	switch {
+	case opts.FlushTimeout == 0:
+		opts.FlushTimeout = DefaultFlushTimeout
+	case opts.FlushTimeout < 0:
+		opts.FlushTimeout = 0 // disabled
+	}
+	switch {
+	case opts.MaxOutstanding == 0:
+		opts.MaxOutstanding = DefaultMaxOutstanding
+	case opts.MaxOutstanding < 0:
+		opts.MaxOutstanding = 1 << 30 // effectively unbounded
+	}
+	var cpu sim.Server
+	if opts.CPUWorkers > 1 {
+		cpu = sim.NewMultiStation(eng, "cpu", opts.CPUWorkers)
+	} else {
+		cpu = sim.NewStation(eng, "cpu")
+	}
+	d := &Device{
+		eng:         eng,
+		cpu:         cpu,
+		be:          be,
+		policy:      opts.Policy,
+		cost:        opts.Cost,
+		reg:         opts.Registry,
+		monitor:     NewMonitor(opts.MonitorWindow, opts.MonitorBins),
+		fastMon:     NewMonitor(opts.MonitorWindow/8, (opts.MonitorBins+1)/2),
+		sd:          NewSeqDetector(opts.MaxRun),
+		est:         opts.Estimator,
+		data:        opts.Data,
+		alloc:       NewAllocator(be.LogicalBytes()),
+		volBytes:    volumeBytes &^ (BlockSize - 1),
+		flushWait:   opts.FlushTimeout,
+		maxInFlight: int64(opts.MaxOutstanding),
+		hostCache:   cache.New(opts.CacheBytes),
+		offload:     opts.Offload,
+		offloadCost: opts.OffloadCost,
+		disableSD:   opts.DisableSD,
+		exactSlots:  opts.ExactSlots,
+		verify:      opts.VerifyReads,
+	}
+	if d.volBytes == 0 {
+		return nil, errors.New("core: volume smaller than one block")
+	}
+	d.mapping = NewMapping(d.volBytes, d.alloc, func(e *Extent) {
+		d.be.Trim(e.DevOff, e.SlotLen)
+		if d.payloads != nil {
+			delete(d.payloads, e)
+		}
+	})
+	if d.verify {
+		d.payloads = make(map[*Extent][]byte)
+	}
+	return d, nil
+}
+
+// Policy returns the device's policy.
+func (d *Device) Policy() Policy { return d.policy }
+
+// VolumeBytes returns the logical volume size.
+func (d *Device) VolumeBytes() int64 { return d.volBytes }
+
+// Mapping exposes the mapping table (tests, diagnostics).
+func (d *Device) Mapping() *Mapping { return d.mapping }
+
+// alignRequest snaps a host request to block granularity inside the
+// volume (the paper's EDC operates on fixed-size blocks, Sec. III-C).
+func (d *Device) alignRequest(r trace.Request) (off, size int64) {
+	off = r.Offset &^ (BlockSize - 1)
+	end := (r.Offset + r.Size + BlockSize - 1) &^ (BlockSize - 1)
+	size = end - off
+	if size <= 0 {
+		size = BlockSize
+	}
+	if size > d.volBytes {
+		size = d.volBytes
+	}
+	off %= d.volBytes
+	off &^= BlockSize - 1
+	if off+size > d.volBytes {
+		off = d.volBytes - size
+	}
+	return off, size
+}
+
+// Play replays t to completion and returns the collected statistics.
+// The device is single-use: create a fresh Device per run.
+func (d *Device) Play(t *trace.Trace) (*RunStats, error) {
+	if d.stats != nil {
+		return nil, errors.New("core: device already played a trace")
+	}
+	d.stats = newRunStats(d.policy.Name(), t.Name, d.be.Describe())
+	for _, r := range t.Requests {
+		r := r
+		d.eng.Schedule(r.Arrival, func() { d.arrive(r) })
+	}
+	d.eng.Run()
+	// Drain any still-buffered run.
+	if d.sd.Pending() {
+		d.processRun(d.sd.Flush())
+		d.eng.Run()
+	}
+	if d.inFlight != 0 && d.err == nil {
+		d.err = fmt.Errorf("core: %d requests never completed", d.inFlight)
+	}
+	d.finalize()
+	return d.stats, d.err
+}
+
+// arrive handles one host request at the current virtual time, deferring
+// it when the outstanding bound is reached (closed-loop admission).
+func (d *Device) arrive(r trace.Request) {
+	if d.err != nil {
+		return
+	}
+	if d.inFlight >= d.maxInFlight {
+		d.deferred = append(d.deferred, r)
+		return
+	}
+	d.admit(r)
+}
+
+// admit processes one admitted request.
+func (d *Device) admit(r trace.Request) {
+	off, size := d.alignRequest(r)
+	now := d.eng.Now()
+	d.monitor.Record(now, size)
+	d.fastMon.Record(now, size)
+	d.stats.Requests++
+	// Response time is measured from issue (admission): under closed-loop
+	// replay a saturated backend shifts issue times instead of growing an
+	// unbounded arrival backlog, exactly as hardware trace replayers do.
+	issue := now
+	if r.Write {
+		d.stats.Writes++
+		w := PendingWrite{Arrival: issue, Offset: off, Size: size}
+		d.inFlight++
+		if d.disableSD {
+			d.processRun(&Run{Offset: off, Size: size, Writes: []PendingWrite{w}})
+			return
+		}
+		if run := d.sd.OnWrite(w); run != nil {
+			d.processRun(run)
+		}
+		d.armFlushTimer()
+		return
+	}
+	d.stats.Reads++
+	d.inFlight++
+	if run := d.sd.OnRead(); run != nil {
+		d.processRun(run)
+	}
+	d.processRead(issue, off, size)
+}
+
+// armFlushTimer (re)starts the idle flush for the pending run.
+func (d *Device) armFlushTimer() {
+	if d.flushWait <= 0 || !d.sd.Pending() {
+		return
+	}
+	d.flushGen++
+	gen := d.flushGen
+	d.eng.ScheduleAfter(d.flushWait, func() {
+		if gen == d.flushGen && d.sd.Pending() && d.err == nil {
+			d.processRun(d.sd.Flush())
+		}
+	})
+}
+
+// intensity is the paper's feedback signal: the sliding-window calculated
+// IOPS. Two windows are combined — a long one that recognizes genuinely
+// idle periods and a short one that reacts to burst onsets within tens of
+// milliseconds — and the more intense reading wins, so a burst is never
+// greeted with a heavyweight codec while the long window is still warming
+// up.
+func (d *Device) intensity(now time.Duration) float64 {
+	slow := d.monitor.CalculatedIOPS(now)
+	fast := d.fastMon.CalculatedIOPS(now)
+	if fast > slow {
+		return fast
+	}
+	return slow
+}
+
+// fail records the first fatal error and releases in-flight requests so
+// the replay terminates cleanly.
+func (d *Device) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// processRun compresses and stores one merged write run.
+func (d *Device) processRun(run *Run) {
+	if d.err != nil {
+		d.inFlight -= int64(len(run.Writes))
+		return
+	}
+	now := d.eng.Now()
+	d.stats.SDRuns++
+
+	ver := d.version
+	d.version++
+	content := d.data.Block(run.Offset, int(run.Size), ver)
+
+	var codec compress.Codec
+	var cpuTime time.Duration
+	if d.policy.ChecksCompressibility() {
+		cpuTime += EstimateCost
+		ratio := d.est.EstimateRatio(content)
+		if ratio >= WriteThroughRatio {
+			if ra, ok := d.policy.(RatioAware); ok {
+				codec = ra.SelectWithRatio(d.intensity(now), ratio)
+			} else {
+				codec = d.policy.Select(d.intensity(now))
+			}
+		} else {
+			d.stats.WriteThrough++
+		}
+	} else {
+		codec = d.policy.Select(d.intensity(now))
+	}
+	if codec != nil && !d.offload {
+		cpuTime += d.cost.CompressTime(codec.Tag(), run.Size)
+	}
+	store := func(_, _ time.Duration) { d.store(run, content, codec, ver) }
+	if cpuTime > 0 {
+		d.cpu.Submit(sim.Job{Service: cpuTime, Done: store})
+	} else {
+		store(now, now)
+	}
+}
+
+// store runs the codec for real, allocates the quantized slot, updates
+// the mapping, and issues the device write.
+func (d *Device) store(run *Run, content []byte, codec compress.Codec, ver uint32) {
+	if d.err != nil {
+		d.inFlight -= int64(len(run.Writes))
+		return
+	}
+	tag := compress.TagNone
+	compLen := run.Size
+	slotLen := run.Size
+	var payload []byte
+	if codec != nil {
+		payload = codec.Compress(content)
+		slot, ok := QuantizeSlot(run.Size, int64(len(payload)))
+		if ok {
+			tag = codec.Tag()
+			compLen = int64(len(payload))
+			slotLen = slot
+			if d.exactSlots {
+				slotLen = compLen // ablation: no quantization
+			}
+		} else {
+			// Codec output above 75 %: keep uncompressed (Sec. III-C).
+			d.stats.Oversize++
+			payload = nil
+		}
+	}
+	devOff, err := d.alloc.Alloc(slotLen)
+	if err != nil {
+		d.fail(fmt.Errorf("storing run at %d: %w", run.Offset, err))
+		d.inFlight -= int64(len(run.Writes))
+		return
+	}
+	ext := &Extent{
+		Offset:  run.Offset,
+		OrigLen: run.Size,
+		CompLen: compLen,
+		SlotLen: slotLen,
+		Tag:     tag,
+		DevOff:  devOff,
+		Version: ver,
+	}
+	if err := d.mapping.Insert(ext); err != nil {
+		d.fail(err)
+		d.inFlight -= int64(len(run.Writes))
+		return
+	}
+	if d.verify {
+		if tag != compress.TagNone {
+			d.payloads[ext] = payload
+		} else {
+			d.payloads[ext] = append([]byte(nil), content...)
+		}
+	}
+	d.stats.OrigBytes += run.Size
+	d.stats.CompBytes += compLen
+	d.stats.StoredBytes += slotLen
+	d.stats.RunsByTag[tag]++
+	d.stats.BytesByTag[tag] += run.Size
+
+	var extra time.Duration
+	if d.offload && tag != compress.TagNone {
+		extra = time.Duration(float64(run.Size) / d.offloadCost.CompressBps * float64(time.Second))
+	}
+	d.hostCache.InsertRange(run.Offset, run.Size)
+	writes := run.Writes
+	d.be.Write(devOff, slotLen, extra, func() {
+		now := d.eng.Now()
+		for _, w := range writes {
+			d.observe(now-w.Arrival, true)
+			d.inFlight--
+		}
+	})
+}
+
+// processRead plans and issues one host read. Fully cached reads are
+// served from DRAM, skipping the device and any decompression.
+func (d *Device) processRead(arrival time.Duration, off, size int64) {
+	if d.hostCache.ContainsRange(off, size) {
+		d.eng.ScheduleAfter(CacheHitLatency, func() {
+			d.observe(d.eng.Now()-arrival, false)
+			d.inFlight--
+		})
+		return
+	}
+	plan, err := d.mapping.ReadPlan(off, size)
+	if err != nil {
+		d.fail(err)
+		d.inFlight--
+		return
+	}
+	remaining := len(plan)
+	if remaining == 0 {
+		d.observe(d.eng.Now()-arrival, false)
+		d.inFlight--
+		return
+	}
+	complete := func() {
+		remaining--
+		if remaining == 0 {
+			d.hostCache.InsertRange(off, size)
+			d.observe(d.eng.Now()-arrival, false)
+			d.inFlight--
+		}
+	}
+	for _, seg := range plan {
+		switch {
+		case seg.Ext == nil:
+			// Hole: the device still transfers zero pages.
+			d.be.Read(0, seg.Bytes, 0, complete)
+		case seg.Ext.Tag == compress.TagNone:
+			d.be.Read(seg.Ext.DevOff, seg.Bytes, 0, complete)
+		default:
+			ext := seg.Ext
+			// Snapshot the payload now: an overwrite may free the extent
+			// while this read is in flight (the host still gets the data
+			// captured at submission time).
+			var payload []byte
+			if d.verify {
+				payload = d.payloads[ext]
+			}
+			if d.offload {
+				// The device's codec engine decompresses in-line.
+				extra := time.Duration(float64(ext.OrigLen) / d.offloadCost.DecompressBps * float64(time.Second))
+				d.be.Read(ext.DevOff, ext.CompLen, extra, func() {
+					if d.verify {
+						d.verifyExtent(ext, payload)
+					}
+					complete()
+				})
+				break
+			}
+			d.be.Read(ext.DevOff, ext.CompLen, 0, func() {
+				svc := d.cost.DecompressTime(ext.Tag, ext.OrigLen)
+				d.cpu.Submit(sim.Job{Service: svc, Done: func(_, _ time.Duration) {
+					if d.verify {
+						d.verifyExtent(ext, payload)
+					}
+					complete()
+				}})
+			})
+		}
+	}
+}
+
+// verifyExtent decompresses the payload snapshot taken at read submission
+// and compares it with the regenerated original content.
+func (d *Device) verifyExtent(ext *Extent, payload []byte) {
+	if payload == nil {
+		d.fail(fmt.Errorf("core: verify: extent at %d has no payload", ext.Offset))
+		return
+	}
+	codec, err := d.reg.ByTag(ext.Tag)
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	got, err := codec.Decompress(payload, int(ext.OrigLen))
+	if err != nil {
+		d.fail(fmt.Errorf("core: verify: decompress extent at %d: %w", ext.Offset, err))
+		return
+	}
+	want := d.data.Block(ext.Offset, int(ext.OrigLen), ext.Version)
+	if !bytes.Equal(got, want) {
+		d.fail(fmt.Errorf("core: verify: content mismatch for extent at %d", ext.Offset))
+	}
+}
+
+func (d *Device) observe(resp time.Duration, write bool) {
+	d.stats.Resp.Observe(resp)
+	if write {
+		d.stats.RespWrite.Observe(resp)
+	} else {
+		d.stats.RespRead.Observe(resp)
+	}
+	// A completion frees one admission slot.
+	if len(d.deferred) > 0 && d.inFlight <= d.maxInFlight {
+		next := d.deferred[0]
+		d.deferred = d.deferred[1:]
+		d.admit(next)
+	}
+}
+
+// finalize snapshots end-of-run state into stats.
+func (d *Device) finalize() {
+	s := d.stats
+	s.LiveBlocks = d.mapping.LiveBlocks()
+	s.LiveSlotBytes = d.alloc.InUse()
+	s.PeakSlotBytes = d.alloc.PeakUse()
+	s.DeadSlotBytes = d.mapping.DeadSlotBytes()
+	s.AllocClasses = len(d.alloc.SizeClasses())
+	s.SDMerged = d.sd.Merged()
+	s.CPU = d.cpu.Stats()
+	s.Cache = d.hostCache.Stats()
+	s.Devices = d.be.DeviceStats()
+	s.Queues = d.be.QueueStats()
+	s.Duration = d.eng.Now()
+	if s.Err == nil {
+		s.Err = d.err
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"edc/internal/ssd"
+)
+
+func TestEstimateEnergyComponents(t *testing.T) {
+	m := DefaultEnergyModel()
+	rs := newRunStats("x", "t", "b")
+	rs.CPU.BusyTime = 2 * time.Second
+	rs.Devices = []ssd.Stats{{
+		HostPagesRead:     1000,
+		FlashPagesWritten: 2000,
+		GCPagesMoved:      500,
+		Erases:            10,
+	}}
+	rs.StoredBytes = 8 << 20
+	b := EstimateEnergy(rs, m)
+	if b.CPUJ != 2*m.CPUActiveWatts {
+		t.Fatalf("CPUJ = %v", b.CPUJ)
+	}
+	wantRead := float64(1500) * m.ReadPageUJ / 1e6
+	if b.ReadJ != wantRead {
+		t.Fatalf("ReadJ = %v; want %v", b.ReadJ, wantRead)
+	}
+	wantProg := float64(2000) * m.ProgramPageUJ / 1e6
+	if b.ProgramJ != wantProg {
+		t.Fatalf("ProgramJ = %v; want %v", b.ProgramJ, wantProg)
+	}
+	if b.EraseJ != 10*m.EraseBlockUJ/1e6 {
+		t.Fatalf("EraseJ = %v", b.EraseJ)
+	}
+	if b.TransferJ <= 0 {
+		t.Fatalf("TransferJ = %v", b.TransferJ)
+	}
+	total := b.CPUJ + b.ReadJ + b.ProgramJ + b.EraseJ + b.TransferJ
+	if b.TotalJ() != total {
+		t.Fatalf("TotalJ = %v; want %v", b.TotalJ(), total)
+	}
+}
+
+func TestEnergyPerGB(t *testing.T) {
+	m := DefaultEnergyModel()
+	rs := newRunStats("x", "t", "b")
+	if EnergyPerGB(rs, m) != 0 {
+		t.Fatal("empty run should report 0 J/GB")
+	}
+	rs.OrigBytes = 1 << 30
+	rs.CPU.BusyTime = time.Second
+	if got := EnergyPerGB(rs, m); got != m.CPUActiveWatts {
+		t.Fatalf("J/GB = %v; want %v", got, m.CPUActiveWatts)
+	}
+}
+
+func TestEnergyCompressionTradeoffEndToEnd(t *testing.T) {
+	// Lzf must spend more CPU joules but fewer flash joules than Native
+	// on compressible data.
+	reg := defaultTestRegistry(t)
+	lzf, _ := reg.ByName("lzf")
+	runOne := func(p Policy) *RunStats {
+		rig := newTestRig(t, Options{Policy: p})
+		st, err := rig.dev.Play(seqTrace(600, 300*time.Microsecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	nat := runOne(Native())
+	comp := runOne(Fixed("Lzf", lzf))
+	m := DefaultEnergyModel()
+	bn := EstimateEnergy(nat, m)
+	bc := EstimateEnergy(comp, m)
+	if bc.CPUJ <= bn.CPUJ {
+		t.Fatalf("compression CPU energy %v not above native %v", bc.CPUJ, bn.CPUJ)
+	}
+	if bc.ProgramJ >= bn.ProgramJ {
+		t.Fatalf("compression program energy %v not below native %v", bc.ProgramJ, bn.ProgramJ)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"edc/internal/datagen"
+)
+
+func TestEstimateEmptyAndTiny(t *testing.T) {
+	e := NewEstimator()
+	if r := e.EstimateRatio(nil); r != 1 {
+		t.Fatalf("empty ratio = %v; want 1", r)
+	}
+	if r := e.EstimateRatio([]byte{1, 2, 3}); r < 1 {
+		t.Fatalf("tiny ratio = %v; want >= 1", r)
+	}
+}
+
+func TestEstimateRandomIsIncompressible(t *testing.T) {
+	e := NewEstimator()
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 65536)
+	rng.Read(data)
+	if e.Compressible(data) {
+		t.Fatalf("random data classified compressible (ratio %.2f)", e.EstimateRatio(data))
+	}
+}
+
+func TestEstimateZerosHighlyCompressible(t *testing.T) {
+	e := NewEstimator()
+	data := make([]byte, 65536)
+	r := e.EstimateRatio(data)
+	if r < 10 {
+		t.Fatalf("zero-page ratio = %v; want large", r)
+	}
+	if !e.Compressible(data) {
+		t.Fatal("zeros must be compressible")
+	}
+}
+
+func TestEstimateTextCompressible(t *testing.T) {
+	e := NewEstimator()
+	g := datagen.New(datagen.LinuxSrc(), 2)
+	hits := 0
+	total := 50
+	for i := 0; i < total; i++ {
+		// 64K regions with text/code classes dominate LinuxSrc.
+		data := g.Block(int64(i)*65536, 16384, 0)
+		if e.Compressible(data) {
+			hits++
+		}
+	}
+	if hits < total*6/10 {
+		t.Fatalf("only %d/%d linux-src chunks classified compressible", hits, total)
+	}
+}
+
+func TestEstimateMediaMostlyIncompressible(t *testing.T) {
+	e := NewEstimator()
+	g := datagen.New(datagen.Media(), 3)
+	miss := 0
+	total := 50
+	for i := 0; i < total; i++ {
+		data := g.Block(int64(i)*65536, 16384, 0)
+		if !e.Compressible(data) {
+			miss++
+		}
+	}
+	if miss < total*7/10 {
+		t.Fatalf("only %d/%d media chunks classified incompressible", miss, total)
+	}
+}
+
+func TestEstimatorAgreesWithRealCodec(t *testing.T) {
+	// The estimator's binary decision should usually match what gz
+	// actually achieves against the 75% threshold.
+	e := NewEstimator()
+	g := datagen.New(datagen.Enterprise(), 4)
+	agree, total := 0, 80
+	gz, err := defaultTestRegistry(t).ByName("gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		data := g.Block(int64(i)*65536, 16384, 0)
+		est := e.Compressible(data)
+		comp := gz.Compress(data)
+		_, real := QuantizeSlot(int64(len(data)), int64(len(comp)))
+		if est == real {
+			agree++
+		}
+	}
+	if agree < total*7/10 {
+		t.Fatalf("estimator agreed with gz on only %d/%d chunks", agree, total)
+	}
+}
+
+func BenchmarkEstimate16K(b *testing.B) {
+	e := NewEstimator()
+	g := datagen.New(datagen.Enterprise(), 5)
+	data := g.Block(0, 16384, 0)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		_ = e.EstimateRatio(data)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzLoadSnapshot(f *testing.F) {
+	// Seed with a valid snapshot.
+	alloc := NewAllocator(1 << 22)
+	m := NewMapping(1<<22, alloc, nil)
+	devOff, _ := alloc.Alloc(8192)
+	_ = m.Insert(&Extent{Offset: 4096, OrigLen: 8192, CompLen: 8192,
+		SlotLen: 8192, DevOff: devOff})
+	var buf bytes.Buffer
+	_ = m.SaveSnapshot(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("EDCM"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadSnapshot(bytes.NewReader(data), NewAllocator(1<<22), nil)
+		if err == nil {
+			if cerr := m.CheckInvariants(); cerr != nil {
+				t.Fatalf("accepted snapshot violates invariants: %v", cerr)
+			}
+		}
+	})
+}
+
+func FuzzEstimateRatio(f *testing.F) {
+	f.Add([]byte("hello world hello world"))
+	f.Add(make([]byte, 4096))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewEstimator()
+		r := e.EstimateRatio(data)
+		if r < 1 || r > 40 {
+			t.Fatalf("ratio %v out of documented range", r)
+		}
+	})
+}

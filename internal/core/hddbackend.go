@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"edc/internal/hdd"
+	"edc/internal/sim"
+	"edc/internal/ssd"
+)
+
+// HDDBackend adapts the analytical disk model to the Backend interface
+// (the paper's future work: evaluating EDC on HDD-based systems). Disks
+// have no FTL, so DeviceStats reports an empty slice; use DiskStats for
+// the disk-specific counters.
+type HDDBackend struct {
+	dev *hdd.HDD
+	st  *sim.Station
+}
+
+var _ Backend = (*HDDBackend)(nil)
+
+// NewHDDBackend wires the disk to a station on eng.
+func NewHDDBackend(eng *sim.Engine, dev *hdd.HDD) *HDDBackend {
+	return &HDDBackend{dev: dev, st: sim.NewStation(eng, "hdd0")}
+}
+
+// LogicalBytes implements Backend.
+func (b *HDDBackend) LogicalBytes() int64 { return b.dev.LogicalBytes() }
+
+// PageSize implements Backend.
+func (b *HDDBackend) PageSize() int { return b.dev.Config().BlockSize }
+
+// Read implements Backend.
+func (b *HDDBackend) Read(devOff, bytes int64, extra time.Duration, done func()) {
+	off, n := b.clamp(devOff, bytes)
+	svc, err := b.dev.ReadTime(off, n)
+	if err != nil {
+		panic(fmt.Sprintf("core: hdd read: %v", err))
+	}
+	b.st.Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) { done() }})
+}
+
+// Write implements Backend.
+func (b *HDDBackend) Write(devOff, bytes int64, extra time.Duration, done func()) {
+	off, n := b.clamp(devOff, bytes)
+	svc, err := b.dev.WriteTime(off, n)
+	if err != nil {
+		panic(fmt.Sprintf("core: hdd write: %v", err))
+	}
+	b.st.Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) { done() }})
+}
+
+// clamp bounds an access to the disk capacity.
+func (b *HDDBackend) clamp(devOff, bytes int64) (int64, int64) {
+	cap := b.dev.LogicalBytes()
+	if bytes <= 0 {
+		return 0, 0
+	}
+	if devOff < 0 {
+		devOff = 0
+	}
+	if devOff+bytes > cap {
+		devOff = cap - bytes
+		if devOff < 0 {
+			devOff = 0
+			bytes = cap
+		}
+	}
+	return devOff, bytes
+}
+
+// Trim implements Backend: disks have no discard semantics to model.
+func (b *HDDBackend) Trim(devOff, bytes int64) {}
+
+// DeviceStats implements Backend (no flash counters on a disk).
+func (b *HDDBackend) DeviceStats() []ssd.Stats { return nil }
+
+// DiskStats returns the disk-specific counters.
+func (b *HDDBackend) DiskStats() hdd.Stats { return b.dev.Stats() }
+
+// QueueStats implements Backend.
+func (b *HDDBackend) QueueStats() []sim.Stats { return []sim.Stats{b.st.Stats()} }
+
+// Describe implements Backend.
+func (b *HDDBackend) Describe() string {
+	return fmt.Sprintf("single HDD (%d MiB, %d RPM)", b.dev.LogicalBytes()>>20, b.dev.Config().RPM)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"edc/internal/hdd"
+	"edc/internal/sim"
+)
+
+func newHDDRig(t *testing.T, p Policy) (*sim.Engine, *Device, *HDDBackend) {
+	t.Helper()
+	eng := sim.NewEngine()
+	disk, err := hdd.New(hdd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewHDDBackend(eng, disk)
+	dev, err := NewDevice(eng, be, 256<<20, Options{
+		Policy:   p,
+		Registry: defaultTestRegistry(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, dev, be
+}
+
+func TestHDDBackendReplay(t *testing.T) {
+	_, dev, be := newHDDRig(t, Native())
+	st, err := dev.Play(seqTrace(300, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Resp.Count() != 300 {
+		t.Fatalf("answered %d", st.Resp.Count())
+	}
+	ds := be.DiskStats()
+	if ds.Reads == 0 || ds.Writes == 0 {
+		t.Fatalf("disk stats = %+v", ds)
+	}
+	if len(st.Devices) != 0 {
+		t.Fatal("HDD backend must not report flash stats")
+	}
+	if len(st.Queues) != 1 {
+		t.Fatalf("queues = %d", len(st.Queues))
+	}
+}
+
+func TestHDDBackendCompressionStillSavesSpace(t *testing.T) {
+	reg := defaultTestRegistry(t)
+	lzf, _ := reg.ByName("lzf")
+	_, dev, _ := newHDDRig(t, Fixed("Lzf", lzf))
+	st, err := dev.Play(seqTrace(300, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TrafficRatio() <= 1.1 {
+		t.Fatalf("ratio = %v; compression should be backend-independent", st.TrafficRatio())
+	}
+}
+
+func TestHDDBackendClamp(t *testing.T) {
+	eng := sim.NewEngine()
+	disk, _ := hdd.New(hdd.DefaultConfig())
+	be := NewHDDBackend(eng, disk)
+	done := 0
+	eng.Schedule(0, func() {
+		be.Read(be.LogicalBytes()-1024, 1<<20, 0, func() { done++ }) // clamped
+		be.Write(-5, 4096, 0, func() { done++ })                     // clamped
+		be.Read(0, 0, 0, func() { done++ })                          // zero bytes
+	})
+	eng.Run()
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if be.PageSize() != hdd.DefaultConfig().BlockSize {
+		t.Fatalf("page size = %d", be.PageSize())
+	}
+	if be.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edc/internal/compress"
+)
+
+func newTestMapping(volume int64) (*Mapping, *Allocator, *[]int64) {
+	alloc := NewAllocator(volume * 2)
+	var freed []int64
+	m := NewMapping(volume, alloc, func(e *Extent) { freed = append(freed, e.DevOff) })
+	return m, alloc, &freed
+}
+
+// mkExtent allocates a slot and builds an extent for [off, off+size).
+func mkExtent(t testing.TB, m *Mapping, alloc *Allocator, off, size int64, tag compress.Tag) *Extent {
+	t.Helper()
+	slot := size / 2
+	if tag == compress.TagNone || slot == 0 {
+		slot = size
+	}
+	devOff, err := alloc.Alloc(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Extent{Offset: off, OrigLen: size, CompLen: slot, SlotLen: slot, Tag: tag, DevOff: devOff}
+	if err := m.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMappingInsertLookup(t *testing.T) {
+	m, alloc, _ := newTestMapping(1 << 20)
+	e := mkExtent(t, m, alloc, 8192, 16384, compress.TagLZF)
+	if m.Lookup(8192) != e || m.Lookup(8192+16383) != e {
+		t.Fatal("lookup did not return the extent")
+	}
+	if m.Lookup(0) != nil {
+		t.Fatal("unmapped block should be nil")
+	}
+	if e.Live() != 4 {
+		t.Fatalf("live = %d; want 4 blocks", e.Live())
+	}
+	if m.LiveBlocks() != 4 || m.Extents() != 1 {
+		t.Fatalf("liveBlocks=%d extents=%d", m.LiveBlocks(), m.Extents())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingRejectsUnaligned(t *testing.T) {
+	m, _, _ := newTestMapping(1 << 20)
+	bad := &Extent{Offset: 100, OrigLen: 4096}
+	if err := m.Insert(bad); err == nil {
+		t.Fatal("unaligned insert should fail")
+	}
+	bad2 := &Extent{Offset: 0, OrigLen: 100}
+	if err := m.Insert(bad2); err == nil {
+		t.Fatal("unaligned length should fail")
+	}
+	far := &Extent{Offset: 1 << 21, OrigLen: 4096}
+	if err := m.Insert(far); err == nil {
+		t.Fatal("out-of-volume insert should fail")
+	}
+}
+
+func TestMappingOverwriteFreesSlot(t *testing.T) {
+	m, alloc, freed := newTestMapping(1 << 20)
+	e1 := mkExtent(t, m, alloc, 0, 8192, compress.TagGZ)
+	mkExtent(t, m, alloc, 0, 8192, compress.TagLZF)
+	if len(*freed) != 1 || (*freed)[0] != e1.DevOff {
+		t.Fatalf("freed = %v; want [%d]", *freed, e1.DevOff)
+	}
+	if m.Extents() != 1 {
+		t.Fatalf("extents = %d", m.Extents())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingPartialOverwrite(t *testing.T) {
+	m, alloc, freed := newTestMapping(1 << 20)
+	e1 := mkExtent(t, m, alloc, 0, 16384, compress.TagGZ) // 4 blocks
+	mkExtent(t, m, alloc, 4096, 4096, compress.TagLZF)    // overwrite block 1
+	if len(*freed) != 0 {
+		t.Fatal("partially-dead extent must keep its slot")
+	}
+	if e1.Live() != 3 {
+		t.Fatalf("live = %d; want 3", e1.Live())
+	}
+	if m.DeadSlotBytes() != e1.SlotLen {
+		t.Fatalf("dead slot bytes = %d; want %d", m.DeadSlotBytes(), e1.SlotLen)
+	}
+	// Overwrite the remaining blocks: extent dies, slot freed.
+	mkExtent(t, m, alloc, 0, 4096, compress.TagLZF)
+	mkExtent(t, m, alloc, 8192, 8192, compress.TagLZF)
+	if len(*freed) != 1 {
+		t.Fatalf("freed = %v", *freed)
+	}
+	if m.DeadSlotBytes() != 0 {
+		t.Fatalf("dead slot bytes = %d after full death", m.DeadSlotBytes())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingTrim(t *testing.T) {
+	m, alloc, freed := newTestMapping(1 << 20)
+	mkExtent(t, m, alloc, 0, 8192, compress.TagNone)
+	if err := m.Trim(0, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveBlocks() != 0 || len(*freed) != 1 {
+		t.Fatalf("liveBlocks=%d freed=%v", m.LiveBlocks(), *freed)
+	}
+	if err := m.Trim(100, 8192); err == nil {
+		t.Fatal("unaligned trim should fail")
+	}
+}
+
+func TestReadPlanCoalescesWithinExtent(t *testing.T) {
+	m, alloc, _ := newTestMapping(1 << 20)
+	e := mkExtent(t, m, alloc, 0, 32768, compress.TagGZ)
+	plan, err := m.ReadPlan(4096, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].Ext != e || plan[0].Bytes != 16384 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestReadPlanSpansExtentsAndHoles(t *testing.T) {
+	m, alloc, _ := newTestMapping(1 << 20)
+	a := mkExtent(t, m, alloc, 0, 8192, compress.TagLZF)
+	b := mkExtent(t, m, alloc, 16384, 8192, compress.TagGZ)
+	plan, err := m.ReadPlan(0, 24576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].Ext != a || plan[1].Ext != nil || plan[2].Ext != b {
+		t.Fatalf("plan order wrong: %+v", plan)
+	}
+	if plan[1].Bytes != 8192 {
+		t.Fatalf("hole bytes = %d", plan[1].Bytes)
+	}
+}
+
+func TestMappingInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		volume := int64(1 << 20)
+		alloc := NewAllocator(volume * 4)
+		m := NewMapping(volume, alloc, nil)
+		for op := 0; op < 400; op++ {
+			blocks := int64(rng.Intn(8) + 1)
+			maxStart := volume/BlockSize - blocks
+			off := rng.Int63n(maxStart+1) * BlockSize
+			size := blocks * BlockSize
+			switch rng.Intn(5) {
+			case 4:
+				if err := m.Trim(off, size); err != nil {
+					return false
+				}
+			default:
+				slot := size
+				devOff, err := alloc.Alloc(slot)
+				if err != nil {
+					continue
+				}
+				e := &Extent{Offset: off, OrigLen: size, CompLen: slot,
+					SlotLen: slot, Tag: compress.TagNone, DevOff: devOff}
+				if err := m.Insert(e); err != nil {
+					return false
+				}
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

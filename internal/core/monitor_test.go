@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnits(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  float64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {65536, 16},
+	}
+	for _, c := range cases {
+		if got := units(c.bytes); got != c.want {
+			t.Errorf("units(%d) = %v; want %v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestCalculatedIOPSSteadyState(t *testing.T) {
+	m := NewMonitor(time.Second, 10)
+	// 100 requests of 4K spread over 1 second => 100 calculated IOPS.
+	for i := 0; i < 100; i++ {
+		m.Record(time.Duration(i)*10*time.Millisecond, 4096)
+	}
+	got := m.CalculatedIOPS(time.Second)
+	if got < 80 || got > 110 {
+		t.Fatalf("cIOPS = %v; want ~100", got)
+	}
+}
+
+func TestCalculatedIOPSNormalizesBySize(t *testing.T) {
+	m := NewMonitor(time.Second, 10)
+	// 10 requests of 64K in one second => 160 calculated IOPS (16 units
+	// each), even though raw IOPS is 10 (the paper's 8K = 2x4K example).
+	for i := 0; i < 10; i++ {
+		m.Record(time.Duration(i)*100*time.Millisecond, 65536)
+	}
+	got := m.CalculatedIOPS(999 * time.Millisecond)
+	if got < 140 || got > 170 {
+		t.Fatalf("cIOPS = %v; want ~160", got)
+	}
+}
+
+func TestMonitorWindowAging(t *testing.T) {
+	m := NewMonitor(time.Second, 10)
+	for i := 0; i < 100; i++ {
+		m.Record(time.Duration(i)*10*time.Millisecond, 4096)
+	}
+	if got := m.CalculatedIOPS(time.Second); got < 50 {
+		t.Fatalf("cIOPS right after burst = %v", got)
+	}
+	// Two seconds later the window has fully aged out.
+	if got := m.CalculatedIOPS(3 * time.Second); got != 0 {
+		t.Fatalf("cIOPS after idle = %v; want 0", got)
+	}
+}
+
+func TestMonitorPartialAging(t *testing.T) {
+	m := NewMonitor(time.Second, 10)
+	m.Record(0, 4096)
+	m.Record(900*time.Millisecond, 4096)
+	// At t=1.5s only the second record remains in the 1s window.
+	got := m.CalculatedIOPS(1500 * time.Millisecond)
+	if got != 1 {
+		t.Fatalf("cIOPS = %v; want 1", got)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(time.Second, 10)
+	m.Record(0, 4096)
+	m.Reset()
+	if got := m.CalculatedIOPS(0); got != 0 {
+		t.Fatalf("cIOPS after reset = %v", got)
+	}
+}
+
+func TestMonitorDefaults(t *testing.T) {
+	m := NewMonitor(0, 0)
+	if m.Window() != time.Second {
+		t.Fatalf("default window = %v", m.Window())
+	}
+	m.Record(0, 4096)
+	if got := m.CalculatedIOPS(0); got != 1 {
+		t.Fatalf("cIOPS = %v", got)
+	}
+}

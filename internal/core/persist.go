@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"edc/internal/compress"
+)
+
+// Mapping persistence
+//
+// A production EDC must persist the LBA -> (device offset, size, tag)
+// table across power cycles (the paper's Fig. 5 metadata). The snapshot
+// format is a flat extent list:
+//
+//	header:  magic "EDCM" | version u16 | volumeBytes u64 | extents u32
+//	extent:  offset u64 | origLen u32 | compLen u32 | slotLen u32 |
+//	         tag u8 | version u32 | devOff u64 | liveBitmap (origLen/4K bits)
+//	trailer: CRC32 (IEEE) of everything before it
+//
+// The live bitmap records which logical blocks of the extent are still
+// mapped (partial overwrites leave holes that must be reconstructed
+// exactly).
+
+const (
+	snapMagic   = "EDCM"
+	snapVersion = 1
+)
+
+// ErrBadSnapshot reports a corrupt or incompatible snapshot.
+var ErrBadSnapshot = errors.New("core: bad mapping snapshot")
+
+// SaveSnapshot serializes the mapping to w.
+func (m *Mapping) SaveSnapshot(w io.Writer) error {
+	// Collect extents and their per-block liveness in table order.
+	type entry struct {
+		ext  *Extent
+		bits []bool
+	}
+	index := make(map[*Extent]*entry)
+	var order []*entry
+	for b, e := range m.table {
+		if e == nil {
+			continue
+		}
+		en, ok := index[e]
+		if !ok {
+			en = &entry{ext: e, bits: make([]bool, e.OrigLen/BlockSize)}
+			index[e] = en
+			order = append(order, en)
+		}
+		en.bits[int64(b)-e.Offset/BlockSize] = true
+	}
+
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w, crc)
+	buf := make([]byte, 8)
+	writeU := func(v uint64, n int) error {
+		binary.LittleEndian.PutUint64(buf, v)
+		_, err := out.Write(buf[:n])
+		return err
+	}
+	if _, err := out.Write([]byte(snapMagic)); err != nil {
+		return err
+	}
+	if err := writeU(snapVersion, 2); err != nil {
+		return err
+	}
+	if err := writeU(uint64(len(m.table))*BlockSize, 8); err != nil {
+		return err
+	}
+	if err := writeU(uint64(len(order)), 4); err != nil {
+		return err
+	}
+	for _, en := range order {
+		e := en.ext
+		if err := writeU(uint64(e.Offset), 8); err != nil {
+			return err
+		}
+		if err := writeU(uint64(e.OrigLen), 4); err != nil {
+			return err
+		}
+		if err := writeU(uint64(e.CompLen), 4); err != nil {
+			return err
+		}
+		if err := writeU(uint64(e.SlotLen), 4); err != nil {
+			return err
+		}
+		if err := writeU(uint64(e.Tag), 1); err != nil {
+			return err
+		}
+		if err := writeU(uint64(e.Version), 4); err != nil {
+			return err
+		}
+		if err := writeU(uint64(e.DevOff), 8); err != nil {
+			return err
+		}
+		// Pack the liveness bitmap.
+		bm := make([]byte, (len(en.bits)+7)/8)
+		for i, v := range en.bits {
+			if v {
+				bm[i/8] |= 1 << uint(i%8)
+			}
+		}
+		if _, err := out.Write(bm); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(buf, crc.Sum32())
+	_, err := w.Write(buf[:4])
+	return err
+}
+
+// LoadSnapshot reconstructs a mapping from r. The allocator is rebuilt
+// by re-allocating every extent's slot; onFree retains its role for
+// subsequent overwrites.
+func LoadSnapshot(r io.Reader, alloc *Allocator, onFree func(*Extent)) (*Mapping, error) {
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(r, crc)
+	buf := make([]byte, 8)
+	readU := func(n int) (uint64, error) {
+		if _, err := io.ReadFull(tee, buf[:n]); err != nil {
+			return 0, err
+		}
+		var full [8]byte
+		copy(full[:], buf[:n])
+		return binary.LittleEndian.Uint64(full[:]), nil
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(tee, magic); err != nil || string(magic) != snapMagic {
+		return nil, fmt.Errorf("%w: magic", ErrBadSnapshot)
+	}
+	ver, err := readU(2)
+	if err != nil || ver != snapVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadSnapshot, ver)
+	}
+	volBytes, err := readU(8)
+	if err != nil || volBytes == 0 || volBytes%BlockSize != 0 ||
+		volBytes > uint64(alloc.Capacity()) {
+		// The volume can never exceed the backing device (NewDevice
+		// enforces it), so a larger value means corruption — and guards
+		// the mapping-table allocation against absurd sizes.
+		return nil, fmt.Errorf("%w: volume", ErrBadSnapshot)
+	}
+	count, err := readU(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: extent count", ErrBadSnapshot)
+	}
+	m := NewMapping(int64(volBytes), alloc, onFree)
+	var reserved []Range
+	for i := uint64(0); i < count; i++ {
+		var f [7]uint64
+		for j, n := range []int{8, 4, 4, 4, 1, 4, 8} {
+			v, err := readU(n)
+			if err != nil {
+				return nil, fmt.Errorf("%w: extent %d field %d", ErrBadSnapshot, i, j)
+			}
+			f[j] = v
+		}
+		e := &Extent{
+			Offset:  int64(f[0]),
+			OrigLen: int64(f[1]),
+			CompLen: int64(f[2]),
+			SlotLen: int64(f[3]),
+			Tag:     compress.Tag(f[4]),
+			Version: uint32(f[5]),
+			DevOff:  int64(f[6]),
+		}
+		if e.OrigLen <= 0 || e.OrigLen%BlockSize != 0 || e.Offset%BlockSize != 0 ||
+			e.SlotLen <= 0 || e.CompLen <= 0 || e.Tag > compress.MaxTag {
+			return nil, fmt.Errorf("%w: extent %d invalid", ErrBadSnapshot, i)
+		}
+		nBlocks := e.OrigLen / BlockSize
+		bm := make([]byte, (nBlocks+7)/8)
+		if _, err := io.ReadFull(tee, bm); err != nil {
+			return nil, fmt.Errorf("%w: extent %d bitmap", ErrBadSnapshot, i)
+		}
+		reserved = append(reserved, Range{Off: e.DevOff, Len: e.SlotLen})
+		first := e.Offset / BlockSize
+		live := int32(0)
+		for b := int64(0); b < nBlocks; b++ {
+			if bm[b/8]&(1<<uint(b%8)) == 0 {
+				continue
+			}
+			idx := first + b
+			if idx < 0 || idx >= int64(len(m.table)) {
+				return nil, fmt.Errorf("%w: extent %d out of volume", ErrBadSnapshot, i)
+			}
+			if m.table[idx] != nil {
+				return nil, fmt.Errorf("%w: extent %d overlaps block %d", ErrBadSnapshot, i, idx)
+			}
+			m.table[idx] = e
+			m.liveBlocks++
+			live++
+		}
+		if live == 0 {
+			return nil, fmt.Errorf("%w: extent %d has no live blocks", ErrBadSnapshot, i)
+		}
+		e.live = live
+		m.extents++
+		if live < int32(nBlocks) {
+			m.deadSpace += e.SlotLen
+		}
+	}
+	sum := crc.Sum32()
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, fmt.Errorf("%w: trailer", ErrBadSnapshot)
+	}
+	if binary.LittleEndian.Uint32(buf[:4]) != sum {
+		return nil, fmt.Errorf("%w: checksum", ErrBadSnapshot)
+	}
+	if err := alloc.Rebuild(reserved); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"edc/internal/compress"
+)
+
+// buildMapping creates a mapping with a mix of whole, partially-dead and
+// overwritten extents.
+func buildMapping(t *testing.T, seed int64) (*Mapping, *Allocator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	volume := int64(4 << 20)
+	alloc := NewAllocator(volume * 2)
+	m := NewMapping(volume, alloc, nil)
+	tags := []compress.Tag{compress.TagNone, compress.TagLZF, compress.TagGZ, compress.TagBWZ}
+	for i := 0; i < 120; i++ {
+		blocks := int64(rng.Intn(8) + 1)
+		maxStart := volume/BlockSize - blocks
+		off := rng.Int63n(maxStart+1) * BlockSize
+		size := blocks * BlockSize
+		tag := tags[rng.Intn(len(tags))]
+		comp := size
+		slot := size
+		if tag != compress.TagNone {
+			comp = size/2 + int64(rng.Intn(int(size/4)))
+			slot, _ = QuantizeSlot(size, comp)
+		}
+		devOff, err := alloc.Alloc(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &Extent{Offset: off, OrigLen: size, CompLen: comp, SlotLen: slot,
+			Tag: tag, DevOff: devOff, Version: uint32(i)}
+		if err := m.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return m, alloc
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m, alloc := buildMapping(t, 7)
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	alloc2 := NewAllocator(alloc.Capacity())
+	m2, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), alloc2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.LiveBlocks() != m.LiveBlocks() || m2.Extents() != m.Extents() {
+		t.Fatalf("restored live=%d extents=%d; want %d/%d",
+			m2.LiveBlocks(), m2.Extents(), m.LiveBlocks(), m.Extents())
+	}
+	if m2.DeadSlotBytes() != m.DeadSlotBytes() {
+		t.Fatalf("dead bytes %d; want %d", m2.DeadSlotBytes(), m.DeadSlotBytes())
+	}
+	if alloc2.InUse() != alloc.InUse() {
+		t.Fatalf("alloc in-use %d; want %d", alloc2.InUse(), alloc.InUse())
+	}
+	// Per-block identity: each mapped block resolves to an equal extent.
+	for b := int64(0); b < m.VolumeBlocks(); b++ {
+		a := m.Lookup(b * BlockSize)
+		bb := m2.Lookup(b * BlockSize)
+		if (a == nil) != (bb == nil) {
+			t.Fatalf("block %d mapped mismatch", b)
+		}
+		if a == nil {
+			continue
+		}
+		if a.Offset != bb.Offset || a.OrigLen != bb.OrigLen || a.CompLen != bb.CompLen ||
+			a.SlotLen != bb.SlotLen || a.Tag != bb.Tag || a.DevOff != bb.DevOff ||
+			a.Version != bb.Version {
+			t.Fatalf("block %d extent mismatch: %+v vs %+v", b, a, bb)
+		}
+	}
+	// The restored allocator keeps working: new allocations land in gaps
+	// or fresh space without overlapping restored slots.
+	if _, err := alloc2.Alloc(4096); err != nil {
+		t.Fatalf("post-restore alloc: %v", err)
+	}
+}
+
+func TestSnapshotEmptyMapping(t *testing.T) {
+	alloc := NewAllocator(1 << 20)
+	m := NewMapping(1<<20, alloc, nil)
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), NewAllocator(1<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.LiveBlocks() != 0 || m2.VolumeBlocks() != m.VolumeBlocks() {
+		t.Fatalf("restored empty mapping wrong: %d blocks", m2.LiveBlocks())
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	m, alloc := buildMapping(t, 9)
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	rng := rand.New(rand.NewSource(11))
+	// Trailing garbage after the CRC trailer is legal (the snapshot may be
+	// embedded in a larger stream), so corruption here means bit flips and
+	// truncation.
+	for trial := 0; trial < 40; trial++ {
+		bad := append([]byte(nil), data...)
+		switch trial % 2 {
+		case 0: // bit flip
+			bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+		case 1: // truncate
+			bad = bad[:rng.Intn(len(bad))]
+		}
+		if bytes.Equal(bad, data) {
+			continue
+		}
+		_, err := LoadSnapshot(bytes.NewReader(bad), NewAllocator(alloc.Capacity()), nil)
+		if err == nil {
+			// A bit flip confined to padding-free fields must be caught by
+			// the CRC; any silent success is a bug.
+			t.Fatalf("trial %d: corruption not detected", trial)
+		}
+	}
+}
+
+func TestSnapshotBadMagicAndVersion(t *testing.T) {
+	if _, err := LoadSnapshot(bytes.NewReader([]byte("NOPE")), NewAllocator(1<<20), nil); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	if err := a.Rebuild([]Range{{Off: 0, Len: 4096}, {Off: 2048, Len: 4096}}); err == nil {
+		t.Fatal("overlapping ranges should fail")
+	}
+	a = NewAllocator(1 << 20)
+	if err := a.Rebuild([]Range{{Off: 1 << 20, Len: 4096}}); err == nil {
+		t.Fatal("out-of-capacity range should fail")
+	}
+	a = NewAllocator(1 << 20)
+	if err := a.Rebuild([]Range{{Off: 8192, Len: 4096}}); err != nil {
+		t.Fatal(err)
+	}
+	// The 8K gap before the reservation is reusable.
+	off, err := a.Alloc(8192)
+	if err != nil || off != 0 {
+		t.Fatalf("gap alloc = %d, %v", off, err)
+	}
+}

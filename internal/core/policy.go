@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"edc/internal/compress"
+)
+
+// Policy decides, per write run, which compression algorithm to apply.
+// Implementations must be pure functions of their configuration and the
+// observed intensity, so runs are reproducible.
+type Policy interface {
+	// Name identifies the scheme in reports ("EDC", "Gzip", ...).
+	Name() string
+	// Select returns the codec for a run observed at the given calculated
+	// IOPS; nil means store uncompressed.
+	Select(cIOPS float64) compress.Codec
+	// ChecksCompressibility reports whether the engine should run the
+	// sampling estimator and write non-compressible runs through. The
+	// paper's fixed baselines compress all incoming data; EDC does not.
+	ChecksCompressibility() bool
+}
+
+// nativePolicy never compresses (the paper's "Native" baseline).
+type nativePolicy struct{}
+
+func (nativePolicy) Name() string                  { return "Native" }
+func (nativePolicy) Select(float64) compress.Codec { return nil }
+func (nativePolicy) ChecksCompressibility() bool   { return false }
+
+// Native returns the no-compression baseline policy.
+func Native() Policy { return nativePolicy{} }
+
+// fixedPolicy always uses one codec (the paper's Lzf/Gzip/Bzip2
+// baselines, "always-on inline compression for all workloads").
+type fixedPolicy struct {
+	name  string
+	codec compress.Codec
+}
+
+func (p fixedPolicy) Name() string                  { return p.name }
+func (p fixedPolicy) Select(float64) compress.Codec { return p.codec }
+func (p fixedPolicy) ChecksCompressibility() bool   { return false }
+
+// Fixed returns a baseline that compresses everything with codec.
+func Fixed(name string, codec compress.Codec) Policy {
+	return fixedPolicy{name: name, codec: codec}
+}
+
+// Level is one rung of the elastic ladder: the codec used while the
+// calculated IOPS is at or below MaxIOPS.
+type Level struct {
+	MaxIOPS float64
+	Codec   compress.Codec
+}
+
+// ElasticPolicy is the paper's EDC selection (Fig. 6): codecs of higher
+// compression ratio at lower intensity, cheaper codecs at higher
+// intensity, and no compression above the highest threshold.
+type ElasticPolicy struct {
+	name   string
+	levels []Level // ascending MaxIOPS
+}
+
+// NewElastic builds an elastic policy from intensity levels. Levels are
+// sorted by MaxIOPS; intensities above the last threshold select no
+// compression.
+func NewElastic(name string, levels []Level) (*ElasticPolicy, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: elastic policy %q needs at least one level", name)
+	}
+	ls := append([]Level(nil), levels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].MaxIOPS < ls[j].MaxIOPS })
+	for i, l := range ls {
+		if l.Codec == nil {
+			return nil, fmt.Errorf("core: elastic level %d has nil codec", i)
+		}
+		if l.MaxIOPS <= 0 {
+			return nil, fmt.Errorf("core: elastic level %d has non-positive threshold", i)
+		}
+		if i > 0 && ls[i-1].MaxIOPS == l.MaxIOPS {
+			return nil, fmt.Errorf("core: duplicate elastic threshold %v", l.MaxIOPS)
+		}
+	}
+	return &ElasticPolicy{name: name, levels: ls}, nil
+}
+
+// DefaultGzCeiling and DefaultLzfCeiling are the stock EDC thresholds in
+// calculated IOPS: deep-idle traffic gets Gzip-class compression, normal
+// traffic gets Lzf, and bursts above the Lzf ceiling are written
+// uncompressed. The Fig. 12 sensitivity sweep varies the Gzip ceiling.
+const (
+	DefaultGzCeiling  = 300
+	DefaultLzfCeiling = 7000
+)
+
+// DefaultElastic returns the paper's stock EDC ladder (Gzip when idle,
+// Lzf under load, nothing at peak) built from the given registry.
+func DefaultElastic(reg *compress.Registry) (*ElasticPolicy, error) {
+	gz, err := reg.ByName("gz")
+	if err != nil {
+		return nil, err
+	}
+	lzf, err := reg.ByName("lzf")
+	if err != nil {
+		return nil, err
+	}
+	return NewElastic("EDC", []Level{
+		{MaxIOPS: DefaultGzCeiling, Codec: gz},
+		{MaxIOPS: DefaultLzfCeiling, Codec: lzf},
+	})
+}
+
+// Name implements Policy.
+func (p *ElasticPolicy) Name() string { return p.name }
+
+// Select implements Policy.
+func (p *ElasticPolicy) Select(cIOPS float64) compress.Codec {
+	for _, l := range p.levels {
+		if cIOPS <= l.MaxIOPS {
+			return l.Codec
+		}
+	}
+	return nil
+}
+
+// ChecksCompressibility implements Policy: EDC writes non-compressible
+// blocks through.
+func (p *ElasticPolicy) ChecksCompressibility() bool { return true }
+
+// Levels returns a copy of the ladder (ascending thresholds).
+func (p *ElasticPolicy) Levels() []Level {
+	return append([]Level(nil), p.levels...)
+}
+
+// RatioAware is an optional Policy extension: the engine passes the
+// sampled compressibility estimate alongside the intensity, letting the
+// policy exploit content characteristics (the paper's future work #1:
+// semantic/file-type-aware algorithm selection).
+type RatioAware interface {
+	Policy
+	// SelectWithRatio chooses a codec given the calculated IOPS and the
+	// estimated compression ratio of the run's content.
+	SelectWithRatio(cIOPS, estRatio float64) compress.Codec
+}
+
+// ContentAware upgrades an elastic ladder's deep-idle band to a heavier
+// codec when the content's estimated compressibility justifies it: very
+// compressible data (source trees, logs) gets Bzip2-class treatment in
+// idle periods, while ordinary data keeps the stock ladder.
+type ContentAware struct {
+	*ElasticPolicy
+	// Heavy is used instead of the ladder's lowest-intensity codec when
+	// the estimated ratio is at least MinRatio.
+	Heavy    compress.Codec
+	MinRatio float64
+}
+
+// NewContentAware wraps base with a heavy-codec upgrade rule.
+func NewContentAware(base *ElasticPolicy, heavy compress.Codec, minRatio float64) (*ContentAware, error) {
+	if heavy == nil {
+		return nil, fmt.Errorf("core: content-aware policy needs a heavy codec")
+	}
+	if minRatio < 1 {
+		return nil, fmt.Errorf("core: MinRatio %v must be >= 1", minRatio)
+	}
+	return &ContentAware{ElasticPolicy: base, Heavy: heavy, MinRatio: minRatio}, nil
+}
+
+// Name implements Policy.
+func (c *ContentAware) Name() string { return c.ElasticPolicy.Name() + "+" }
+
+// SelectWithRatio implements RatioAware: within the ladder's idle band,
+// highly compressible content is upgraded to the heavy codec.
+func (c *ContentAware) SelectWithRatio(cIOPS, estRatio float64) compress.Codec {
+	pick := c.ElasticPolicy.Select(cIOPS)
+	levels := c.ElasticPolicy.levels
+	if pick != nil && len(levels) > 0 && pick == levels[0].Codec && estRatio >= c.MinRatio {
+		return c.Heavy
+	}
+	return pick
+}
+
+// noEstimate wraps a policy, disabling the compressibility check
+// (ablation: compress everything the ladder selects, even data the
+// estimator would have written through).
+type noEstimate struct {
+	Policy
+}
+
+func (noEstimate) ChecksCompressibility() bool { return false }
+
+// WithoutEstimator returns p with the sampling compressibility check
+// disabled.
+func WithoutEstimator(p Policy) Policy { return noEstimate{p} }

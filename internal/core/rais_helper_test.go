@@ -1,0 +1,11 @@
+package core
+
+import (
+	"edc/internal/rais"
+	"edc/internal/ssd"
+)
+
+// newRAIS5 builds a RAIS5 array with a 16-page (64 KiB) stripe unit.
+func newRAIS5(devs []*ssd.SSD) (*rais.Array, error) {
+	return rais.New(rais.RAIS5, devs, 16)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func w(off, size int64) PendingWrite {
+	return PendingWrite{Offset: off, Size: size}
+}
+
+func TestSDMergesContiguousWrites(t *testing.T) {
+	// The paper's Fig. 7 example: A1 A2 A3 B1 B2 C1 D1 (A, B sequential
+	// runs; C, D isolated).
+	sd := NewSeqDetector(0)
+	if r := sd.OnWrite(w(0, 4096)); r != nil { // A1
+		t.Fatalf("A1 flushed %+v", r)
+	}
+	if r := sd.OnWrite(w(4096, 4096)); r != nil { // A2 merges
+		t.Fatalf("A2 flushed %+v", r)
+	}
+	if r := sd.OnWrite(w(8192, 4096)); r != nil { // A3 merges
+		t.Fatalf("A3 flushed %+v", r)
+	}
+	r := sd.OnWrite(w(1<<20, 4096)) // B1 breaks the A run
+	if r == nil || r.Offset != 0 || r.Size != 12288 || len(r.Writes) != 3 {
+		t.Fatalf("A run = %+v", r)
+	}
+	if r := sd.OnWrite(w(1<<20+4096, 4096)); r != nil { // B2 merges
+		t.Fatalf("B2 flushed %+v", r)
+	}
+	r = sd.OnWrite(w(2<<20, 4096)) // C1 breaks B
+	if r == nil || r.Size != 8192 || len(r.Writes) != 2 {
+		t.Fatalf("B run = %+v", r)
+	}
+	r = sd.OnWrite(w(3<<20, 4096)) // D1 breaks C
+	if r == nil || r.Size != 4096 {
+		t.Fatalf("C run = %+v", r)
+	}
+	if got := sd.Merged(); got != 3 {
+		t.Fatalf("merged = %d; want 3 (A2, A3, B2)", got)
+	}
+}
+
+func TestSDReadFlushes(t *testing.T) {
+	sd := NewSeqDetector(0)
+	sd.OnWrite(w(0, 4096))
+	sd.OnWrite(w(4096, 4096))
+	r := sd.OnRead()
+	if r == nil || r.Size != 8192 {
+		t.Fatalf("read flush = %+v", r)
+	}
+	if sd.Pending() {
+		t.Fatal("run still pending after read flush")
+	}
+	if sd.OnRead() != nil {
+		t.Fatal("second read should flush nothing")
+	}
+}
+
+func TestSDMaxRunCap(t *testing.T) {
+	sd := NewSeqDetector(16384)
+	sd.OnWrite(w(0, 8192))
+	if r := sd.OnWrite(w(8192, 8192)); r != nil {
+		t.Fatalf("second write should merge, got %+v", r)
+	}
+	// Third contiguous write exceeds the 16K cap: flushes the run.
+	r := sd.OnWrite(w(16384, 8192))
+	if r == nil || r.Size != 16384 {
+		t.Fatalf("cap flush = %+v", r)
+	}
+	if !sd.Pending() {
+		t.Fatal("the capped write should start a new run")
+	}
+}
+
+func TestSDFlush(t *testing.T) {
+	sd := NewSeqDetector(0)
+	if sd.Flush() != nil {
+		t.Fatal("flush of empty detector should be nil")
+	}
+	sd.OnWrite(w(0, 4096))
+	r := sd.Flush()
+	if r == nil || r.Size != 4096 {
+		t.Fatalf("flush = %+v", r)
+	}
+	if sd.Flushes() != 1 {
+		t.Fatalf("flushes = %d", sd.Flushes())
+	}
+}
+
+func TestSDIgnoresEmptyWrites(t *testing.T) {
+	sd := NewSeqDetector(0)
+	if sd.OnWrite(w(0, 0)) != nil || sd.Pending() {
+		t.Fatal("zero-size write should be ignored")
+	}
+}
+
+func TestSDOverlapDetection(t *testing.T) {
+	sd := NewSeqDetector(0)
+	sd.OnWrite(PendingWrite{Arrival: time.Second, Offset: 8192, Size: 8192})
+	if !sd.PendingOverlaps(12288, 4096) {
+		t.Fatal("overlap not detected")
+	}
+	if sd.PendingOverlaps(16384, 4096) {
+		t.Fatal("adjacent range is not overlapping")
+	}
+	if sd.PendingOverlaps(0, 8192) {
+		t.Fatal("preceding range is not overlapping")
+	}
+}
+
+func TestSDNonContiguousBackwardWrite(t *testing.T) {
+	sd := NewSeqDetector(0)
+	sd.OnWrite(w(8192, 4096))
+	// A write just *before* the run is not contiguous in the forward
+	// direction and must flush.
+	r := sd.OnWrite(w(4096, 4096))
+	if r == nil || r.Offset != 8192 {
+		t.Fatalf("backward write did not flush: %+v", r)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"edc/internal/cache"
+	"edc/internal/compress"
+	"edc/internal/metrics"
+	"edc/internal/sim"
+	"edc/internal/ssd"
+)
+
+// RunStats aggregates everything a replay produces: the response-time
+// distributions (Figs. 10/11), the space accounting behind the
+// compression-ratio comparison (Fig. 8), the composite ratio/time metric
+// (Fig. 9), per-codec usage, SD effectiveness, and device endurance
+// counters (the paper's reliability objective).
+type RunStats struct {
+	Scheme  string
+	Trace   string
+	Backend string
+
+	Resp      *metrics.LatencyHist
+	RespRead  *metrics.LatencyHist
+	RespWrite *metrics.LatencyHist
+
+	Requests int64
+	Reads    int64
+	Writes   int64
+
+	// Write-traffic space accounting (bytes entering the device):
+	OrigBytes   int64 // uncompressed bytes the host wrote
+	CompBytes   int64 // codec output bytes
+	StoredBytes int64 // quantized slot bytes actually stored
+
+	// Live-space accounting at end of run:
+	LiveBlocks    int64
+	LiveSlotBytes int64
+	PeakSlotBytes int64
+	DeadSlotBytes int64
+	// AllocClasses counts distinct free-slot sizes at end of run — a
+	// fragmentation proxy (the quantization ablation inflates it).
+	AllocClasses int
+
+	// Policy behaviour:
+	RunsByTag    map[compress.Tag]int64 // runs stored per codec
+	BytesByTag   map[compress.Tag]int64 // original bytes per codec
+	WriteThrough int64                  // runs bypassed by the estimator
+	Oversize     int64                  // runs whose codec output missed the 75 % slot
+
+	// Sequentiality detector:
+	SDMerged int64
+	SDRuns   int64
+
+	// Infrastructure:
+	CPU     sim.Stats
+	Cache   cache.Stats
+	Devices []ssd.Stats
+	Queues  []sim.Stats
+
+	// Duration is the virtual time at which the replay drained.
+	Duration time.Duration
+
+	// Err records a fatal replay error (e.g. device space exhaustion).
+	Err error
+}
+
+func newRunStats(scheme, traceName, backend string) *RunStats {
+	return &RunStats{
+		Scheme: scheme, Trace: traceName, Backend: backend,
+		Resp:       metrics.NewLatencyHist(),
+		RespRead:   metrics.NewLatencyHist(),
+		RespWrite:  metrics.NewLatencyHist(),
+		RunsByTag:  make(map[compress.Tag]int64),
+		BytesByTag: make(map[compress.Tag]int64),
+	}
+}
+
+// TrafficRatio is the paper's compression ratio over write traffic:
+// original bytes divided by stored bytes (>= 1; 1 for Native).
+func (rs *RunStats) TrafficRatio() float64 {
+	if rs.StoredBytes == 0 {
+		return 1
+	}
+	return float64(rs.OrigBytes) / float64(rs.StoredBytes)
+}
+
+// CodecRatio is original bytes over raw codec output (ignores slot
+// quantization overhead).
+func (rs *RunStats) CodecRatio() float64 {
+	if rs.CompBytes == 0 {
+		return 1
+	}
+	return float64(rs.OrigBytes) / float64(rs.CompBytes)
+}
+
+// MeanResponse is the average response time over all requests.
+func (rs *RunStats) MeanResponse() time.Duration { return rs.Resp.Mean() }
+
+// Composite is the paper's Fig. 9 metric: compression ratio divided by
+// response time (here per millisecond, higher is better). Normalize to a
+// Native run for cross-scheme comparison.
+func (rs *RunStats) Composite() float64 {
+	ms := float64(rs.Resp.Mean()) / float64(time.Millisecond)
+	if ms <= 0 {
+		return 0
+	}
+	return rs.TrafficRatio() / ms
+}
+
+// TotalErases sums member-device erase counts (endurance proxy).
+func (rs *RunStats) TotalErases() int64 {
+	var n int64
+	for _, d := range rs.Devices {
+		n += d.Erases
+	}
+	return n
+}
+
+// TotalFlashWrites sums pages programmed across members (host + GC).
+func (rs *RunStats) TotalFlashWrites() int64 {
+	var n int64
+	for _, d := range rs.Devices {
+		n += d.FlashPagesWritten
+	}
+	return n
+}
+
+// String renders a compact one-line summary.
+func (rs *RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: n=%d mean=%v p99=%v ratio=%.2f comp=%.2f erases=%d",
+		rs.Scheme, rs.Trace, rs.Requests, rs.Resp.Mean().Round(time.Microsecond),
+		rs.Resp.Percentile(99).Round(time.Microsecond),
+		rs.TrafficRatio(), rs.Composite(), rs.TotalErases())
+	if rs.Err != nil {
+		fmt.Fprintf(&b, " ERR=%v", rs.Err)
+	}
+	return b.String()
+}

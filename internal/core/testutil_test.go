@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"edc/internal/compress"
+	_ "edc/internal/compress/bwz"
+	_ "edc/internal/compress/gz"
+	_ "edc/internal/compress/lz4x"
+	_ "edc/internal/compress/lzf"
+	"edc/internal/datagen"
+	"edc/internal/sim"
+	"edc/internal/ssd"
+	"edc/internal/trace"
+)
+
+// defaultTestRegistry returns the process registry with all four codecs
+// registered (via the blank imports above).
+func defaultTestRegistry(t testing.TB) *compress.Registry {
+	t.Helper()
+	reg := compress.Default()
+	for _, name := range []string{"lzf", "lz4", "gz", "bwz"} {
+		if _, err := reg.ByName(name); err != nil {
+			t.Fatalf("codec %s not registered: %v", name, err)
+		}
+	}
+	return reg
+}
+
+// testRig bundles a fresh engine + single-SSD device for core tests.
+type testRig struct {
+	eng *sim.Engine
+	dev *Device
+}
+
+// newTestRig builds a small device (256 MiB volume on a 512 MiB SSD) with
+// read verification enabled.
+func newTestRig(t testing.TB, opts Options) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := ssd.DefaultConfig()
+	cfg.Blocks = 2048 // 512 MiB raw
+	d, err := ssd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewSingleSSD(eng, d)
+	if opts.Registry == nil {
+		opts.Registry = defaultTestRegistry(t)
+	}
+	if opts.Data == nil {
+		opts.Data = datagen.New(datagen.Enterprise(), 11)
+	}
+	opts.VerifyReads = true
+	dev, err := NewDevice(eng, be, 256<<20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{eng: eng, dev: dev}
+}
+
+// seqTrace builds a simple deterministic trace: n alternating write/read
+// pairs over a small working set.
+func seqTrace(n int, gap time.Duration) *trace.Trace {
+	tr := &trace.Trace{Name: "unit"}
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * gap
+		off := int64(i%64) * 16384
+		tr.Requests = append(tr.Requests, trace.Request{
+			Arrival: at, Offset: off, Size: 8192, Write: i%3 != 2,
+		})
+	}
+	tr.SortByArrival()
+	return tr
+}

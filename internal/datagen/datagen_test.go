@@ -1,0 +1,171 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"edc/internal/compress"
+	"edc/internal/compress/gz"
+)
+
+func TestProfileValidate(t *testing.T) {
+	for _, p := range []Profile{LinuxSrc(), FirefoxBin(), Media(), Enterprise()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := Profile{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty mixture should fail")
+	}
+	bad = Profile{Name: "bad", Mixture: []ClassWeight{{Class(99), 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown class should fail")
+	}
+	bad = Profile{Name: "bad", Mixture: []ClassWeight{{ClassText, -1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	bad = Profile{Name: "bad", Mixture: []ClassWeight{{ClassText, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero total weight should fail")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g1 := New(LinuxSrc(), 42)
+	g2 := New(LinuxSrc(), 42)
+	a := g1.Block(1<<20, 8192, 0)
+	b := g2.Block(1<<20, 8192, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same (seed, offset, version) produced different content")
+	}
+	c := g1.Block(1<<20, 8192, 1)
+	if bytes.Equal(a, c) {
+		t.Fatal("different versions should produce different content")
+	}
+	d := New(LinuxSrc(), 43).Block(1<<20, 8192, 0)
+	if bytes.Equal(a, d) {
+		t.Fatal("different seeds should produce different content")
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	g := New(Enterprise(), 1)
+	for _, n := range []int{1, 511, 4096, 100000} {
+		if got := g.Block(0, n, 0); len(got) != n {
+			t.Fatalf("Block(%d) returned %d bytes", n, len(got))
+		}
+	}
+	if got := g.Block(12345, 0, 0); len(got) != 0 {
+		t.Fatalf("zero-size block returned %d bytes", len(got))
+	}
+}
+
+func TestBlockSpansRegions(t *testing.T) {
+	g := New(Enterprise(), 2)
+	// A block crossing a classGrain boundary must equal the concatenation
+	// of the two aligned halves.
+	off := int64(classGrain - 2048)
+	whole := g.Block(off, 4096, 0)
+	left := g.Block(off, 2048, 0)
+	if !bytes.Equal(whole[:2048], left) {
+		t.Fatal("cross-region block not consistent with prefix read")
+	}
+}
+
+func TestClassAtStable(t *testing.T) {
+	g := New(Enterprise(), 3)
+	for off := int64(0); off < classGrain*10; off += 4096 {
+		if g.ClassAt(off) != g.ClassAt(off) {
+			t.Fatal("ClassAt not deterministic")
+		}
+		// Same region, same class.
+		if g.ClassAt(off) != g.ClassAt(off-off%classGrain) {
+			t.Fatal("class differs within one region")
+		}
+	}
+}
+
+func TestClassMixtureProportions(t *testing.T) {
+	g := New(Media(), 4)
+	media := 0
+	total := 2000
+	for i := 0; i < total; i++ {
+		if g.ClassAt(int64(i)*classGrain) == ClassMedia {
+			media++
+		}
+	}
+	frac := float64(media) / float64(total)
+	if frac < 0.85 || frac > 0.99 {
+		t.Fatalf("media fraction = %.3f; want ~0.92", frac)
+	}
+}
+
+// compressibility measures the gz ratio over a 1 MiB fill.
+func compressibility(t *testing.T, p Profile, seed int64) float64 {
+	t.Helper()
+	g := New(p, seed)
+	data := g.Block(0, 1<<20, 0)
+	c := gz.New()
+	return compress.Ratio(len(data), len(c.Compress(data)))
+}
+
+func TestProfileCompressibilityOrdering(t *testing.T) {
+	// The paper's Fig. 2 datasets: linux-src compresses better than
+	// firefox-bin; media barely compresses.
+	linux := compressibility(t, LinuxSrc(), 5)
+	firefox := compressibility(t, FirefoxBin(), 5)
+	media := compressibility(t, Media(), 5)
+	if !(linux > firefox && firefox > media) {
+		t.Fatalf("ordering violated: linux %.2f, firefox %.2f, media %.2f", linux, firefox, media)
+	}
+	if media > 1.35 {
+		t.Fatalf("media ratio %.2f; want near-incompressible", media)
+	}
+	if linux < 2.0 {
+		t.Fatalf("linux-src ratio %.2f; want > 2", linux)
+	}
+}
+
+func TestEnterpriseHasIncompressibleChunks(t *testing.T) {
+	// ~30% of 64K regions should be incompressible (media class).
+	g := New(Enterprise(), 6)
+	incompressible := 0
+	total := 500
+	gzc := gz.New()
+	for i := 0; i < total; i++ {
+		chunk := g.Block(int64(i)*classGrain, 16384, 0)
+		r := compress.Ratio(len(chunk), len(gzc.Compress(chunk)))
+		if r < 4.0/3.0 { // the paper's 75% write-through threshold
+			incompressible++
+		}
+	}
+	frac := float64(incompressible) / float64(total)
+	if frac < 0.15 || frac > 0.5 {
+		t.Fatalf("incompressible fraction = %.3f; want ~0.3", frac)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		ClassZero: "zero", ClassText: "text", ClassCode: "code",
+		ClassBinary: "binary", ClassMedia: "media",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q; want %q", c, c.String(), want)
+		}
+	}
+	if Class(42).String() == "" {
+		t.Fatal("unknown class should still print")
+	}
+}
+
+func BenchmarkBlock4K(b *testing.B) {
+	g := New(Enterprise(), 7)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		_ = g.Block(int64(i)*4096, 4096, 0)
+	}
+}

@@ -1,0 +1,162 @@
+// Package hdd is an analytical hard-disk model used for the paper's
+// stated future work ("conduct more experiments on other storage
+// devices, such as HDD-based ... storage systems"). The model captures
+// what matters for compression studies on disks: positioning time
+// (seek + rotational latency) that is independent of request size, and
+// transfer time proportional to size — so compression helps large
+// sequential transfers far more than small random ones, the opposite
+// emphasis from flash.
+package hdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config describes the simulated disk.
+type Config struct {
+	CapacityBytes int64
+	// RPM sets rotational latency (half a revolution on average).
+	RPM int
+	// MinSeek is the track-to-track seek; MaxSeek the full stroke.
+	MinSeek time.Duration
+	MaxSeek time.Duration
+	// TransferBW is the media/interface bandwidth in bytes/second.
+	TransferBW int64
+	// BlockSize is the logical block granularity.
+	BlockSize int
+}
+
+// DefaultConfig models a 7200 RPM enterprise SATA disk.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes: 2 << 30, // scaled like the SSD model
+		RPM:           7200,
+		MinSeek:       500 * time.Microsecond,
+		MaxSeek:       9 * time.Millisecond,
+		TransferBW:    150 << 20,
+		BlockSize:     4096,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.CapacityBytes <= 0:
+		return errors.New("hdd: CapacityBytes must be positive")
+	case c.RPM <= 0:
+		return errors.New("hdd: RPM must be positive")
+	case c.MinSeek < 0 || c.MaxSeek < c.MinSeek:
+		return errors.New("hdd: seeks must satisfy 0 <= min <= max")
+	case c.TransferBW <= 0:
+		return errors.New("hdd: TransferBW must be positive")
+	case c.BlockSize <= 0:
+		return errors.New("hdd: BlockSize must be positive")
+	}
+	return nil
+}
+
+// Stats counts disk activity.
+type Stats struct {
+	Reads       int64
+	Writes      int64
+	BytesRead   int64
+	BytesWrit   int64
+	SeekTime    time.Duration
+	RotTime     time.Duration
+	XferTime    time.Duration
+	Sequentials int64 // operations that needed no seek
+}
+
+// HDD is the simulated disk. Not safe for concurrent use (the simulation
+// kernel is single-threaded).
+type HDD struct {
+	cfg   Config
+	head  int64 // current head byte position
+	stats Stats
+}
+
+// New returns a disk with the head parked at offset 0.
+func New(cfg Config) (*HDD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &HDD{cfg: cfg}, nil
+}
+
+// Config returns the disk configuration.
+func (d *HDD) Config() Config { return d.cfg }
+
+// LogicalBytes returns the usable capacity.
+func (d *HDD) LogicalBytes() int64 { return d.cfg.CapacityBytes }
+
+// Stats returns a snapshot of the counters.
+func (d *HDD) Stats() Stats { return d.stats }
+
+// rotationalLatency is the deterministic expected value: half a turn.
+func (d *HDD) rotationalLatency() time.Duration {
+	perRev := time.Minute / time.Duration(d.cfg.RPM)
+	return perRev / 2
+}
+
+// seekTime models seek as min + (max-min)*sqrt(distance/capacity), the
+// classic square-root approximation of arm acceleration.
+func (d *HDD) seekTime(from, to int64) time.Duration {
+	if from == to {
+		return 0
+	}
+	dist := from - to
+	if dist < 0 {
+		dist = -dist
+	}
+	frac := math.Sqrt(float64(dist) / float64(d.cfg.CapacityBytes))
+	return d.cfg.MinSeek + time.Duration(frac*float64(d.cfg.MaxSeek-d.cfg.MinSeek))
+}
+
+// access computes the service time for an operation at off and moves the
+// head to the end of the transfer.
+func (d *HDD) access(off, bytes int64) (time.Duration, error) {
+	if bytes <= 0 {
+		return 0, nil
+	}
+	if off < 0 || off+bytes > d.cfg.CapacityBytes {
+		return 0, fmt.Errorf("hdd: access [%d,+%d) beyond capacity %d", off, bytes, d.cfg.CapacityBytes)
+	}
+	seek := d.seekTime(d.head, off)
+	var rot time.Duration
+	if seek == 0 {
+		d.stats.Sequentials++
+	} else {
+		rot = d.rotationalLatency()
+	}
+	xfer := time.Duration(bytes * int64(time.Second) / d.cfg.TransferBW)
+	d.head = off + bytes
+	d.stats.SeekTime += seek
+	d.stats.RotTime += rot
+	d.stats.XferTime += xfer
+	return seek + rot + xfer, nil
+}
+
+// ReadTime returns the service time of a read at off.
+func (d *HDD) ReadTime(off, bytes int64) (time.Duration, error) {
+	t, err := d.access(off, bytes)
+	if err != nil {
+		return 0, err
+	}
+	d.stats.Reads++
+	d.stats.BytesRead += bytes
+	return t, nil
+}
+
+// WriteTime returns the service time of a write at off.
+func (d *HDD) WriteTime(off, bytes int64) (time.Duration, error) {
+	t, err := d.access(off, bytes)
+	if err != nil {
+		return 0, err
+	}
+	d.stats.Writes++
+	d.stats.BytesWrit += bytes
+	return t, nil
+}

@@ -1,0 +1,125 @@
+package hdd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.CapacityBytes = 0 },
+		func(c *Config) { c.RPM = 0 },
+		func(c *Config) { c.MinSeek = -time.Millisecond },
+		func(c *Config) { c.MaxSeek = c.MinSeek - time.Millisecond },
+		func(c *Config) { c.TransferBW = 0 },
+		func(c *Config) { c.BlockSize = 0 },
+	}
+	for i, mut := range cases {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSequentialAccessSkipsSeek(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := d.ReadTime(1<<20, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The head is now at 1M+64K; a contiguous read pays transfer only.
+	t2, err := d.ReadTime(1<<20+65536, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 >= t1 {
+		t.Fatalf("sequential read %v not faster than cold read %v", t2, t1)
+	}
+	if d.Stats().Sequentials != 1 {
+		t.Fatalf("sequentials = %d", d.Stats().Sequentials)
+	}
+	// Sequential transfer time is purely size-proportional.
+	want := time.Duration(65536 * int64(time.Second) / DefaultConfig().TransferBW)
+	if t2 != want {
+		t.Fatalf("sequential time = %v; want %v", t2, want)
+	}
+}
+
+func TestRandomAccessDominatedByPositioning(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	// 4K random read: positioning should dwarf transfer.
+	tr, err := d.ReadTime(1<<30, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfer := time.Duration(4096 * int64(time.Second) / DefaultConfig().TransferBW)
+	if tr < 10*xfer {
+		t.Fatalf("random 4K read %v not positioning-dominated (xfer %v)", tr, xfer)
+	}
+}
+
+func TestSeekGrowsWithDistance(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	near := d.seekTime(0, 1<<20)
+	far := d.seekTime(0, d.LogicalBytes()-1)
+	if far <= near {
+		t.Fatalf("far seek %v not longer than near %v", far, near)
+	}
+	if far > DefaultConfig().MaxSeek {
+		t.Fatalf("seek %v exceeds max %v", far, DefaultConfig().MaxSeek)
+	}
+	if d.seekTime(5, 5) != 0 {
+		t.Fatal("zero-distance seek should be free")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	if _, err := d.ReadTime(-1, 4096); err == nil {
+		t.Fatal("negative offset should fail")
+	}
+	if _, err := d.WriteTime(d.LogicalBytes(), 4096); err == nil {
+		t.Fatal("past-capacity write should fail")
+	}
+	if dt, err := d.ReadTime(0, 0); err != nil || dt != 0 {
+		t.Fatalf("zero-byte read = %v, %v", dt, err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	if _, err := d.WriteTime(0, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadTime(1<<25, 4096); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Writes != 1 || st.Reads != 1 {
+		t.Fatalf("ops = %+v", st)
+	}
+	if st.BytesWrit != 8192 || st.BytesRead != 4096 {
+		t.Fatalf("bytes = %+v", st)
+	}
+	if st.XferTime <= 0 || st.RotTime <= 0 {
+		t.Fatalf("time accounting = %+v", st)
+	}
+}
+
+func TestRotationalLatencyMatchesRPM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RPM = 15000
+	d, _ := New(cfg)
+	want := time.Minute / 15000 / 2
+	if got := d.rotationalLatency(); got != want {
+		t.Fatalf("rot latency = %v; want %v", got, want)
+	}
+}

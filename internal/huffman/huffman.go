@@ -1,0 +1,485 @@
+// Package huffman implements length-limited canonical Huffman coding over
+// byte-oriented alphabets. It is shared by the gz (LZ77+Huffman) and bwz
+// (BWT+MTF+Huffman) codecs.
+//
+// Codes are canonical: symbols are assigned consecutive code values in
+// (length, symbol) order, so a code table is fully described by the code
+// length of each symbol. Encoded code words are written LSB-first after
+// bit reversal so they can be decoded with the LSB-first bitio readers.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"edc/internal/bitio"
+)
+
+// MaxBits is the maximum supported code length.
+const MaxBits = 15
+
+var (
+	// ErrInvalidLengths reports a code-length vector that does not
+	// describe a valid (complete or empty) prefix code.
+	ErrInvalidLengths = errors.New("huffman: invalid code lengths")
+	// ErrBadSymbol reports an attempt to encode a symbol with no code.
+	ErrBadSymbol = errors.New("huffman: symbol has no code")
+)
+
+// Code describes one symbol's canonical code.
+type Code struct {
+	Bits uint16 // code value, bit-reversed for LSB-first emission
+	Len  uint8  // code length in bits; 0 means the symbol is unused
+}
+
+// Encoder maps symbols to canonical codes.
+type Encoder struct {
+	codes []Code
+}
+
+// node is an internal tree node used during construction.
+type node struct {
+	freq   int64
+	symbol int // -1 for internal nodes
+	left   *node
+	right  *node
+	// seq breaks frequency ties deterministically so code assignment is
+	// stable across runs.
+	seq int
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BuildLengths computes length-limited code lengths (<= maxBits) for the
+// given symbol frequencies. Symbols with zero frequency get length 0.
+// If only one symbol has nonzero frequency it is assigned length 1 so the
+// code remains decodable.
+func BuildLengths(freqs []int64, maxBits int) ([]uint8, error) {
+	if maxBits <= 0 || maxBits > MaxBits {
+		return nil, fmt.Errorf("huffman: maxBits %d out of range", maxBits)
+	}
+	lengths := make([]uint8, len(freqs))
+	h := make(nodeHeap, 0, len(freqs))
+	seq := 0
+	for sym, f := range freqs {
+		if f > 0 {
+			h = append(h, &node{freq: f, symbol: sym, seq: seq})
+			seq++
+		}
+	}
+	switch len(h) {
+	case 0:
+		return lengths, nil
+	case 1:
+		lengths[h[0].symbol] = 1
+		return lengths, nil
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{freq: a.freq + b.freq, symbol: -1, left: a, right: b, seq: seq})
+		seq++
+	}
+	root := h[0]
+	assignDepths(root, 0, lengths)
+	limitLengths(lengths, maxBits)
+	return lengths, nil
+}
+
+func assignDepths(n *node, depth uint8, lengths []uint8) {
+	if n.symbol >= 0 {
+		if depth == 0 {
+			depth = 1
+		}
+		lengths[n.symbol] = depth
+		return
+	}
+	assignDepths(n.left, depth+1, lengths)
+	assignDepths(n.right, depth+1, lengths)
+}
+
+// limitLengths rebalances a code-length vector so no length exceeds
+// maxBits, using the classic Kraft-sum repair: overflowing codes are
+// clamped, then lengths are adjusted until sum(2^-len) == 1.
+func limitLengths(lengths []uint8, maxBits int) {
+	overflow := false
+	for _, l := range lengths {
+		if int(l) > maxBits {
+			overflow = true
+			break
+		}
+	}
+	if !overflow {
+		return
+	}
+	// Count codes per length, clamping overlong codes (zlib-style repair:
+	// each overflowing leaf is provisionally counted at maxBits, then leaf
+	// pairs are rebalanced by moving an interior leaf one level down).
+	counts := make([]int, maxBits+2)
+	over := 0
+	for i, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > maxBits {
+			over++
+			lengths[i] = uint8(maxBits)
+		}
+		counts[lengths[i]]++
+	}
+	for over > 0 {
+		bits := maxBits - 1
+		for counts[bits] == 0 {
+			bits--
+		}
+		counts[bits]--      // move one leaf down the tree
+		counts[bits+1] += 2 // move one overflow item as its brother
+		counts[maxBits]--
+		over -= 2
+	}
+	// Exact fix-up: force the Kraft sum (in units of 2^-maxBits) to be
+	// exactly full by promoting/demoting codes at the deepest level, one
+	// unit at a time.
+	kraft := func() int {
+		k := 0
+		for l := 1; l <= maxBits; l++ {
+			k += counts[l] << uint(maxBits-l)
+		}
+		return k
+	}
+	full := 1 << uint(maxBits)
+	for k := kraft(); k != full; k = kraft() {
+		if k < full && counts[maxBits] > 0 {
+			counts[maxBits]--
+			counts[maxBits-1]++ // promote: +1 unit
+		} else if k > full && counts[maxBits-1] > 0 {
+			counts[maxBits-1]--
+			counts[maxBits]++ // demote: -1 unit
+		} else if k > full {
+			bits := maxBits - 2
+			for bits > 0 && counts[bits] == 0 {
+				bits--
+			}
+			counts[bits]--
+			counts[bits+1]++
+		} else {
+			bits := maxBits - 1
+			for bits > 1 && counts[bits] == 0 {
+				bits--
+			}
+			counts[bits]--
+			counts[bits-1]++
+		}
+	}
+	// Re-assign lengths in order of increasing original length (stable):
+	// collect symbols sorted by (origLen, symbol) and dole out new lengths
+	// from the repaired histogram.
+	type symLen struct {
+		sym int
+		len uint8
+	}
+	order := make([]symLen, 0, len(lengths))
+	for s, l := range lengths {
+		if l > 0 {
+			order = append(order, symLen{s, l})
+		}
+	}
+	// Insertion sort by (len, sym); alphabets are small (<300 symbols).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if a.len > b.len || (a.len == b.len && a.sym > b.sym) {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	idx := 0
+	for l := 1; l <= maxBits; l++ {
+		for c := 0; c < counts[l]; c++ {
+			lengths[order[idx].sym] = uint8(l)
+			idx++
+		}
+	}
+}
+
+// reverseBits reverses the low n bits of v.
+func reverseBits(v uint16, n uint8) uint16 {
+	var r uint16
+	for i := uint8(0); i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// NewEncoderFromLengths builds an Encoder from canonical code lengths.
+func NewEncoderFromLengths(lengths []uint8) (*Encoder, error) {
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{codes: codes}, nil
+}
+
+// canonicalCodes assigns canonical code values given lengths and verifies
+// the Kraft inequality holds with equality (complete code) or that the
+// code is empty/degenerate (single symbol).
+func canonicalCodes(lengths []uint8) ([]Code, error) {
+	counts := make([]int, MaxBits+1)
+	nonzero := 0
+	for _, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if l > MaxBits {
+			return nil, ErrInvalidLengths
+		}
+		counts[l]++
+		nonzero++
+	}
+	codes := make([]Code, len(lengths))
+	if nonzero == 0 {
+		return codes, nil
+	}
+	// first code value for each length
+	firsts := make([]uint16, MaxBits+2)
+	code := uint16(0)
+	for l := 1; l <= MaxBits; l++ {
+		code = (code + uint16(counts[l-1])) << 1
+		firsts[l] = code
+	}
+	// Verify completeness: sum of counts[l]*2^(MaxBits-l) must be
+	// 2^MaxBits, except for the degenerate 1-symbol code (one length-1
+	// code, half-full) which we accept.
+	k := 0
+	for l := 1; l <= MaxBits; l++ {
+		k += counts[l] << uint(MaxBits-l)
+	}
+	if k > 1<<MaxBits {
+		return nil, ErrInvalidLengths
+	}
+	if k < 1<<MaxBits && !(nonzero == 1 && counts[1] == 1) {
+		return nil, ErrInvalidLengths
+	}
+	next := make([]uint16, MaxBits+1)
+	copy(next, firsts[:MaxBits+1])
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[sym] = Code{Bits: reverseBits(next[l], l), Len: l}
+		next[l]++
+	}
+	return codes, nil
+}
+
+// Encode writes the code for symbol sym to w.
+func (e *Encoder) Encode(w *bitio.Writer, sym int) error {
+	if sym < 0 || sym >= len(e.codes) || e.codes[sym].Len == 0 {
+		return fmt.Errorf("%w: %d", ErrBadSymbol, sym)
+	}
+	c := e.codes[sym]
+	w.WriteBits(uint64(c.Bits), uint(c.Len))
+	return nil
+}
+
+// CodeLen returns the code length for sym (0 if unused or out of range).
+func (e *Encoder) CodeLen(sym int) int {
+	if sym < 0 || sym >= len(e.codes) {
+		return 0
+	}
+	return int(e.codes[sym].Len)
+}
+
+// NumSymbols returns the alphabet size of the encoder.
+func (e *Encoder) NumSymbols() int { return len(e.codes) }
+
+// Decoder decodes canonical Huffman codes using a one-level lookup table.
+type Decoder struct {
+	// table maps the next `tableBits` input bits to (symbol, length).
+	// Codes longer than tableBits are resolved by a slow path walk.
+	table     []tableEntry
+	tableBits uint
+	maxLen    uint8
+	// slow-path canonical data
+	lengths []uint8
+}
+
+type tableEntry struct {
+	sym uint16
+	len uint8 // 0 marks an invalid/overlong entry
+}
+
+// NewDecoderFromLengths builds a Decoder for the canonical code described
+// by lengths.
+func NewDecoderFromLengths(lengths []uint8) (*Decoder, error) {
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	var maxLen uint8
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	d := &Decoder{maxLen: maxLen, lengths: append([]uint8(nil), lengths...)}
+	if maxLen == 0 {
+		return d, nil
+	}
+	tb := uint(maxLen)
+	if tb > 11 {
+		tb = 11
+	}
+	d.tableBits = tb
+	d.table = make([]tableEntry, 1<<tb)
+	for sym, c := range codes {
+		if c.Len == 0 || uint(c.Len) > tb {
+			continue
+		}
+		// Fill all table slots whose low c.Len bits equal the code.
+		step := 1 << uint(c.Len)
+		for i := int(c.Bits); i < len(d.table); i += step {
+			d.table[i] = tableEntry{sym: uint16(sym), len: c.Len}
+		}
+	}
+	return d, nil
+}
+
+// Decode reads one symbol from r.
+func (d *Decoder) Decode(r *bitio.Reader) (int, error) {
+	if d.maxLen == 0 {
+		return 0, ErrInvalidLengths
+	}
+	v, avail := r.Peek(d.tableBits)
+	if avail > 0 {
+		e := d.table[v]
+		if e.len > 0 && uint(e.len) <= avail {
+			r.Skip(uint(e.len))
+			return int(e.sym), nil
+		}
+	}
+	return d.decodeSlow(r)
+}
+
+// decodeSlow walks the canonical code bit by bit. It handles codes longer
+// than the lookup table and reads near the end of input.
+func (d *Decoder) decodeSlow(r *bitio.Reader) (int, error) {
+	// Reconstruct canonical firsts/counts each call; this path is rare.
+	counts := make([]int, MaxBits+1)
+	for _, l := range d.lengths {
+		if l > 0 {
+			counts[l]++
+		}
+	}
+	code := 0
+	first := 0
+	for l := 1; l <= int(d.maxLen); l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int(b)
+		count := counts[l]
+		if code-first < count {
+			// Find the (code-first)-th symbol of length l in symbol order
+			// (canonical assignment order).
+			k := code - first
+			for sym, sl := range d.lengths {
+				if int(sl) == l {
+					if k == 0 {
+						return sym, nil
+					}
+					k--
+				}
+			}
+			return 0, ErrInvalidLengths
+		}
+		first = (first + count) << 1
+	}
+	return 0, ErrInvalidLengths
+}
+
+// WriteLengths serializes a code-length vector compactly: 4 bits per
+// length with a simple zero run-length escape. Layout per item:
+//
+//	0xF, runLen(8 bits)  -> runLen+1 zeros (runLen in [0,254])
+//	otherwise            -> literal length 0..14
+//
+// Lengths of 15 are stored as 0xE+flag; since MaxBits is 15 and 0xF is the
+// escape, length 15 is encoded as escape value 0xF,0xFF.
+func WriteLengths(w *bitio.Writer, lengths []uint8) {
+	for i := 0; i < len(lengths); {
+		l := lengths[i]
+		if l == 0 {
+			run := 1
+			for i+run < len(lengths) && lengths[i+run] == 0 && run < 255 {
+				run++
+			}
+			w.WriteBits(0xF, 4)
+			w.WriteBits(uint64(run-1), 8)
+			i += run
+			continue
+		}
+		if l == 15 {
+			w.WriteBits(0xF, 4)
+			w.WriteBits(0xFF, 8)
+			i++
+			continue
+		}
+		w.WriteBits(uint64(l), 4)
+		i++
+	}
+}
+
+// ReadLengths parses a vector of n code lengths written by WriteLengths.
+func ReadLengths(r *bitio.Reader, n int) ([]uint8, error) {
+	lengths := make([]uint8, n)
+	for i := 0; i < n; {
+		v, err := r.ReadBits(4)
+		if err != nil {
+			return nil, err
+		}
+		if v == 0xF {
+			run, err := r.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			if run == 0xFF {
+				lengths[i] = 15
+				i++
+				continue
+			}
+			cnt := int(run) + 1
+			if i+cnt > n {
+				return nil, ErrInvalidLengths
+			}
+			i += cnt // zeros already there
+			continue
+		}
+		lengths[i] = uint8(v)
+		i++
+	}
+	return lengths, nil
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		s.Observe(v)
+	}
+	if s.Count() != 3 || s.Sum() != 12 {
+		t.Fatalf("count/sum = %d/%v", s.Count(), s.Sum())
+	}
+	if s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("mean/min/max = %v/%v/%v", s.Mean(), s.Min(), s.Max())
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Fatalf("stddev = %v; want %v", s.StdDev(), want)
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Observe(-5)
+	s.Observe(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatalf("min/max/mean = %v/%v/%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestLatencyHistPercentiles(t *testing.T) {
+	h := NewLatencyHist()
+	// 100 observations: 1ms..100ms
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v; want ~50ms", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v; want ~99ms", p99)
+	}
+	mean := h.Mean()
+	if mean < 49*time.Millisecond || mean > 52*time.Millisecond {
+		t.Fatalf("mean = %v; want ~50.5ms", mean)
+	}
+}
+
+func TestLatencyHistEdges(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist should report zero")
+	}
+	h.Observe(0)               // below 1µs clamps to first bucket
+	h.Observe(10 * time.Hour)  // overflow
+	h.Observe(3 * time.Second) // normal
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p := h.Percentile(0); p > 2*time.Microsecond {
+		t.Fatalf("p0 = %v; want ~1µs", p)
+	}
+	if p := h.Percentile(-5); p > 2*time.Microsecond {
+		t.Fatalf("clamped negative percentile = %v", p)
+	}
+	_ = h.Percentile(200) // clamped, must not panic
+}
+
+func TestLatencyHistAccuracy(t *testing.T) {
+	h := NewLatencyHist()
+	v := 12345 * time.Microsecond
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	got := h.Percentile(50)
+	relErr := math.Abs(float64(got-v)) / float64(v)
+	if relErr > 0.07 {
+		t.Fatalf("p50 = %v for constant %v (rel err %.3f)", got, v, relErr)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(0, 1)
+	ts.Add(500*time.Millisecond, 1)
+	ts.Add(2500*time.Millisecond, 3)
+	pts := ts.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].V != 2 || pts[1].V != 3 {
+		t.Fatalf("values = %v, %v", pts[0].V, pts[1].V)
+	}
+	dense := ts.Dense()
+	if len(dense) != 3 {
+		t.Fatalf("dense = %v", dense)
+	}
+	if dense[1].V != 0 {
+		t.Fatalf("dense gap = %v; want 0", dense[1].V)
+	}
+	mean, peak, idle := ts.Stats()
+	if peak != 3 {
+		t.Fatalf("peak = %v", peak)
+	}
+	if math.Abs(mean-5.0/3.0) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(idle-1.0/3.0) > 1e-9 {
+		t.Fatalf("idle = %v", idle)
+	}
+}
+
+func TestTimeSeriesDefaultInterval(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if ts.Interval() != time.Second {
+		t.Fatalf("interval = %v; want 1s default", ts.Interval())
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	if pts := ts.Points(); len(pts) != 0 {
+		t.Fatalf("points = %v; want empty", pts)
+	}
+	mean, peak, idle := ts.Stats()
+	if mean != 0 || peak != 0 || idle != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}

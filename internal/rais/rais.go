@@ -1,0 +1,251 @@
+// Package rais implements Redundant Arrays of Independent SSDs (the
+// paper's RAIS, Sec. IV): RAIS0 striping and RAIS5 rotating-parity over N
+// simulated devices. The array maps an array-logical request to per-
+// device sub-operations; the replay engine issues sub-operations to the
+// member devices' stations in parallel, so array response time is the
+// maximum of the member completions — exactly how the paper's software
+// RAIS5 of five X25-E drives behaves.
+package rais
+
+import (
+	"errors"
+	"fmt"
+
+	"edc/internal/ssd"
+)
+
+// Level selects the array organization.
+type Level int
+
+// Supported array levels.
+const (
+	RAIS0 Level = iota // striping, no redundancy
+	RAIS5              // striping with rotating parity
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case RAIS0:
+		return "RAIS0"
+	case RAIS5:
+		return "RAIS5"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// SubOp is one device-level operation produced by mapping an array
+// request.
+type SubOp struct {
+	Dev   int   // member device index
+	LPN   int64 // device-logical page number
+	Bytes int64
+	Write bool
+	// Parity marks parity maintenance traffic (reads of old data/parity
+	// and parity writes) as opposed to host data movement.
+	Parity bool
+}
+
+// Array is a RAIS0/RAIS5 group of simulated SSDs.
+type Array struct {
+	level Level
+	devs  []*ssd.SSD
+	// unit is the stripe unit ("chunk") size in pages.
+	unit int64
+	// dataPerStripe = number of data units per stripe.
+	dataPerStripe int64
+	// devLogical = logical pages per member device.
+	devLogical int64
+}
+
+// New builds an array over devs with the given stripe unit in pages.
+// RAIS5 requires at least 3 devices; RAIS0 at least 2.
+func New(level Level, devs []*ssd.SSD, unitPages int) (*Array, error) {
+	if unitPages <= 0 {
+		return nil, errors.New("rais: unitPages must be positive")
+	}
+	minDevs := 2
+	if level == RAIS5 {
+		minDevs = 3
+	}
+	if len(devs) < minDevs {
+		return nil, fmt.Errorf("rais: %s needs >= %d devices, have %d", level, minDevs, len(devs))
+	}
+	devLogical := devs[0].LogicalPages()
+	for _, d := range devs[1:] {
+		if d.LogicalPages() != devLogical {
+			return nil, errors.New("rais: member devices must have identical capacity")
+		}
+	}
+	a := &Array{level: level, devs: devs, unit: int64(unitPages), devLogical: devLogical}
+	switch level {
+	case RAIS0:
+		a.dataPerStripe = int64(len(devs))
+	case RAIS5:
+		a.dataPerStripe = int64(len(devs) - 1)
+	default:
+		return nil, fmt.Errorf("rais: unsupported level %v", level)
+	}
+	return a, nil
+}
+
+// Level returns the array level.
+func (a *Array) Level() Level { return a.level }
+
+// Devices returns the member devices.
+func (a *Array) Devices() []*ssd.SSD { return a.devs }
+
+// LogicalPages returns the host-visible array capacity in pages.
+func (a *Array) LogicalPages() int64 {
+	stripes := a.devLogical / a.unit
+	return stripes * a.unit * a.dataPerStripe
+}
+
+// PageSize returns the member device page size in bytes.
+func (a *Array) PageSize() int { return a.devs[0].Config().PageSize }
+
+// LogicalBytes returns the host-visible array capacity in bytes.
+func (a *Array) LogicalBytes() int64 {
+	return a.LogicalPages() * int64(a.PageSize())
+}
+
+// locate maps an array-logical page to (device, device page, stripe).
+func (a *Array) locate(lpn int64) (dev int, devPage int64) {
+	unitIdx := lpn / a.unit // which stripe unit in array order
+	inUnit := lpn % a.unit  // page within the unit
+	stripe := unitIdx / a.dataPerStripe
+	dataPos := unitIdx % a.dataPerStripe
+	devPage = stripe*a.unit + inUnit
+	switch a.level {
+	case RAIS0:
+		dev = int(dataPos)
+	case RAIS5:
+		// Left-symmetric rotation: parity device for stripe s is
+		// (n-1 - s mod n); data units fill the remaining devices in order.
+		n := int64(len(a.devs))
+		parityDev := n - 1 - stripe%n
+		d := dataPos
+		if d >= parityDev {
+			d++
+		}
+		dev = int(d)
+	}
+	return dev, devPage
+}
+
+// parityFor returns the parity device and device page for the stripe that
+// contains array-logical page lpn (RAIS5 only).
+func (a *Array) parityFor(lpn int64) (dev int, devPage int64) {
+	unitIdx := lpn / a.unit
+	stripe := unitIdx / a.dataPerStripe
+	n := int64(len(a.devs))
+	parityDev := n - 1 - stripe%n
+	return int(parityDev), stripe*a.unit + lpn%a.unit
+}
+
+// MapRead splits a read of n pages at array page lpn into sub-ops.
+func (a *Array) MapRead(lpn, pages int64) ([]SubOp, error) {
+	if err := a.checkRange(lpn, pages); err != nil {
+		return nil, err
+	}
+	ps := int64(a.PageSize())
+	var out []SubOp
+	for p := lpn; p < lpn+pages; {
+		dev, dp := a.locate(p)
+		// Extend through contiguous pages in the same unit.
+		run := a.unit - p%a.unit
+		if run > lpn+pages-p {
+			run = lpn + pages - p
+		}
+		out = append(out, SubOp{Dev: dev, LPN: dp, Bytes: run * ps})
+		p += run
+	}
+	return a.coalesce(out), nil
+}
+
+// MapWrite splits a write of n pages at array page lpn into sub-ops,
+// adding RAIS5 parity maintenance: full-stripe writes compute parity in
+// memory and write it; partial-stripe writes perform read-modify-write
+// (read old data + old parity, then write data + parity).
+func (a *Array) MapWrite(lpn, pages int64) ([]SubOp, error) {
+	if err := a.checkRange(lpn, pages); err != nil {
+		return nil, err
+	}
+	ps := int64(a.PageSize())
+	var out []SubOp
+	stripeData := a.unit * a.dataPerStripe // data pages per stripe
+	for p := lpn; p < lpn+pages; {
+		stripeStart := p / stripeData * stripeData
+		stripeEnd := stripeStart + stripeData
+		end := lpn + pages
+		if end > stripeEnd {
+			end = stripeEnd
+		}
+		span := end - p
+		// Data writes for this stripe.
+		for q := p; q < end; {
+			dev, dp := a.locate(q)
+			run := a.unit - q%a.unit
+			if run > end-q {
+				run = end - q
+			}
+			out = append(out, SubOp{Dev: dev, LPN: dp, Bytes: run * ps, Write: true})
+			q += run
+		}
+		if a.level == RAIS5 {
+			pdev, pp := a.parityFor(p)
+			full := span == stripeData
+			if !full {
+				// Read-modify-write: old data spans + old parity.
+				for q := p; q < end; {
+					dev, dp := a.locate(q)
+					run := a.unit - q%a.unit
+					if run > end-q {
+						run = end - q
+					}
+					out = append(out, SubOp{Dev: dev, LPN: dp, Bytes: run * ps, Parity: true})
+					q += run
+				}
+				out = append(out, SubOp{Dev: pdev, LPN: pp, Bytes: minI64(span, a.unit) * ps, Parity: true})
+			}
+			out = append(out, SubOp{Dev: pdev, LPN: pp, Bytes: minI64(span, a.unit) * ps, Write: true, Parity: true})
+		}
+		p = end
+	}
+	return a.coalesce(out), nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (a *Array) checkRange(lpn, pages int64) error {
+	if lpn < 0 || pages < 0 || lpn+pages > a.LogicalPages() {
+		return fmt.Errorf("rais: range [%d,+%d) beyond %d pages", lpn, pages, a.LogicalPages())
+	}
+	return nil
+}
+
+// coalesce merges sub-ops that are device-contiguous and of the same kind
+// into single larger transfers.
+func (a *Array) coalesce(ops []SubOp) []SubOp {
+	if len(ops) < 2 {
+		return ops
+	}
+	ps := int64(a.PageSize())
+	out := ops[:1]
+	for _, op := range ops[1:] {
+		last := &out[len(out)-1]
+		if last.Dev == op.Dev && last.Write == op.Write && last.Parity == op.Parity &&
+			op.LPN == last.LPN+last.Bytes/ps {
+			last.Bytes += op.Bytes
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}

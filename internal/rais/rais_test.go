@@ -1,0 +1,231 @@
+package rais
+
+import (
+	"testing"
+
+	"edc/internal/ssd"
+)
+
+func makeDevs(t testing.TB, n int) []*ssd.SSD {
+	t.Helper()
+	cfg := ssd.DefaultConfig()
+	cfg.Blocks = 256
+	devs := make([]*ssd.SSD, n)
+	for i := range devs {
+		d, err := ssd.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	return devs
+}
+
+func TestNewValidation(t *testing.T) {
+	devs := makeDevs(t, 5)
+	if _, err := New(RAIS5, devs[:2], 16); err == nil {
+		t.Fatal("RAIS5 with 2 devices should fail")
+	}
+	if _, err := New(RAIS0, devs[:1], 16); err == nil {
+		t.Fatal("RAIS0 with 1 device should fail")
+	}
+	if _, err := New(RAIS0, devs, 0); err == nil {
+		t.Fatal("zero stripe unit should fail")
+	}
+	cfg := ssd.DefaultConfig()
+	cfg.Blocks = 128
+	odd, _ := ssd.New(cfg)
+	if _, err := New(RAIS0, append(devs[:2:2], odd), 16); err == nil {
+		t.Fatal("mismatched capacities should fail")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	devs := makeDevs(t, 5)
+	a0, err := New(RAIS0, devs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a5devs := makeDevs(t, 5)
+	a5, err := New(RAIS5, a5devs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a0.LogicalPages() <= a5.LogicalPages() {
+		t.Fatalf("RAIS0 capacity %d should exceed RAIS5 %d", a0.LogicalPages(), a5.LogicalPages())
+	}
+	// RAIS5 over 5 devices stores 4/5 of RAIS0 capacity.
+	want := a0.LogicalPages() * 4 / 5
+	if a5.LogicalPages() != want {
+		t.Fatalf("RAIS5 pages = %d; want %d", a5.LogicalPages(), want)
+	}
+}
+
+func TestRAIS0MappingDistributesAcrossDevices(t *testing.T) {
+	devs := makeDevs(t, 4)
+	a, _ := New(RAIS0, devs, 4)
+	// Read spanning 4 stripe units must touch all 4 devices.
+	ops, err := a.MapRead(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var bytes int64
+	for _, op := range ops {
+		if op.Write || op.Parity {
+			t.Fatalf("read mapped to write/parity op: %+v", op)
+		}
+		seen[op.Dev] = true
+		bytes += op.Bytes
+	}
+	if len(seen) != 4 {
+		t.Fatalf("devices touched = %d; want 4", len(seen))
+	}
+	if bytes != 16*4096 {
+		t.Fatalf("total bytes = %d", bytes)
+	}
+}
+
+func TestRAIS0RoundRobin(t *testing.T) {
+	devs := makeDevs(t, 4)
+	a, _ := New(RAIS0, devs, 4)
+	// Unit i lives on device i%4.
+	for unit := 0; unit < 8; unit++ {
+		ops, err := a.MapRead(int64(unit)*4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) != 1 {
+			t.Fatalf("unit %d: ops = %+v", unit, ops)
+		}
+		if ops[0].Dev != unit%4 {
+			t.Fatalf("unit %d on dev %d; want %d", unit, ops[0].Dev, unit%4)
+		}
+	}
+}
+
+func TestRAIS5ParityRotates(t *testing.T) {
+	devs := makeDevs(t, 5)
+	a, _ := New(RAIS5, devs, 4)
+	parityDevs := map[int]bool{}
+	stripeData := int64(4 * 4) // unit * dataPerStripe
+	for s := int64(0); s < 5; s++ {
+		pd, _ := a.parityFor(s * stripeData)
+		parityDevs[pd] = true
+	}
+	if len(parityDevs) != 5 {
+		t.Fatalf("parity used %d distinct devices over 5 stripes; want 5", len(parityDevs))
+	}
+}
+
+func TestRAIS5DataNeverOnParityDevice(t *testing.T) {
+	devs := makeDevs(t, 5)
+	a, _ := New(RAIS5, devs, 4)
+	for lpn := int64(0); lpn < 500; lpn++ {
+		dev, _ := a.locate(lpn)
+		pdev, _ := a.parityFor(lpn)
+		if dev == pdev {
+			t.Fatalf("lpn %d: data and parity on device %d", lpn, dev)
+		}
+	}
+}
+
+func TestRAIS5PartialWriteDoesRMW(t *testing.T) {
+	devs := makeDevs(t, 5)
+	a, _ := New(RAIS5, devs, 4)
+	// Write 1 page: expect data write, old-data read, old-parity read,
+	// parity write.
+	ops, err := a.MapWrite(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dataWrites, parityWrites, parityReads int
+	for _, op := range ops {
+		switch {
+		case op.Write && !op.Parity:
+			dataWrites++
+		case op.Write && op.Parity:
+			parityWrites++
+		case !op.Write && op.Parity:
+			parityReads++
+		default:
+			t.Fatalf("unexpected plain read in write mapping: %+v", op)
+		}
+	}
+	if dataWrites != 1 || parityWrites != 1 || parityReads != 2 {
+		t.Fatalf("ops = %+v (data %d, pw %d, pr %d)", ops, dataWrites, parityWrites, parityReads)
+	}
+}
+
+func TestRAIS5FullStripeWriteSkipsRMW(t *testing.T) {
+	devs := makeDevs(t, 5)
+	a, _ := New(RAIS5, devs, 4)
+	stripeData := int64(4 * 4)
+	ops, err := a.MapWrite(0, stripeData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if !op.Write {
+			t.Fatalf("full-stripe write produced a read: %+v", op)
+		}
+	}
+	// 4 data units + 1 parity unit.
+	if len(ops) != 5 {
+		t.Fatalf("ops = %d; want 5", len(ops))
+	}
+}
+
+func TestRAIS0WriteNoParity(t *testing.T) {
+	devs := makeDevs(t, 4)
+	a, _ := New(RAIS0, devs, 4)
+	ops, err := a.MapWrite(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if op.Parity {
+			t.Fatalf("RAIS0 produced parity op: %+v", op)
+		}
+		if !op.Write {
+			t.Fatalf("RAIS0 write produced read: %+v", op)
+		}
+	}
+}
+
+func TestMapRangeErrors(t *testing.T) {
+	devs := makeDevs(t, 4)
+	a, _ := New(RAIS0, devs, 4)
+	if _, err := a.MapRead(-1, 4); err == nil {
+		t.Fatal("negative lpn should fail")
+	}
+	if _, err := a.MapWrite(a.LogicalPages(), 1); err == nil {
+		t.Fatal("write past capacity should fail")
+	}
+}
+
+func TestCoalesceMergesAdjacent(t *testing.T) {
+	devs := makeDevs(t, 4)
+	a, _ := New(RAIS0, devs, 4)
+	// A read within one unit arrives as one op even if assembled from
+	// page-sized pieces.
+	ops, err := a.MapRead(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 {
+		t.Fatalf("ops = %+v; want single coalesced op", ops)
+	}
+	if ops[0].Bytes != 4*4096 {
+		t.Fatalf("bytes = %d", ops[0].Bytes)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if RAIS0.String() != "RAIS0" || RAIS5.String() != "RAIS5" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() == "" {
+		t.Fatal("unknown level should still print")
+	}
+}

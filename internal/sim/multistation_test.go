@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMultiStationParallelism(t *testing.T) {
+	e := NewEngine()
+	s := NewMultiStation(e, "cpu", 2)
+	var completions []time.Duration
+	e.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			s.Submit(Job{Service: 10 * time.Millisecond, Done: func(_, end time.Duration) {
+				completions = append(completions, end)
+			}})
+		}
+	})
+	e.Run()
+	// Two servers: pairs complete at 10ms and 20ms.
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 20 * time.Millisecond}
+	if len(completions) != 4 {
+		t.Fatalf("completions = %v", completions)
+	}
+	for i, w := range want {
+		if completions[i] != w {
+			t.Fatalf("completion %d = %v; want %v", i, completions[i], w)
+		}
+	}
+	st := s.Stats()
+	if st.Jobs != 4 || st.BusyTime != 40*time.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMultiStationSingleWorkerMatchesStation(t *testing.T) {
+	run := func(srv Server, e *Engine) []time.Duration {
+		var out []time.Duration
+		e.Schedule(0, func() {
+			for i := 0; i < 3; i++ {
+				d := time.Duration(i+1) * time.Millisecond
+				srv.Submit(Job{Service: d, Done: func(_, end time.Duration) {
+					out = append(out, end)
+				}})
+			}
+		})
+		e.Run()
+		return out
+	}
+	e1 := NewEngine()
+	a := run(NewStation(e1, "a"), e1)
+	e2 := NewEngine()
+	b := run(NewMultiStation(e2, "b", 1), e2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d: station %v vs multi %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMultiStationMinimumWorkers(t *testing.T) {
+	e := NewEngine()
+	s := NewMultiStation(e, "cpu", 0)
+	if s.Workers() != 1 {
+		t.Fatalf("workers = %d; want clamped to 1", s.Workers())
+	}
+}
+
+func TestMultiStationQueueAccounting(t *testing.T) {
+	e := NewEngine()
+	s := NewMultiStation(e, "cpu", 2)
+	e.Schedule(0, func() {
+		for i := 0; i < 5; i++ {
+			s.Submit(Job{Service: time.Millisecond})
+		}
+		if s.Busy() != 2 {
+			t.Errorf("busy = %d; want 2", s.Busy())
+		}
+		if s.QueueLen() != 3 {
+			t.Errorf("queue = %d; want 3", s.QueueLen())
+		}
+	})
+	e.Run()
+	st := s.Stats()
+	if st.MaxQueue != 5 {
+		t.Fatalf("maxQueue = %d", st.MaxQueue)
+	}
+	// Waits: jobs 3,4,5 wait 1ms, 1ms, 2ms... with 2 servers: jobs 0,1
+	// start at 0; job 2,3 at 1ms; job 4 at 2ms -> total wait 1+1+2 = 4ms.
+	if st.WaitTime != 4*time.Millisecond {
+		t.Fatalf("wait = %v", st.WaitTime)
+	}
+}
+
+func TestMultiStationNegativeService(t *testing.T) {
+	e := NewEngine()
+	s := NewMultiStation(e, "cpu", 2)
+	ran := false
+	e.Schedule(0, func() {
+		s.Submit(Job{Service: -time.Second, Done: func(_, _ time.Duration) { ran = true }})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-service job never completed")
+	}
+}

@@ -1,0 +1,215 @@
+// Package sim is a small discrete-event simulation kernel: a virtual
+// clock, an event heap, and single-server FIFO stations. The EDC replay
+// engine models the host as a tandem of stations — a CPU station where
+// (de)compression executes and one device station per SSD — so queueing
+// delay under bursty arrivals emerges naturally, which is the mechanism
+// behind the paper's Fig. 10 (heavy codecs inflate the I/O queue).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event simulator over virtual time. The zero value
+// is not usable; call NewEngine.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	ran    int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+type event struct {
+	at  time.Duration
+	seq int64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn at virtual time `at`. Scheduling in the past panics:
+// it indicates a logic error in the caller.
+func (e *Engine) Schedule(at time.Duration, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// ScheduleAfter runs fn after delay d (d < 0 is clamped to 0).
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock. It reports whether
+// an event was executed.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	for e.events.Len() > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() int64 { return e.ran }
+
+// Job is one unit of work for a Station.
+type Job struct {
+	// Service is the time the job occupies the server.
+	Service time.Duration
+	// Done, if non-nil, runs at completion with the job's service start
+	// and end times.
+	Done func(start, end time.Duration)
+}
+
+// Station is a single-server FIFO queue driven by an Engine.
+type Station struct {
+	eng  *Engine
+	name string
+
+	queue []Job
+	busy  bool
+
+	// statistics
+	jobs      int64
+	busyTime  time.Duration
+	waitTime  time.Duration
+	maxQueue  int
+	lastStart time.Duration
+	arrivals  []time.Duration // parallel to queue: arrival times of queued jobs
+}
+
+// NewStation returns an idle station attached to e.
+func NewStation(e *Engine, name string) *Station {
+	return &Station{eng: e, name: name}
+}
+
+// Name returns the station's name.
+func (s *Station) Name() string { return s.name }
+
+// Submit enqueues j at the current virtual time. If the server is idle
+// the job starts immediately.
+func (s *Station) Submit(j Job) {
+	if j.Service < 0 {
+		j.Service = 0
+	}
+	s.queue = append(s.queue, j)
+	s.arrivals = append(s.arrivals, s.eng.Now())
+	depth := len(s.queue)
+	if s.busy {
+		depth++ // include the job in service
+	}
+	if depth > s.maxQueue {
+		s.maxQueue = depth
+	}
+	if !s.busy {
+		s.startNext()
+	}
+}
+
+func (s *Station) startNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	j := s.queue[0]
+	arr := s.arrivals[0]
+	s.queue = s.queue[1:]
+	s.arrivals = s.arrivals[1:]
+	s.busy = true
+	start := s.eng.Now()
+	s.lastStart = start
+	s.waitTime += start - arr
+	s.eng.ScheduleAfter(j.Service, func() {
+		end := s.eng.Now()
+		s.jobs++
+		s.busyTime += end - start
+		if j.Done != nil {
+			j.Done(start, end)
+		}
+		s.startNext()
+	})
+}
+
+// QueueLen returns the number of waiting jobs (excluding the one in
+// service).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether the server is occupied.
+func (s *Station) Busy() bool { return s.busy }
+
+// Stats summarizes the station's activity.
+type Stats struct {
+	Jobs     int64
+	BusyTime time.Duration
+	WaitTime time.Duration // total time jobs spent queued before service
+	MaxQueue int
+}
+
+// Stats returns a snapshot of the station's counters.
+func (s *Station) Stats() Stats {
+	return Stats{Jobs: s.jobs, BusyTime: s.busyTime, WaitTime: s.waitTime, MaxQueue: s.maxQueue}
+}
+
+// Utilization returns busy time divided by elapsed virtual time (0 when
+// the clock has not advanced).
+func (s *Station) Utilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	return float64(s.busyTime) / float64(s.eng.Now())
+}

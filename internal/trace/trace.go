@@ -1,0 +1,251 @@
+// Package trace defines the block-level I/O trace model used throughout
+// EDC and parsers/writers for the two public trace formats the paper
+// replays: the Storage Performance Council ("financial"/OLTP) ASCII
+// format and the MSR Cambridge CSV format. Real trace files drop in
+// unchanged; the synthetic generators in internal/workload produce the
+// same Trace type.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SectorSize is the logical sector unit used by SPC traces.
+const SectorSize = 512
+
+// Request is one block-level I/O.
+type Request struct {
+	// Arrival is the request's issue time relative to trace start.
+	Arrival time.Duration
+	// Offset is the byte offset on the logical volume.
+	Offset int64
+	// Size is the transfer length in bytes.
+	Size int64
+	// Write distinguishes writes from reads.
+	Write bool
+}
+
+// Trace is an ordered sequence of requests plus identification metadata.
+type Trace struct {
+	Name     string
+	Requests []Request
+}
+
+// Duration returns the arrival time of the last request.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	return t.Requests[len(t.Requests)-1].Arrival
+}
+
+// Stats summarizes a trace (the paper's Table II columns).
+type Stats struct {
+	Requests   int
+	ReadRatio  float64 // fraction of requests that are reads
+	AvgSize    float64 // bytes
+	AvgIOPS    float64 // requests / second over the trace duration
+	WriteBytes int64
+	ReadBytes  int64
+	MaxOffset  int64 // highest byte touched (volume footprint)
+}
+
+// Stats computes summary statistics.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	s.Requests = len(t.Requests)
+	if s.Requests == 0 {
+		return s
+	}
+	reads := 0
+	var sizeSum int64
+	for _, r := range t.Requests {
+		sizeSum += r.Size
+		if r.Write {
+			s.WriteBytes += r.Size
+		} else {
+			reads++
+			s.ReadBytes += r.Size
+		}
+		if end := r.Offset + r.Size; end > s.MaxOffset {
+			s.MaxOffset = end
+		}
+	}
+	s.ReadRatio = float64(reads) / float64(s.Requests)
+	s.AvgSize = float64(sizeSum) / float64(s.Requests)
+	if d := t.Duration(); d > 0 {
+		s.AvgIOPS = float64(s.Requests) / d.Seconds()
+	}
+	return s
+}
+
+// SortByArrival orders requests by arrival time (stable).
+func (t *Trace) SortByArrival() {
+	sort.SliceStable(t.Requests, func(i, j int) bool {
+		return t.Requests[i].Arrival < t.Requests[j].Arrival
+	})
+}
+
+// Clip returns a copy containing at most n requests.
+func (t *Trace) Clip(n int) *Trace {
+	if n > len(t.Requests) {
+		n = len(t.Requests)
+	}
+	out := &Trace{Name: t.Name, Requests: make([]Request, n)}
+	copy(out.Requests, t.Requests[:n])
+	return out
+}
+
+// ErrFormat reports an unparseable trace line.
+var ErrFormat = errors.New("trace: malformed record")
+
+// ParseSPC reads the Storage Performance Council ASCII format used by the
+// UMass financial (Fin1/Fin2) traces:
+//
+//	ASU,LBA,Size,Opcode,Timestamp[,...]
+//
+// where LBA counts 512-byte sectors, Size is in bytes, Opcode is r/R or
+// w/W, and Timestamp is seconds from trace start.
+func ParseSPC(r io.Reader, name string) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 5 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineNo, line)
+		}
+		lba, err1 := strconv.ParseInt(strings.TrimSpace(f[1]), 10, 64)
+		size, err2 := strconv.ParseInt(strings.TrimSpace(f[2]), 10, 64)
+		ts, err3 := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineNo, line)
+		}
+		op := strings.ToLower(strings.TrimSpace(f[3]))
+		if op != "r" && op != "w" {
+			return nil, fmt.Errorf("%w: line %d: opcode %q", ErrFormat, lineNo, f[3])
+		}
+		if size <= 0 || lba < 0 || ts < 0 {
+			return nil, fmt.Errorf("%w: line %d: negative field", ErrFormat, lineNo)
+		}
+		t.Requests = append(t.Requests, Request{
+			Arrival: time.Duration(ts * float64(time.Second)),
+			Offset:  lba * SectorSize,
+			Size:    size,
+			Write:   op == "w",
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.SortByArrival()
+	return t, nil
+}
+
+// WriteSPC writes t in the SPC ASCII format (ASU fixed to 0).
+func WriteSPC(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Requests {
+		op := "r"
+		if r.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
+			r.Offset/SectorSize, r.Size, op, r.Arrival.Seconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// msrEpochOffset converts Windows FILETIME (100 ns ticks since 1601) to a
+// trace-relative duration: we subtract the first record's timestamp, so
+// the absolute epoch does not matter.
+
+// ParseMSR reads the MSR Cambridge CSV format:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is in Windows FILETIME ticks (100 ns); Type is "Read" or
+// "Write"; Offset and Size are bytes. Arrival times are rebased to the
+// first record.
+func ParseMSR(r io.Reader, name string) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{Name: name}
+	lineNo := 0
+	var base int64 = -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 6 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineNo, line)
+		}
+		ts, err1 := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+		off, err2 := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
+		size, err3 := strconv.ParseInt(strings.TrimSpace(f[5]), 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineNo, line)
+		}
+		var write bool
+		switch strings.ToLower(strings.TrimSpace(f[3])) {
+		case "write", "w":
+			write = true
+		case "read", "r":
+			write = false
+		default:
+			return nil, fmt.Errorf("%w: line %d: type %q", ErrFormat, lineNo, f[3])
+		}
+		if size <= 0 || off < 0 {
+			return nil, fmt.Errorf("%w: line %d: negative field", ErrFormat, lineNo)
+		}
+		if base < 0 {
+			base = ts
+		}
+		t.Requests = append(t.Requests, Request{
+			Arrival: time.Duration(ts-base) * 100 * time.Nanosecond,
+			Offset:  off,
+			Size:    size,
+			Write:   write,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.SortByArrival()
+	return t, nil
+}
+
+// WriteMSR writes t in the MSR CSV format with a synthetic host name.
+func WriteMSR(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Requests {
+		typ := "Read"
+		if r.Write {
+			typ = "Write"
+		}
+		ticks := r.Arrival.Nanoseconds() / 100
+		if _, err := fmt.Fprintf(bw, "%d,edc,0,%s,%d,%d,0\n",
+			ticks, typ, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

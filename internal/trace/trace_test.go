@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSPC(t *testing.T) {
+	in := `0,303567,3584,w,0.026214
+1,1209856,4096,R,0.026682
+# comment line
+
+0,512,512,r,1.5
+`
+	tr, err := ParseSPC(strings.NewReader(in), "fin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 3 {
+		t.Fatalf("requests = %d", len(tr.Requests))
+	}
+	r0 := tr.Requests[0]
+	if !r0.Write || r0.Offset != 303567*512 || r0.Size != 3584 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if r0.Arrival != time.Duration(0.026214*float64(time.Second)) {
+		t.Fatalf("arrival = %v", r0.Arrival)
+	}
+	if tr.Requests[1].Write {
+		t.Fatal("R opcode should be a read")
+	}
+	if tr.Name != "fin" {
+		t.Fatalf("name = %q", tr.Name)
+	}
+}
+
+func TestParseSPCErrors(t *testing.T) {
+	cases := []string{
+		"0,1,2",           // too few fields
+		"0,x,4096,w,1.0",  // bad lba
+		"0,1,4096,z,1.0",  // bad opcode
+		"0,1,-4,w,1.0",    // negative size
+		"0,1,4096,w,-1.0", // negative time
+	}
+	for i, c := range cases {
+		if _, err := ParseSPC(strings.NewReader(c), "x"); err == nil {
+			t.Fatalf("case %d: expected parse error for %q", i, c)
+		}
+	}
+}
+
+func TestSPCRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Requests: []Request{
+		{Arrival: 0, Offset: 4096, Size: 8192, Write: true},
+		{Arrival: 100 * time.Millisecond, Offset: 0, Size: 512, Write: false},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSPC(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSPC(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != 2 {
+		t.Fatalf("requests = %d", len(got.Requests))
+	}
+	for i := range orig.Requests {
+		a, b := orig.Requests[i], got.Requests[i]
+		if a.Offset != b.Offset || a.Size != b.Size || a.Write != b.Write {
+			t.Fatalf("request %d: %+v != %+v", i, a, b)
+		}
+		if d := a.Arrival - b.Arrival; d > time.Microsecond || d < -time.Microsecond {
+			t.Fatalf("request %d arrival drift %v", i, d)
+		}
+	}
+}
+
+func TestParseMSR(t *testing.T) {
+	in := `128166372003061629,usr,0,Write,7014609920,24576,41286
+128166372016382155,usr,0,Read,2657792,512,1963
+`
+	tr, err := ParseMSR(strings.NewReader(in), "usr_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 2 {
+		t.Fatalf("requests = %d", len(tr.Requests))
+	}
+	if tr.Requests[0].Arrival != 0 {
+		t.Fatalf("first arrival should rebase to 0, got %v", tr.Requests[0].Arrival)
+	}
+	wantGap := time.Duration(128166372016382155-128166372003061629) * 100 * time.Nanosecond
+	if tr.Requests[1].Arrival != wantGap {
+		t.Fatalf("second arrival = %v; want %v", tr.Requests[1].Arrival, wantGap)
+	}
+	if !tr.Requests[0].Write || tr.Requests[1].Write {
+		t.Fatal("op types wrong")
+	}
+	if tr.Requests[0].Offset != 7014609920 || tr.Requests[0].Size != 24576 {
+		t.Fatalf("r0 = %+v", tr.Requests[0])
+	}
+}
+
+func TestMSRRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Requests: []Request{
+		{Arrival: 0, Offset: 1 << 20, Size: 4096, Write: true},
+		{Arrival: time.Second, Offset: 0, Size: 65536, Write: false},
+	}}
+	var buf bytes.Buffer
+	if err := WriteMSR(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMSR(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Requests {
+		a, b := orig.Requests[i], got.Requests[i]
+		if a != b {
+			t.Fatalf("request %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseMSRErrors(t *testing.T) {
+	cases := []string{
+		"1,2,3",
+		"x,usr,0,Write,0,4096,0",
+		"1,usr,0,Fly,0,4096,0",
+		"1,usr,0,Write,-1,4096,0",
+		"1,usr,0,Write,0,0,0",
+	}
+	for i, c := range cases {
+		if _, err := ParseMSR(strings.NewReader(c), "x"); err == nil {
+			t.Fatalf("case %d: expected parse error for %q", i, c)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Arrival: 0, Offset: 0, Size: 4096, Write: true},
+		{Arrival: time.Second, Offset: 8192, Size: 8192, Write: false},
+		{Arrival: 2 * time.Second, Offset: 4096, Size: 4096, Write: true},
+	}}
+	s := tr.Stats()
+	if s.Requests != 3 {
+		t.Fatalf("requests = %d", s.Requests)
+	}
+	if s.ReadRatio < 0.33 || s.ReadRatio > 0.34 {
+		t.Fatalf("read ratio = %v", s.ReadRatio)
+	}
+	if s.AvgSize != (4096+8192+4096)/3.0 {
+		t.Fatalf("avg size = %v", s.AvgSize)
+	}
+	if s.AvgIOPS != 1.5 {
+		t.Fatalf("iops = %v", s.AvgIOPS)
+	}
+	if s.WriteBytes != 8192 || s.ReadBytes != 8192 {
+		t.Fatalf("bytes = %d/%d", s.WriteBytes, s.ReadBytes)
+	}
+	if s.MaxOffset != 16384 {
+		t.Fatalf("max offset = %d", s.MaxOffset)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	tr := &Trace{}
+	s := tr.Stats()
+	if s.Requests != 0 || s.AvgIOPS != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	if tr.Duration() != 0 {
+		t.Fatal("empty duration should be 0")
+	}
+}
+
+func TestClip(t *testing.T) {
+	tr := &Trace{Name: "x", Requests: make([]Request, 10)}
+	c := tr.Clip(3)
+	if len(c.Requests) != 3 || c.Name != "x" {
+		t.Fatalf("clip = %d requests", len(c.Requests))
+	}
+	c2 := tr.Clip(100)
+	if len(c2.Requests) != 10 {
+		t.Fatalf("over-clip = %d", len(c2.Requests))
+	}
+	// Clip must copy, not alias.
+	c.Requests[0].Size = 999
+	if tr.Requests[0].Size == 999 {
+		t.Fatal("Clip aliases the original slice")
+	}
+}
+
+func TestSortByArrival(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Arrival: 3 * time.Second}, {Arrival: time.Second}, {Arrival: 2 * time.Second},
+	}}
+	tr.SortByArrival()
+	for i := 1; i < len(tr.Requests); i++ {
+		if tr.Requests[i].Arrival < tr.Requests[i-1].Arrival {
+			t.Fatal("not sorted")
+		}
+	}
+}
