@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages that exercise the replay pipeline (real
+# goroutines joining the virtual-time event loop).
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/parallel/... .
+
+# Codec + generator microbenchmarks with allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/compress ./internal/datagen
+
+# The tier-1 gate: everything a PR must keep green.
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

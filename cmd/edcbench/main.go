@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -26,6 +28,9 @@ func main() {
 		volumeMiB  = flag.Int("volume", 0, "logical volume size in MiB (default 256)")
 		seed       = flag.Int64("seed", 0, "seed offset for all generators")
 		format     = flag.String("format", "table", "output format: table, csv, json")
+		workers    = flag.Int("workers", 0, "replay pipeline width: codec goroutines per replay (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,7 +43,20 @@ func main() {
 		}
 		return
 	}
-	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "edcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers}
 	start := time.Now()
 	var (
 		tables []*bench.Table
@@ -59,5 +77,18 @@ func main() {
 	}
 	if *format == "table" {
 		fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "edcbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,54 @@
+package edc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReplayWorkersDeterminism checks the pipeline's core contract: the
+// replay-worker count changes only wall-clock speed, never results.
+// Compressed output is a pure function of (content, codec) and the event
+// loop joins every future before using it, so RunStats must match
+// field-by-field between sequential (workers=1) and pipelined (workers=8)
+// replays. Run under -race this also exercises the pool's handoff of
+// content/payload buffers between the event loop and the workers.
+func TestReplayWorkersDeterminism(t *testing.T) {
+	tr := smallTrace(t, 1500)
+	backends := []struct {
+		name string
+		opts []Option
+	}{
+		{"single-ssd", []Option{WithSSDConfig(smallSSD())}},
+		{"rais5", []Option{WithBackend(RAIS5, 5), WithSSDConfig(smallSSD())}},
+	}
+	for _, s := range []Scheme{SchemeEDC, SchemeEDCPlus} {
+		for _, be := range backends {
+			s, be := s, be
+			t.Run(string(s)+"/"+be.name, func(t *testing.T) {
+				runWith := func(workers int) *Results {
+					opts := append([]Option{
+						WithScheme(s),
+						WithReplayWorkers(workers),
+					}, be.opts...)
+					res, err := Replay(tr, testVolume, opts...)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					return res
+				}
+				seq := runWith(1)
+				par := runWith(8)
+				if !reflect.DeepEqual(seq, par) {
+					report := func(r *Results) []interface{} {
+						return []interface{}{
+							r.OrigBytes, r.CompBytes, r.StoredBytes,
+							r.Resp.Count(), r.MeanResponse(), r.RunsByTag,
+						}
+					}
+					t.Fatalf("results differ between workers=1 and workers=8:\nseq: %v\npar: %v",
+						report(seq), report(par))
+				}
+			})
+		}
+	}
+}

@@ -107,6 +107,7 @@ type options struct {
 	disableSD    bool
 	exactSlots   bool
 	cpuWorkers   int
+	replayWork   int
 	cacheBytes   int64
 	offload      bool
 	noEstimate   bool
@@ -166,6 +167,21 @@ func WithMaxRun(bytes int64) Option { return func(o *options) { o.maxRun = bytes
 // workers (default 1, the paper's single-threaded prototype).
 func WithCPUWorkers(n int) Option { return func(o *options) { o.cpuWorkers = n } }
 
+// WithReplayWorkers sets how many OS goroutines execute real codec work
+// concurrently with the virtual-time event loop (the replay pipeline).
+// This changes only wall-clock replay speed: compressed output is a pure
+// function of (content, codec), so results are bit-identical for any
+// setting. Default runtime.GOMAXPROCS(0); n <= 1 runs sequentially
+// inline.
+func WithReplayWorkers(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			n = 1
+		}
+		o.replayWork = n
+	}
+}
+
 // WithCache enables a host DRAM read cache of the given size (the upper
 // DRAM buffer in the paper's Fig. 4 architecture).
 func WithCache(bytes int64) Option { return func(o *options) { o.cacheBytes = bytes } }
@@ -201,21 +217,40 @@ func DataProfiles() map[string]DataProfile {
 	}
 }
 
-// Workload returns a named synthetic workload profile over a volume:
-// "fin1", "fin2", "usr0", "prxy0" (the paper's Table II traces).
-func Workload(name string, volumeBytes int64) WorkloadProfile {
+// WorkloadNames returns the recognized workload names in presentation
+// order (the paper's Table II traces).
+func WorkloadNames() []string {
+	return []string{"fin1", "fin2", "usr0", "prxy0"}
+}
+
+// WorkloadByName returns a named synthetic workload profile over a
+// volume: "fin1", "fin2", "usr0", "prxy0" (case-insensitive; "usr_0"
+// and "prxy_0" are accepted aliases). Unknown names return an error
+// listing the valid choices.
+func WorkloadByName(name string, volumeBytes int64) (WorkloadProfile, error) {
 	switch strings.ToLower(name) {
 	case "fin1":
-		return workload.Fin1(volumeBytes)
+		return workload.Fin1(volumeBytes), nil
 	case "fin2":
-		return workload.Fin2(volumeBytes)
+		return workload.Fin2(volumeBytes), nil
 	case "usr0", "usr_0":
-		return workload.Usr0(volumeBytes)
+		return workload.Usr0(volumeBytes), nil
 	case "prxy0", "prxy_0":
-		return workload.Prxy0(volumeBytes)
+		return workload.Prxy0(volumeBytes), nil
 	default:
-		panic(fmt.Sprintf("edc: unknown workload %q", name))
+		return WorkloadProfile{}, fmt.Errorf("edc: unknown workload %q (valid: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
 	}
+}
+
+// Workload is the panicking form of WorkloadByName, for tests and
+// examples with hard-coded names.
+func Workload(name string, volumeBytes int64) WorkloadProfile {
+	p, err := WorkloadByName(name, volumeBytes)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // StandardWorkloads returns the paper's four evaluation profiles.
@@ -337,17 +372,18 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 		pol = core.WithoutEstimator(pol)
 	}
 	dev, err := core.NewDevice(eng, be, volumeBytes, core.Options{
-		Policy:       pol,
-		Cost:         o.cost,
-		Data:         datagen.New(o.data, o.dataSeed),
-		VerifyReads:  o.verify,
-		DisableSD:    o.disableSD,
-		ExactSlots:   o.exactSlots,
-		CPUWorkers:   o.cpuWorkers,
-		CacheBytes:   o.cacheBytes,
-		Offload:      o.offload,
-		MaxRun:       o.maxRun,
-		FlushTimeout: o.flushTimeout,
+		Policy:        pol,
+		Cost:          o.cost,
+		Data:          datagen.New(o.data, o.dataSeed),
+		VerifyReads:   o.verify,
+		DisableSD:     o.disableSD,
+		ExactSlots:    o.exactSlots,
+		CPUWorkers:    o.cpuWorkers,
+		ReplayWorkers: o.replayWork,
+		CacheBytes:    o.cacheBytes,
+		Offload:       o.offload,
+		MaxRun:        o.maxRun,
+		FlushTimeout:  o.flushTimeout,
 	})
 	if err != nil {
 		return nil, err

@@ -30,6 +30,10 @@ type Params struct {
 	VolumeMiB int
 	// Seed offsets all generator seeds (default 0: the published seeds).
 	Seed int64
+	// Workers is the replay pipeline width passed to
+	// edc.WithReplayWorkers (default 0: runtime.GOMAXPROCS(0)). It only
+	// affects wall-clock speed; results are identical for any setting.
+	Workers int
 }
 
 func (p Params) requests() int {

@@ -76,6 +76,9 @@ func replayScheme(p Params, backend edc.BackendKind, tr *trace.Trace, s edc.Sche
 		edc.WithScheme(s),
 		edc.WithDataProfile(edc.DataProfiles()["enterprise"], 5+p.Seed),
 	}
+	if p.Workers != 0 {
+		opts = append(opts, edc.WithReplayWorkers(p.Workers))
+	}
 	if backend == edc.SingleSSD {
 		opts = append(opts, edc.WithSSDConfig(singleSSDConfig()))
 	} else {

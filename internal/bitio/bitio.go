@@ -89,6 +89,21 @@ func (w *Writer) Reset() {
 	w.nAcc = 0
 }
 
+// ResetBuf re-points the writer at buf: subsequent writes append after
+// buf's existing contents, reusing its spare capacity. It lets callers
+// run the bit stream over a caller-managed (e.g. pooled) buffer with a
+// zero-value Writer, avoiding both the Writer and the buffer allocation:
+//
+//	var w bitio.Writer
+//	w.ResetBuf(dst)
+//	... writes ...
+//	dst = w.Bytes()
+func (w *Writer) ResetBuf(buf []byte) {
+	w.buf = buf
+	w.acc = 0
+	w.nAcc = 0
+}
+
 // Reader consumes bits from a byte slice, LSB first.
 type Reader struct {
 	data []byte

@@ -15,6 +15,9 @@
 package bwz
 
 import (
+	"bytes"
+	"sync"
+
 	"edc/internal/bitio"
 	"edc/internal/compress"
 	"edc/internal/huffman"
@@ -43,19 +46,47 @@ func (*Codec) Name() string { return "bwz" }
 // Tag implements compress.Codec.
 func (*Codec) Tag() compress.Tag { return compress.TagBWZ }
 
+// scratch is the per-block compression workspace: the suffix-array
+// int32 arrays dominate bwz's allocation profile (4 slices of block
+// length per block), so they are pooled and reused across Compress
+// calls. A sync.Pool keeps the codec safe for concurrent use by
+// parallel replay workers.
+type scratch struct {
+	sa, rank, tmp, cnt []int32
+	l                  []byte   // BWT last column
+	mtfd               []byte   // move-to-front output
+	syms               []uint16 // RLE symbol stream
+	freqs              [numSyms]int64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+// grow32 returns a len-n int32 slice reusing b's storage when possible.
+// Contents are unspecified; callers fully overwrite (or zero) it.
+func grow32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
 // suffixArray returns the suffix array of s+sentinel using prefix
 // doubling with counting-sort passes (O(n log n)); index n (the
-// sentinel) sorts first.
-func suffixArray(s []byte) []int32 {
+// sentinel) sorts first. The returned slice aliases st.sa.
+func suffixArray(s []byte, st *scratch) []int32 {
 	n := len(s) + 1 // including sentinel
-	sa := make([]int32, n)
-	rank := make([]int32, n)
-	tmp := make([]int32, n)
+	st.sa = grow32(st.sa, n)
+	st.rank = grow32(st.rank, n)
+	st.tmp = grow32(st.tmp, n)
 	cntLen := n + 1
 	if cntLen < 257 {
 		cntLen = 257 // round 0 buckets span the byte alphabet + sentinel
 	}
-	cnt := make([]int32, cntLen)
+	st.cnt = grow32(st.cnt, cntLen)
+	sa, rank, tmp, cnt := st.sa, st.rank, st.tmp, st.cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
 
 	// Round 0: counting sort by first character (sentinel = 0).
 	key0 := func(i int) int32 {
@@ -135,10 +166,13 @@ func suffixArray(s []byte) []int32 {
 // bwt computes the sentinel Burrows–Wheeler transform. It returns the
 // last column (length len(s)) and the primary index: the sorted-rotation
 // row occupied by the original string, whose last character (the
-// sentinel) is omitted from the output.
-func bwt(s []byte) ([]byte, int) {
-	sa := suffixArray(s)
-	out := make([]byte, 0, len(s))
+// sentinel) is omitted from the output. The returned slice aliases st.l.
+func bwt(s []byte, st *scratch) ([]byte, int) {
+	sa := suffixArray(s, st)
+	if cap(st.l) < len(s) {
+		st.l = make([]byte, 0, len(s))
+	}
+	out := st.l[:0]
 	primary := 0
 	for j, i := range sa {
 		if i == 0 {
@@ -147,6 +181,7 @@ func bwt(s []byte) ([]byte, int) {
 		}
 		out = append(out, s[i-1])
 	}
+	st.l = out
 	return out, primary
 }
 
@@ -210,19 +245,22 @@ func unbwt(l []byte, primary int) ([]byte, error) {
 	return out, nil
 }
 
-// mtf applies the move-to-front transform in place semantics (returns a
-// new slice of the same length).
-func mtf(src []byte) []byte {
+// mtf applies the move-to-front transform (output length equals input
+// length). The returned slice aliases st.mtfd.
+func mtf(src []byte, st *scratch) []byte {
 	var alpha [256]byte
 	for i := range alpha {
 		alpha[i] = byte(i)
 	}
-	out := make([]byte, len(src))
+	if cap(st.mtfd) < len(src) {
+		st.mtfd = make([]byte, len(src))
+	}
+	st.mtfd = st.mtfd[:len(src)]
+	out := st.mtfd
 	for i, c := range src {
-		var j int
-		for alpha[j] != c {
-			j++
-		}
+		// IndexByte is the vectorized scan; every byte value is present in
+		// alpha, so the result is always >= 0.
+		j := bytes.IndexByte(alpha[:], c)
 		out[i] = byte(j)
 		copy(alpha[1:j+1], alpha[:j])
 		alpha[0] = c
@@ -246,9 +284,13 @@ func unmtf(src []byte) []byte {
 	return out
 }
 
-// rleEncode maps MTF output to the RUNA/RUNB symbol stream.
-func rleEncode(mtfd []byte) []uint16 {
-	out := make([]uint16, 0, len(mtfd)/2+8)
+// rleEncode maps MTF output to the RUNA/RUNB symbol stream. The
+// returned slice aliases st.syms.
+func rleEncode(mtfd []byte, st *scratch) []uint16 {
+	if cap(st.syms) < len(mtfd)/2+8 {
+		st.syms = make([]uint16, 0, len(mtfd)/2+8)
+	}
+	out := st.syms[:0]
 	i := 0
 	for i < len(mtfd) {
 		if mtfd[i] == 0 {
@@ -272,6 +314,7 @@ func rleEncode(mtfd []byte) []uint16 {
 		out = append(out, uint16(mtfd[i])+1)
 		i++
 	}
+	st.syms = out
 	return out
 }
 
@@ -313,12 +356,15 @@ func rleDecode(syms []uint16, n int) ([]byte, error) {
 	return out, nil
 }
 
-// compressBlock encodes one BWT block into w.
-func compressBlock(w *bitio.Writer, block []byte) {
-	l, primary := bwt(block)
-	syms := rleEncode(mtf(l))
+// compressBlock encodes one BWT block into w using st's scratch.
+func compressBlock(w *bitio.Writer, block []byte, st *scratch) {
+	l, primary := bwt(block, st)
+	syms := rleEncode(mtf(l, st), st)
 
-	freqs := make([]int64, numSyms)
+	freqs := st.freqs[:]
+	for i := range freqs {
+		freqs[i] = 0
+	}
 	freqs[symEOB] = 1
 	for _, s := range syms {
 		freqs[s]++
@@ -375,17 +421,28 @@ func decompressBlock(r *bitio.Reader, blockLen int) ([]byte, error) {
 }
 
 // Compress implements compress.Codec.
-func (*Codec) Compress(src []byte) []byte {
-	w := bitio.NewWriter(len(src)/2 + 64)
+func (c *Codec) Compress(src []byte) []byte {
+	return c.AppendCompress(make([]byte, 0, len(src)/2+64), src)
+}
+
+// AppendCompress implements compress.Appender: it appends the
+// compressed form of src to dst (growing it as needed) and returns the
+// extended slice. The pooled scratch makes repeated compressions nearly
+// allocation-free.
+func (*Codec) AppendCompress(dst, src []byte) []byte {
+	var w bitio.Writer
+	w.ResetBuf(dst)
+	st := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(st)
 	for off := 0; off < len(src); off += MaxBlock {
 		end := off + MaxBlock
 		if end > len(src) {
 			end = len(src)
 		}
-		compressBlock(w, src[off:end])
+		compressBlock(&w, src[off:end], st)
 	}
 	if len(src) == 0 {
-		compressBlock(w, nil)
+		compressBlock(&w, nil, st)
 	}
 	return w.Bytes()
 }

@@ -17,7 +17,7 @@ func BenchmarkCodec(b *testing.B) { codectest.RunBench(b, New()) }
 
 func TestSuffixArraySorted(t *testing.T) {
 	s := []byte("banana")
-	sa := suffixArray(s)
+	sa := suffixArray(s, new(scratch))
 	if len(sa) != len(s)+1 {
 		t.Fatalf("sa length %d; want %d", len(sa), len(s)+1)
 	}
@@ -35,7 +35,7 @@ func TestSuffixArraySorted(t *testing.T) {
 func TestBWTKnownVector(t *testing.T) {
 	// banana: sorted sentinel rotations give last column "annb$aa" with $
 	// dropped -> "annbaa", primary = row of original string.
-	l, p := bwt([]byte("banana"))
+	l, p := bwt([]byte("banana"), new(scratch))
 	got, err := unbwt(l, p)
 	if err != nil || string(got) != "banana" {
 		t.Fatalf("unbwt(bwt(banana)) = %q, %v", got, err)
@@ -47,7 +47,7 @@ func TestBWTQuick(t *testing.T) {
 		if len(data) > 4096 {
 			data = data[:4096]
 		}
-		l, p := bwt(data)
+		l, p := bwt(data, new(scratch))
 		got, err := unbwt(l, p)
 		return err == nil && bytes.Equal(got, data)
 	}
@@ -57,7 +57,7 @@ func TestBWTQuick(t *testing.T) {
 }
 
 func TestUnbwtRejectsBadPrimary(t *testing.T) {
-	l, _ := bwt([]byte("hello world"))
+	l, _ := bwt([]byte("hello world"), new(scratch))
 	if _, err := unbwt(l, len(l)+5); err == nil {
 		t.Fatal("expected error for out-of-range primary index")
 	}
@@ -69,7 +69,7 @@ func TestMTFRoundTrip(t *testing.T) {
 		n := rng.Intn(2000)
 		src := make([]byte, n)
 		rng.Read(src)
-		if !bytes.Equal(unmtf(mtf(src)), src) {
+		if !bytes.Equal(unmtf(mtf(src, new(scratch))), src) {
 			t.Fatalf("mtf round trip failed (trial %d)", trial)
 		}
 	}
@@ -77,7 +77,7 @@ func TestMTFRoundTrip(t *testing.T) {
 
 func TestMTFFrontLoading(t *testing.T) {
 	// Repeated characters should produce zeros after the first occurrence.
-	out := mtf([]byte("aaaa"))
+	out := mtf([]byte("aaaa"), new(scratch))
 	if out[1] != 0 || out[2] != 0 || out[3] != 0 {
 		t.Fatalf("mtf(aaaa) = %v; want trailing zeros", out)
 	}
@@ -95,7 +95,7 @@ func TestRLERoundTrip(t *testing.T) {
 				src[i] = byte(rng.Intn(255) + 1)
 			}
 		}
-		got, err := rleDecode(rleEncode(src), len(src))
+		got, err := rleDecode(rleEncode(src, new(scratch)), len(src))
 		if err != nil || !bytes.Equal(got, src) {
 			t.Fatalf("rle round trip failed (trial %d): %v", trial, err)
 		}
@@ -104,7 +104,7 @@ func TestRLERoundTrip(t *testing.T) {
 
 func TestRLELongZeroRun(t *testing.T) {
 	src := make([]byte, 100000) // single huge zero run
-	syms := rleEncode(src)
+	syms := rleEncode(src, new(scratch))
 	if len(syms) > 20 {
 		t.Fatalf("100k zero run encoded to %d symbols; want logarithmic", len(syms))
 	}

@@ -1,0 +1,117 @@
+package compress_test
+
+import (
+	"fmt"
+	"testing"
+
+	"edc/internal/compress"
+	_ "edc/internal/compress/bwz"
+	_ "edc/internal/compress/gz"
+	_ "edc/internal/compress/lz4x"
+	_ "edc/internal/compress/lzf"
+	"edc/internal/datagen"
+)
+
+// benchSizes spans a single 4 KiB block, the SD merge grain, and a large
+// sequential run.
+var benchSizes = []struct {
+	name string
+	n    int
+}{
+	{"4KiB", 4 << 10},
+	{"64KiB", 64 << 10},
+	{"1MiB", 1 << 20},
+}
+
+// benchProfiles are the four payload models of the evaluation, from
+// highly compressible (linux-src) to incompressible (media).
+func benchProfiles() []datagen.Profile {
+	return []datagen.Profile{
+		datagen.LinuxSrc(),
+		datagen.FirefoxBin(),
+		datagen.Enterprise(),
+		datagen.Media(),
+	}
+}
+
+func benchCodecs(b *testing.B) []compress.Codec {
+	b.Helper()
+	reg := compress.Default()
+	var out []compress.Codec
+	for _, name := range []string{"lzf", "lz4", "gz", "bwz"} {
+		c, err := reg.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// BenchmarkCompress measures codec throughput and allocations over every
+// (codec, profile, size) cell. The AppendCompress rows are the device
+// hot path: steady-state they should run at zero or near-zero allocs/op.
+func BenchmarkCompress(b *testing.B) {
+	for _, c := range benchCodecs(b) {
+		for _, p := range benchProfiles() {
+			gen := datagen.New(p, 7)
+			for _, sz := range benchSizes {
+				src := gen.Block(0, sz.n, 0)
+				b.Run(fmt.Sprintf("%s/%s/%s", c.Name(), p.Name, sz.name), func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(int64(sz.n))
+					for i := 0; i < b.N; i++ {
+						_ = c.Compress(src)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAppendCompress measures the recycled-buffer path used by the
+// replay pipeline.
+func BenchmarkAppendCompress(b *testing.B) {
+	for _, c := range benchCodecs(b) {
+		a, ok := c.(compress.Appender)
+		if !ok {
+			continue
+		}
+		for _, p := range benchProfiles() {
+			gen := datagen.New(p, 7)
+			for _, sz := range benchSizes {
+				src := gen.Block(0, sz.n, 0)
+				b.Run(fmt.Sprintf("%s/%s/%s", c.Name(), p.Name, sz.name), func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(int64(sz.n))
+					var buf []byte
+					for i := 0; i < b.N; i++ {
+						buf = a.AppendCompress(buf[:0], src)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkDecompress covers the read path.
+func BenchmarkDecompress(b *testing.B) {
+	for _, c := range benchCodecs(b) {
+		for _, p := range benchProfiles() {
+			gen := datagen.New(p, 7)
+			for _, sz := range benchSizes {
+				src := gen.Block(0, sz.n, 0)
+				comp := c.Compress(src)
+				b.Run(fmt.Sprintf("%s/%s/%s", c.Name(), p.Name, sz.name), func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(int64(sz.n))
+					for i := 0; i < b.N; i++ {
+						if _, err := c.Decompress(comp, sz.n); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

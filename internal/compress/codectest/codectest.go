@@ -90,6 +90,19 @@ func RunRoundTrip(t *testing.T, c compress.Codec) {
 			if !bytes.Equal(got, src) {
 				t.Fatalf("%s: round trip mismatch (len got %d want %d)", c.Name(), len(got), len(src))
 			}
+			if a, ok := c.(compress.Appender); ok {
+				// AppendCompress must produce Compress's exact bytes,
+				// both from scratch and after an existing prefix.
+				if ac := a.AppendCompress(nil, src); !bytes.Equal(ac, comp) {
+					t.Fatalf("%s: AppendCompress(nil) differs from Compress (len %d vs %d)",
+						c.Name(), len(ac), len(comp))
+				}
+				pre := []byte{0xde, 0xad}
+				ac := a.AppendCompress(append([]byte(nil), pre...), src)
+				if !bytes.Equal(ac[:2], pre) || !bytes.Equal(ac[2:], comp) {
+					t.Fatalf("%s: AppendCompress after prefix corrupted output", c.Name())
+				}
+			}
 		})
 	}
 }

@@ -56,6 +56,25 @@ type Codec interface {
 	Decompress(src []byte, origLen int) ([]byte, error)
 }
 
+// Appender is an optional Codec extension for allocation-conscious hot
+// paths: AppendCompress appends the compressed form of src to dst
+// (usually a pooled buffer passed as buf[:0]) and returns the extended
+// slice, which may be a reallocation of dst. Output bytes are identical
+// to Compress. All codecs in this repository implement it.
+type Appender interface {
+	AppendCompress(dst, src []byte) []byte
+}
+
+// AppendCompress compresses src with c, appending to dst when c
+// implements Appender and falling back to Compress (plus a copy into
+// dst) otherwise. The result is byte-identical to c.Compress(src).
+func AppendCompress(c Codec, dst, src []byte) []byte {
+	if a, ok := c.(Appender); ok {
+		return a.AppendCompress(dst, src)
+	}
+	return append(dst, c.Compress(src)...)
+}
+
 // none is the write-through pseudo-codec (tag 0).
 type none struct{}
 
@@ -66,6 +85,7 @@ func (none) Compress(src []byte) []byte {
 	copy(out, src)
 	return out
 }
+func (none) AppendCompress(dst, src []byte) []byte { return append(dst, src...) }
 func (none) Decompress(src []byte, origLen int) ([]byte, error) {
 	if len(src) != origLen {
 		return nil, ErrSizeMismatch

@@ -18,6 +18,7 @@ package gz
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"edc/internal/bitio"
 	"edc/internal/compress"
@@ -114,14 +115,35 @@ func (*Codec) Tag() compress.Tag { return compress.TagGZ }
 
 func hash4(v uint32) uint32 { return (v * 2654435761) >> (32 - hashBits) }
 
-// parse runs hash-chain LZ77 with one-token lazy evaluation.
-func parse(src []byte) []token {
-	tokens := make([]token, 0, len(src)/3+8)
+// parseState is the per-compression scratch: the hash-chain arrays, the
+// token buffer, and the Huffman frequency tables. Pooling it removes the
+// dominant allocations from the Compress hot path (the event-loop replay
+// compresses thousands of runs per trace); a sync.Pool keeps the codec
+// safe for concurrent use by parallel replay workers.
+type parseState struct {
+	head     [hashSize]int32
+	prev     []int32
+	tokens   []token
+	litFreq  [numLitLen]int64
+	distFreq [numDist]int64
+}
+
+var statePool = sync.Pool{New: func() interface{} { return new(parseState) }}
+
+// parse runs hash-chain LZ77 with one-token lazy evaluation, reusing the
+// state's scratch buffers. The returned token slice aliases st.tokens.
+func (st *parseState) parse(src []byte) []token {
+	tokens := st.tokens[:0]
 	if len(src) == 0 {
 		return tokens
 	}
-	head := make([]int32, hashSize)
-	prev := make([]int32, len(src))
+	head := &st.head
+	if cap(st.prev) < len(src) {
+		st.prev = make([]int32, len(src))
+	}
+	// Stale prev entries are unreachable: a position is only chained
+	// from head (reset below) after insert overwrites its prev slot.
+	prev := st.prev[:len(src)]
 	for i := range head {
 		head[i] = -1
 	}
@@ -199,6 +221,7 @@ func parse(src []byte) []token {
 		tokens = append(tokens, token{lit: src[i]})
 		i++
 	}
+	st.tokens = tokens
 	return tokens
 }
 
@@ -212,23 +235,40 @@ const compressedMagic = 0x00
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(src []byte) []byte {
-	out := c.compressHuffman(src)
-	if len(out) >= len(src)+1 {
-		stored := make([]byte, 1+len(src))
-		stored[0] = storedMagic
-		copy(stored[1:], src)
-		return stored
+	return c.AppendCompress(make([]byte, 0, len(src)/2+64), src)
+}
+
+// AppendCompress implements compress.Appender: it appends the
+// compressed form of src to dst (growing it as needed) and returns the
+// extended slice. Combined with the pooled parse scratch this makes the
+// replay hot path allocation-free in steady state.
+func (*Codec) AppendCompress(dst, src []byte) []byte {
+	mark := len(dst)
+	out := appendHuffman(dst, src)
+	if len(out)-mark >= len(src)+1 {
+		// The Huffman form expanded: emit the stored container instead,
+		// overwriting it in place.
+		out = append(out[:mark], storedMagic)
+		return append(out, src...)
 	}
 	return out
 }
 
-// compressHuffman produces the Huffman container (with its leading
-// format byte).
-func (*Codec) compressHuffman(src []byte) []byte {
-	tokens := parse(src)
+// appendHuffman appends the Huffman container (with its leading format
+// byte) to dst.
+func appendHuffman(dst, src []byte) []byte {
+	st := statePool.Get().(*parseState)
+	defer statePool.Put(st)
+	tokens := st.parse(src)
 
-	litFreq := make([]int64, numLitLen)
-	distFreq := make([]int64, numDist)
+	litFreq := st.litFreq[:]
+	distFreq := st.distFreq[:]
+	for i := range litFreq {
+		litFreq[i] = 0
+	}
+	for i := range distFreq {
+		distFreq[i] = 0
+	}
 	litFreq[eob] = 1
 	for _, t := range tokens {
 		if t.dist == 0 {
@@ -267,27 +307,28 @@ func (*Codec) compressHuffman(src []byte) []byte {
 		}
 	}
 
-	w := bitio.NewWriter(len(src)/2 + 64)
+	var w bitio.Writer
+	w.ResetBuf(dst)
 	w.WriteBits(compressedMagic, 8)
-	huffman.WriteLengths(w, litLens)
-	huffman.WriteLengths(w, distLens)
+	huffman.WriteLengths(&w, litLens)
+	huffman.WriteLengths(&w, distLens)
 	for _, t := range tokens {
 		if t.dist == 0 {
-			_ = litEnc.Encode(w, int(t.lit))
+			_ = litEnc.Encode(&w, int(t.lit))
 			continue
 		}
 		s, ev, eb := lengthToCode(int(t.len))
-		_ = litEnc.Encode(w, s)
+		_ = litEnc.Encode(&w, s)
 		if eb > 0 {
 			w.WriteBits(uint64(ev), eb)
 		}
 		ds, dev, deb := distToCode(int(t.dist))
-		_ = distEnc.Encode(w, ds)
+		_ = distEnc.Encode(&w, ds)
 		if deb > 0 {
 			w.WriteBits(uint64(dev), deb)
 		}
 	}
-	_ = litEnc.Encode(w, eob)
+	_ = litEnc.Encode(&w, eob)
 	return w.Bytes()
 }
 

@@ -58,8 +58,16 @@ func writeLen(out []byte, n int) []byte {
 }
 
 // Compress implements compress.Codec.
-func (*Codec) Compress(src []byte) []byte {
-	out := make([]byte, 0, len(src)+len(src)/32+16)
+func (c *Codec) Compress(src []byte) []byte {
+	return c.AppendCompress(make([]byte, 0, len(src)+len(src)/32+16), src)
+}
+
+// AppendCompress implements compress.Appender: it appends the
+// compressed form of src to dst (growing it as needed) and returns the
+// extended slice. The hot replay path calls it with pooled buffers so a
+// compression allocates nothing in steady state.
+func (*Codec) AppendCompress(dst, src []byte) []byte {
+	out := dst
 	if len(src) == 0 {
 		return out
 	}

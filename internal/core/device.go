@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/parallel"
 	"edc/internal/sim"
 	"edc/internal/trace"
 )
@@ -49,6 +51,13 @@ type Options struct {
 	// 1, the paper's single-threaded engine; raise it to model a
 	// multicore host absorbing compression cost).
 	CPUWorkers int
+	// ReplayWorkers is the number of OS goroutines executing *real*
+	// codec work concurrently with the virtual-time event loop (the
+	// wall-clock analogue of CPUWorkers, which only models virtual CPU
+	// time). Compressed output is a pure function of (content, codec),
+	// so results are bit-identical for any setting. Default
+	// runtime.GOMAXPROCS(0); values < 0 (or 1) run sequentially inline.
+	ReplayWorkers int
 	// MaxOutstanding bounds host requests in flight (closed-loop replay:
 	// arrivals beyond the bound are admitted as earlier requests
 	// complete, as a real block layer's bounded queue does). Zero keeps
@@ -119,6 +128,17 @@ type Device struct {
 
 	payloads map[*Extent][]byte // verify mode
 
+	// Real-CPU pipeline: codec work dispatched at processRun time runs
+	// on pool workers while the event loop advances virtual time; store
+	// joins on the future. The pool exists only while Play runs.
+	replayWorkers int
+	pool          *parallel.Pool
+
+	// freeBufs recycles content/payload buffers. It is only touched by
+	// the event-loop goroutine (workers receive buffers by closure and
+	// hand them back through the joined future), so no locking.
+	freeBufs [][]byte
+
 	stats *RunStats
 	err   error
 }
@@ -182,6 +202,12 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 	} else {
 		cpu = sim.NewStation(eng, "cpu")
 	}
+	switch {
+	case opts.ReplayWorkers == 0:
+		opts.ReplayWorkers = runtime.GOMAXPROCS(0)
+	case opts.ReplayWorkers < 0:
+		opts.ReplayWorkers = 1 // sequential inline execution
+	}
 	d := &Device{
 		eng:         eng,
 		cpu:         cpu,
@@ -204,6 +230,8 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		disableSD:   opts.DisableSD,
 		exactSlots:  opts.ExactSlots,
 		verify:      opts.VerifyReads,
+
+		replayWorkers: opts.ReplayWorkers,
 	}
 	if d.volBytes == 0 {
 		return nil, errors.New("core: volume smaller than one block")
@@ -249,11 +277,38 @@ func (d *Device) alignRequest(r trace.Request) (off, size int64) {
 	return off, size
 }
 
+// getBuf returns a recycled buffer (possibly nil) with zero length.
+// Event-loop goroutine only.
+func (d *Device) getBuf() []byte {
+	if n := len(d.freeBufs); n > 0 {
+		b := d.freeBufs[n-1]
+		d.freeBufs = d.freeBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putBuf recycles a buffer for a later getBuf. Event-loop goroutine
+// only; the caller must not retain b.
+func (d *Device) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	d.freeBufs = append(d.freeBufs, b[:0])
+}
+
 // Play replays t to completion and returns the collected statistics.
 // The device is single-use: create a fresh Device per run.
 func (d *Device) Play(t *trace.Trace) (*RunStats, error) {
 	if d.stats != nil {
 		return nil, errors.New("core: device already played a trace")
+	}
+	if d.replayWorkers > 1 {
+		d.pool = parallel.NewPool(d.replayWorkers)
+		defer func() {
+			d.pool.Close()
+			d.pool = nil
+		}()
 	}
 	d.stats = newRunStats(d.policy.Name(), t.Name, d.be.Describe())
 	for _, r := range t.Requests {
@@ -367,7 +422,7 @@ func (d *Device) processRun(run *Run) {
 
 	ver := d.version
 	d.version++
-	content := d.data.Block(run.Offset, int(run.Size), ver)
+	content := d.data.AppendBlock(d.getBuf(), run.Offset, int(run.Size), ver)
 
 	var codec compress.Codec
 	var cpuTime time.Duration
@@ -389,7 +444,19 @@ func (d *Device) processRun(run *Run) {
 	if codec != nil && !d.offload {
 		cpuTime += d.cost.CompressTime(codec.Tag(), run.Size)
 	}
-	store := func(_, _ time.Duration) { d.store(run, content, codec, ver) }
+	// Pipeline the real codec work: compression is a pure function of
+	// (content, codec), so it can run on a worker goroutine while the
+	// event loop advances virtual time. store joins on the future, so
+	// virtual-time ordering and all statistics are unchanged.
+	var fut *parallel.Future[[]byte]
+	if codec != nil && d.pool != nil {
+		c := codec
+		dst := d.getBuf()
+		fut = parallel.Go(d.pool, func() []byte {
+			return compress.AppendCompress(c, dst, content)
+		})
+	}
+	store := func(_, _ time.Duration) { d.store(run, content, codec, fut, ver) }
 	if cpuTime > 0 {
 		d.cpu.Submit(sim.Job{Service: cpuTime, Done: store})
 	} else {
@@ -397,19 +464,28 @@ func (d *Device) processRun(run *Run) {
 	}
 }
 
-// store runs the codec for real, allocates the quantized slot, updates
-// the mapping, and issues the device write.
-func (d *Device) store(run *Run, content []byte, codec compress.Codec, ver uint32) {
+// store joins the codec result (or runs the codec inline), allocates the
+// quantized slot, updates the mapping, and issues the device write.
+func (d *Device) store(run *Run, content []byte, codec compress.Codec, fut *parallel.Future[[]byte], ver uint32) {
+	var payload []byte
+	// Join before any early return: the worker owns the payload buffer
+	// (and reads content) until the future resolves.
+	if fut != nil {
+		payload = fut.Wait()
+	}
 	if d.err != nil {
 		d.inFlight -= int64(len(run.Writes))
+		d.putBuf(content)
+		d.putBuf(payload)
 		return
 	}
 	tag := compress.TagNone
 	compLen := run.Size
 	slotLen := run.Size
-	var payload []byte
 	if codec != nil {
-		payload = codec.Compress(content)
+		if fut == nil {
+			payload = compress.AppendCompress(codec, d.getBuf(), content)
+		}
 		slot, ok := QuantizeSlot(run.Size, int64(len(payload)))
 		if ok {
 			tag = codec.Tag()
@@ -421,6 +497,7 @@ func (d *Device) store(run *Run, content []byte, codec compress.Codec, ver uint3
 		} else {
 			// Codec output above 75 %: keep uncompressed (Sec. III-C).
 			d.stats.Oversize++
+			d.putBuf(payload)
 			payload = nil
 		}
 	}
@@ -428,6 +505,8 @@ func (d *Device) store(run *Run, content []byte, codec compress.Codec, ver uint3
 	if err != nil {
 		d.fail(fmt.Errorf("storing run at %d: %w", run.Offset, err))
 		d.inFlight -= int64(len(run.Writes))
+		d.putBuf(content)
+		d.putBuf(payload)
 		return
 	}
 	ext := &Extent{
@@ -442,11 +521,13 @@ func (d *Device) store(run *Run, content []byte, codec compress.Codec, ver uint3
 	if err := d.mapping.Insert(ext); err != nil {
 		d.fail(err)
 		d.inFlight -= int64(len(run.Writes))
+		d.putBuf(content)
+		d.putBuf(payload)
 		return
 	}
 	if d.verify {
 		if tag != compress.TagNone {
-			d.payloads[ext] = payload
+			d.payloads[ext] = append([]byte(nil), payload...)
 		} else {
 			d.payloads[ext] = append([]byte(nil), content...)
 		}
@@ -456,6 +537,8 @@ func (d *Device) store(run *Run, content []byte, codec compress.Codec, ver uint3
 	d.stats.StoredBytes += slotLen
 	d.stats.RunsByTag[tag]++
 	d.stats.BytesByTag[tag] += run.Size
+	d.putBuf(content)
+	d.putBuf(payload)
 
 	var extra time.Duration
 	if d.offload && tag != compress.TagNone {
@@ -559,8 +642,10 @@ func (d *Device) verifyExtent(ext *Extent, payload []byte) {
 		d.fail(fmt.Errorf("core: verify: decompress extent at %d: %w", ext.Offset, err))
 		return
 	}
-	want := d.data.Block(ext.Offset, int(ext.OrigLen), ext.Version)
-	if !bytes.Equal(got, want) {
+	want := d.data.AppendBlock(d.getBuf(), ext.Offset, int(ext.OrigLen), ext.Version)
+	equal := bytes.Equal(got, want)
+	d.putBuf(want)
+	if !equal {
 		d.fail(fmt.Errorf("core: verify: content mismatch for extent at %d", ext.Offset))
 	}
 }

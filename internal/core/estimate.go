@@ -15,6 +15,14 @@ type Estimator struct {
 	SampleSize int
 	// Samples is the number of windows spread evenly across the block.
 	Samples int
+
+	// Repeated-4-gram hash-set scratch, reused across calls with an
+	// epoch tag so it never needs re-zeroing. An Estimator belongs to
+	// one Device and is only used from its event-loop goroutine; the
+	// estimate itself stays a pure function of the input.
+	seen  [512]uint32
+	epoch [512]uint32
+	cur   uint32
 }
 
 // NewEstimator returns the default estimator: three 256-byte windows.
@@ -46,7 +54,7 @@ func (e *Estimator) EstimateRatio(data []byte) float64 {
 		k = 3
 	}
 	if ss*k >= n {
-		return estimateWindow(data)
+		return e.estimateWindow(data)
 	}
 	// Evenly spaced windows, including the block head (headers compress
 	// differently from bodies).
@@ -54,13 +62,13 @@ func (e *Estimator) EstimateRatio(data []byte) float64 {
 	stride := (n - ss) / k
 	for i := 0; i < k; i++ {
 		off := i * stride
-		sum += estimateWindow(data[off : off+ss])
+		sum += e.estimateWindow(data[off : off+ss])
 	}
 	return sum / float64(k)
 }
 
 // estimateWindow predicts the ratio of one window.
-func estimateWindow(w []byte) float64 {
+func (e *Estimator) estimateWindow(w []byte) float64 {
 	if len(w) == 0 {
 		return 1
 	}
@@ -82,16 +90,22 @@ func estimateWindow(w []byte) float64 {
 	// before (cheap LZ-match proxy) using a small hash set.
 	matchFrac := 0.0
 	if len(w) >= 8 {
-		var seen [512]uint32
+		if e.cur == ^uint32(0) {
+			// Epoch wrap: reset the tags so stale entries cannot alias.
+			e.epoch = [512]uint32{}
+			e.cur = 0
+		}
+		e.cur++
 		matches := 0
 		total := 0
 		for i := 0; i+4 <= len(w); i++ {
 			v := uint32(w[i]) | uint32(w[i+1])<<8 | uint32(w[i+2])<<16 | uint32(w[i+3])<<24
 			h := (v * 2654435761) >> 23 // 9 bits
-			if seen[h] == v && v != 0 {
+			if e.epoch[h] == e.cur && e.seen[h] == v && v != 0 {
 				matches++
 			}
-			seen[h] = v
+			e.seen[h] = v
+			e.epoch[h] = e.cur
 			total++
 		}
 		matchFrac = float64(matches) / float64(total)

@@ -14,6 +14,7 @@ package datagen
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Class identifies one content family.
@@ -114,12 +115,24 @@ func Enterprise() Profile {
 	}}
 }
 
-// Generator produces deterministic content for volume offsets.
+// Generator produces deterministic content for volume offsets. It is
+// safe for concurrent use: per-call scratch (the reseedable RNG and the
+// binary-class match pool) lives in an internal sync.Pool, so steady-
+// state generation through AppendBlock allocates nothing.
 type Generator struct {
-	p      Profile
-	seed   int64
-	cum    []float64
-	cumSum float64
+	p       Profile
+	seed    int64
+	cum     []float64
+	cumSum  float64
+	scratch sync.Pool // of *genScratch
+}
+
+// genScratch is the reusable per-call state. Reseeding one rand.Rand
+// per region replaces the dominant allocation of the original
+// implementation (rand.NewSource builds a ~5 KiB state table per call).
+type genScratch struct {
+	rng  *rand.Rand
+	pool [256]byte // appendBinary's per-region match pool
 }
 
 // New returns a generator for profile p. It panics on an invalid
@@ -129,6 +142,9 @@ func New(p Profile, seed int64) *Generator {
 		panic(err)
 	}
 	g := &Generator{p: p, seed: seed}
+	g.scratch.New = func() interface{} {
+		return &genScratch{rng: rand.New(rand.NewSource(0))}
+	}
 	for _, cw := range p.Mixture {
 		g.cumSum += cw.Weight
 		g.cum = append(g.cum, g.cumSum)
@@ -167,38 +183,70 @@ func (g *Generator) ClassAt(offset int64) Class {
 // Block returns size bytes of content for the given volume offset.
 // version distinguishes successive overwrites of the same block.
 func (g *Generator) Block(offset int64, size int, version uint32) []byte {
-	out := make([]byte, 0, size)
-	for len(out) < size {
-		pos := offset + int64(len(out))
+	return g.AppendBlock(make([]byte, 0, size), offset, size, version)
+}
+
+// AppendBlock appends size bytes of content for the given volume offset
+// to dst and returns the extended slice. Output is byte-identical to
+// Block; callers on hot paths pass a recycled buffer (as buf[:0]) so
+// generation is allocation-free in steady state.
+func (g *Generator) AppendBlock(dst []byte, offset int64, size int, version uint32) []byte {
+	st := g.scratch.Get().(*genScratch)
+	start := len(dst)
+	for len(dst)-start < size {
+		done := len(dst) - start
+		pos := offset + int64(done)
 		region := pos / classGrain
 		// Bytes remaining in this region.
 		n := int(classGrain - pos%classGrain)
-		if n > size-len(out) {
-			n = size - len(out)
+		if n > size-done {
+			n = size - done
 		}
 		cls := g.ClassAt(pos)
 		sub := mix64(uint64(region)*0x2545f4914f6cdd1d ^ uint64(g.seed) ^ uint64(version)<<32 ^ uint64(pos%classGrain)<<1)
-		out = appendContent(out, cls, n, int64(sub))
+		dst = appendContent(dst, cls, n, int64(sub), st)
 	}
-	return out
+	g.scratch.Put(st)
+	return dst
+}
+
+// zeroChunk is a read-only source for zero fills.
+var zeroChunk [4096]byte
+
+// appendZeros appends n zero bytes without a temporary buffer.
+func appendZeros(dst []byte, n int) []byte {
+	for n > 0 {
+		k := n
+		if k > len(zeroChunk) {
+			k = len(zeroChunk)
+		}
+		dst = append(dst, zeroChunk[:k]...)
+		n -= k
+	}
+	return dst
 }
 
 // appendContent appends n bytes of class cls content seeded by seed.
-func appendContent(dst []byte, cls Class, n int, seed int64) []byte {
-	rng := rand.New(rand.NewSource(seed))
+// The reseeded scratch RNG yields exactly the stream a fresh
+// rand.New(rand.NewSource(seed)) would.
+func appendContent(dst []byte, cls Class, n int, seed int64, st *genScratch) []byte {
+	rng := st.rng
+	rng.Seed(seed)
 	switch cls {
 	case ClassZero:
-		return append(dst, make([]byte, n)...)
+		return appendZeros(dst, n)
 	case ClassText:
 		return appendText(dst, rng, n)
 	case ClassCode:
 		return appendCode(dst, rng, n)
 	case ClassBinary:
-		return appendBinary(dst, rng, n)
+		return appendBinary(dst, rng, n, st)
 	case ClassMedia:
-		buf := make([]byte, n)
-		rng.Read(buf)
-		return append(dst, buf...)
+		// Fill the tail in place instead of staging through a temp
+		// buffer (the stream read is identical).
+		dst = appendZeros(dst, n)
+		rng.Read(dst[len(dst)-n:])
+		return dst
 	default:
 		panic(fmt.Sprintf("datagen: unknown class %d", cls))
 	}
@@ -244,36 +292,33 @@ var codeTemplates = []string{
 	"\tswitch %s {\n\tcase %s:\n\t\tbreak\n\t}\n",
 }
 
+// appendCode expands a template, substituting a random identifier for
+// each %s verb in place (the templates contain no other verbs). This is
+// exactly fmt.Sprintf's output without its boxing and scratch
+// allocations, and the identifiers are drawn in the same RNG order.
 func appendCode(dst []byte, rng *rand.Rand, n int) []byte {
 	start := len(dst)
-	id := func() interface{} { return codeIdents[rng.Intn(len(codeIdents))] }
 	for len(dst)-start < n {
 		tpl := codeTemplates[rng.Intn(len(codeTemplates))]
-		args := make([]interface{}, 0, 4)
-		for i := 0; i < countVerbs(tpl); i++ {
-			args = append(args, id())
+		for i := 0; i < len(tpl); {
+			if tpl[i] == '%' && i+1 < len(tpl) && tpl[i+1] == 's' {
+				dst = append(dst, codeIdents[rng.Intn(len(codeIdents))]...)
+				i += 2
+				continue
+			}
+			dst = append(dst, tpl[i])
+			i++
 		}
-		dst = append(dst, fmt.Sprintf(tpl, args...)...)
 	}
 	return dst[:start+n]
-}
-
-func countVerbs(s string) int {
-	c := 0
-	for i := 0; i+1 < len(s); i++ {
-		if s[i] == '%' && s[i+1] == 's' {
-			c++
-		}
-	}
-	return c
 }
 
 // appendBinary emits 64-byte records: a 16-byte random key plus 48 bytes
 // drawn from a small per-region pool, giving LZ matches across records
 // (ratio ~1.5–2.5 under gz, like serialized application state).
-func appendBinary(dst []byte, rng *rand.Rand, n int) []byte {
+func appendBinary(dst []byte, rng *rand.Rand, n int, st *genScratch) []byte {
 	start := len(dst)
-	pool := make([]byte, 256)
+	pool := st.pool[:]
 	rng.Read(pool)
 	for len(dst)-start < n {
 		var rec [64]byte

@@ -2,6 +2,8 @@ package datagen
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"edc/internal/compress"
@@ -167,5 +169,94 @@ func BenchmarkBlock4K(b *testing.B) {
 	b.SetBytes(4096)
 	for i := 0; i < b.N; i++ {
 		_ = g.Block(int64(i)*4096, 4096, 0)
+	}
+}
+
+// TestAppendBlockMatchesBlock pins the zero-alloc path to the allocating
+// one byte-for-byte across classes and region boundaries.
+func TestAppendBlockMatchesBlock(t *testing.T) {
+	g := New(Enterprise(), 3)
+	var buf []byte
+	for _, off := range []int64{0, 4096, classGrain - 100, 5 * classGrain, 1 << 30} {
+		for _, size := range []int{512, 4096, 3 * classGrain / 2} {
+			want := g.Block(off, size, 2)
+			buf = g.AppendBlock(buf[:0], off, size, 2)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("AppendBlock(off=%d size=%d) differs from Block", off, size)
+			}
+			// A non-empty prefix must be preserved.
+			pre := append([]byte(nil), 0xaa, 0xbb)
+			got := g.AppendBlock(pre, off, size, 2)
+			if got[0] != 0xaa || got[1] != 0xbb || !bytes.Equal(got[2:], want) {
+				t.Fatalf("AppendBlock corrupted prefix (off=%d size=%d)", off, size)
+			}
+		}
+	}
+}
+
+// TestAppendBlockSteadyStateAllocs guards the generator hot path: with a
+// recycled destination buffer, steady-state generation must not allocate
+// (the sync.Pool may rarely miss under GC pressure, hence the small
+// tolerance rather than exactly zero).
+func TestAppendBlockSteadyStateAllocs(t *testing.T) {
+	g := New(Enterprise(), 7)
+	buf := make([]byte, 0, 64<<10)
+	off := int64(0)
+	// Warm the scratch pool.
+	buf = g.AppendBlock(buf[:0], off, 4096, 0)
+	avg := testing.AllocsPerRun(200, func() {
+		buf = g.AppendBlock(buf[:0], off, 4096, 0)
+		off += 4096
+	})
+	if avg > 0.5 {
+		t.Fatalf("AppendBlock allocates %.2f allocs/op in steady state; want ~0", avg)
+	}
+}
+
+// BenchmarkGeneratorBlock measures both generator paths; the Append rows
+// should report 0 allocs/op.
+func BenchmarkGeneratorBlock(b *testing.B) {
+	for _, sz := range []int{4096, 64 << 10} {
+		sz := sz
+		b.Run(fmt.Sprintf("Block/%dB", sz), func(b *testing.B) {
+			g := New(Enterprise(), 7)
+			b.ReportAllocs()
+			b.SetBytes(int64(sz))
+			for i := 0; i < b.N; i++ {
+				_ = g.Block(int64(i)*int64(sz), sz, 0)
+			}
+		})
+		b.Run(fmt.Sprintf("AppendBlock/%dB", sz), func(b *testing.B) {
+			g := New(Enterprise(), 7)
+			buf := make([]byte, 0, sz)
+			b.ReportAllocs()
+			b.SetBytes(int64(sz))
+			for i := 0; i < b.N; i++ {
+				buf = g.AppendBlock(buf[:0], int64(i)*int64(sz), sz, 0)
+			}
+		})
+	}
+}
+
+// TestAppendCodeMatchesSprintf pins the hand-rolled template expansion
+// to the fmt.Sprintf reference it replaced: same bytes, same RNG draws.
+func TestAppendCodeMatchesSprintf(t *testing.T) {
+	const n = 8192
+	got := appendCode(nil, rand.New(rand.NewSource(9)), n)
+	rng := rand.New(rand.NewSource(9))
+	var ref []byte
+	for len(ref) < n {
+		tpl := codeTemplates[rng.Intn(len(codeTemplates))]
+		var args []interface{}
+		for i := 0; i+1 < len(tpl); i++ {
+			if tpl[i] == '%' && tpl[i+1] == 's' {
+				args = append(args, codeIdents[rng.Intn(len(codeIdents))])
+			}
+		}
+		ref = append(ref, fmt.Sprintf(tpl, args...)...)
+	}
+	ref = ref[:n]
+	if !bytes.Equal(got, ref) {
+		t.Fatal("appendCode diverged from the fmt.Sprintf reference")
 	}
 }

@@ -9,7 +9,6 @@
 package huffman
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -38,34 +37,19 @@ type Encoder struct {
 	codes []Code
 }
 
-// node is an internal tree node used during construction.
+// node is an internal tree node used during construction. Nodes live in
+// one flat slice and reference children by index, so building a tree
+// costs two slice allocations instead of one per node. seq breaks
+// frequency ties deterministically: leaves get 0..n-1 in symbol order,
+// merged nodes continue the count, exactly as the original
+// pointer-per-node construction did, so the resulting code lengths are
+// unchanged.
 type node struct {
 	freq   int64
-	symbol int // -1 for internal nodes
-	left   *node
-	right  *node
-	// seq breaks frequency ties deterministically so code assignment is
-	// stable across runs.
-	seq int
-}
-
-type nodeHeap []*node
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
-	}
-	return h[i].seq < h[j].seq
-}
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	symbol int32 // -1 for internal nodes
+	left   int32
+	right  int32
+	seq    int32
 }
 
 // BuildLengths computes length-limited code lengths (<= maxBits) for the
@@ -77,44 +61,104 @@ func BuildLengths(freqs []int64, maxBits int) ([]uint8, error) {
 		return nil, fmt.Errorf("huffman: maxBits %d out of range", maxBits)
 	}
 	lengths := make([]uint8, len(freqs))
-	h := make(nodeHeap, 0, len(freqs))
-	seq := 0
-	for sym, f := range freqs {
+	n := 0
+	for _, f := range freqs {
 		if f > 0 {
-			h = append(h, &node{freq: f, symbol: sym, seq: seq})
-			seq++
+			n++
 		}
 	}
-	switch len(h) {
+	switch n {
 	case 0:
 		return lengths, nil
 	case 1:
-		lengths[h[0].symbol] = 1
+		for sym, f := range freqs {
+			if f > 0 {
+				lengths[sym] = 1
+			}
+		}
 		return lengths, nil
 	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(*node)
-		b := heap.Pop(&h).(*node)
-		heap.Push(&h, &node{freq: a.freq + b.freq, symbol: -1, left: a, right: b, seq: seq})
+	nodes := make([]node, 0, 2*n-1)
+	hp := make([]int32, 0, n)
+	seq := int32(0)
+	for sym, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, node{freq: f, symbol: int32(sym), left: -1, right: -1, seq: seq})
+			hp = append(hp, seq) // leaf index == seq
+			seq++
+		}
+	}
+	// Hand-rolled min-heap of node indices. The (freq, seq) comparison is
+	// a total order, so the pop sequence — and therefore the merge order
+	// and final code lengths — does not depend on heap internals.
+	less := func(a, b int32) bool {
+		if nodes[a].freq != nodes[b].freq {
+			return nodes[a].freq < nodes[b].freq
+		}
+		return nodes[a].seq < nodes[b].seq
+	}
+	down := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(hp) {
+				return
+			}
+			j := l
+			if r := l + 1; r < len(hp) && less(hp[r], hp[l]) {
+				j = r
+			}
+			if !less(hp[j], hp[i]) {
+				return
+			}
+			hp[i], hp[j] = hp[j], hp[i]
+			i = j
+		}
+	}
+	for i := len(hp)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	pop := func() int32 {
+		min := hp[0]
+		last := len(hp) - 1
+		hp[0] = hp[last]
+		hp = hp[:last]
+		down(0)
+		return min
+	}
+	push := func(x int32) {
+		hp = append(hp, x)
+		for i := len(hp) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !less(hp[i], hp[parent]) {
+				break
+			}
+			hp[i], hp[parent] = hp[parent], hp[i]
+			i = parent
+		}
+	}
+	for len(hp) > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{freq: nodes[a].freq + nodes[b].freq, symbol: -1, left: a, right: b, seq: seq})
+		push(int32(len(nodes) - 1))
 		seq++
 	}
-	root := h[0]
-	assignDepths(root, 0, lengths)
+	assignDepths(nodes, hp[0], 0, lengths)
 	limitLengths(lengths, maxBits)
 	return lengths, nil
 }
 
-func assignDepths(n *node, depth uint8, lengths []uint8) {
-	if n.symbol >= 0 {
+func assignDepths(nodes []node, i int32, depth uint8, lengths []uint8) {
+	nd := &nodes[i]
+	if nd.symbol >= 0 {
 		if depth == 0 {
 			depth = 1
 		}
-		lengths[n.symbol] = depth
+		lengths[nd.symbol] = depth
 		return
 	}
-	assignDepths(n.left, depth+1, lengths)
-	assignDepths(n.right, depth+1, lengths)
+	assignDepths(nodes, nd.left, depth+1, lengths)
+	assignDepths(nodes, nd.right, depth+1, lengths)
 }
 
 // limitLengths rebalances a code-length vector so no length exceeds

@@ -1,0 +1,91 @@
+// Package parallel provides a bounded pool of OS-level worker goroutines
+// plus single-consumer futures, used to overlap *real* CPU work (codec
+// execution, content generation) with the virtual-time event loop.
+//
+// The EDC replay engine is a discrete-event simulator: virtual time is
+// advanced by a single goroutine draining an event heap, and every
+// statistic it reports is a function of virtual time only. Real codec
+// work, however, burns wall-clock time, and on a multi-hour trace the
+// inline Compress calls — not the event arithmetic — dominate replay
+// duration. Because compressed output is a pure function of
+// (content, codec), that work can run ahead on other cores: the event
+// loop dispatches a closure when the write run is formed and joins on
+// the result exactly where the sequential code would have produced it.
+// The virtual-time event order, and therefore every reported statistic,
+// is bit-identical for any worker count.
+package parallel
+
+import "sync"
+
+// Pool is a fixed-size pool of worker goroutines executing submitted
+// closures in FIFO submission order (per worker; across workers the
+// execution order is unspecified, which is safe because callers join
+// results through Futures). Submit blocks when the backlog is full,
+// providing natural backpressure on the dispatching event loop.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// NewPool starts a pool of n workers (n < 1 is treated as 1). The
+// backlog is bounded at 4*n outstanding closures.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{jobs: make(chan func(), 4*n)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues f for execution, blocking while the backlog is full.
+// Submit must not be called after Close.
+func (p *Pool) Submit(f func()) { p.jobs <- f }
+
+// Close stops accepting work and waits for all in-flight closures to
+// finish. It is safe to call exactly once.
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Future holds the eventual result of a closure submitted to a Pool.
+// It is single-consumer: exactly one goroutine may call Wait (possibly
+// repeatedly — the first call blocks, later calls return the cached
+// value). That consumer is the simulator's event-loop goroutine.
+type Future[T any] struct {
+	ch   chan T
+	v    T
+	done bool
+}
+
+// Go submits f to the pool and returns a Future for its result.
+func Go[T any](p *Pool, f func() T) *Future[T] {
+	fut := &Future[T]{ch: make(chan T, 1)}
+	p.Submit(func() { fut.ch <- f() })
+	return fut
+}
+
+// Resolved returns an already-completed Future carrying v; Wait returns
+// immediately. It lets callers keep one join point when work was
+// executed inline (sequential mode).
+func Resolved[T any](v T) *Future[T] {
+	return &Future[T]{v: v, done: true}
+}
+
+// Wait blocks until the closure has run and returns its result.
+func (f *Future[T]) Wait() T {
+	if !f.done {
+		f.v = <-f.ch
+		f.done = true
+	}
+	return f.v
+}

@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllJobs(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	const jobs = 1000
+	futs := make([]*Future[int], jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		futs[i] = Go(p, func() int {
+			n.Add(1)
+			return i * i
+		})
+	}
+	for i, f := range futs {
+		if got := f.Wait(); got != i*i {
+			t.Fatalf("future %d = %d, want %d", i, got, i*i)
+		}
+	}
+	p.Close()
+	if n.Load() != jobs {
+		t.Fatalf("ran %d jobs, want %d", n.Load(), jobs)
+	}
+}
+
+func TestFutureWaitIdempotent(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	f := Go(p, func() string { return "x" })
+	if f.Wait() != "x" || f.Wait() != "x" {
+		t.Fatal("Wait not idempotent")
+	}
+}
+
+func TestResolved(t *testing.T) {
+	f := Resolved([]byte("abc"))
+	if string(f.Wait()) != "abc" {
+		t.Fatal("Resolved future lost its value")
+	}
+}
+
+func TestPoolMinWorkers(t *testing.T) {
+	p := NewPool(0) // clamped to 1
+	defer p.Close()
+	if got := Go(p, func() int { return 7 }).Wait(); got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestCloseWaitsForInFlight(t *testing.T) {
+	p := NewPool(2)
+	var n atomic.Int64
+	for i := 0; i < 64; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	p.Close()
+	if n.Load() != 64 {
+		t.Fatalf("Close returned before all jobs ran: %d/64", n.Load())
+	}
+}
