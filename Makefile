@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check clean
+.PHONY: all build test vet race bench check cover clean
 
 all: check
 
@@ -21,6 +21,12 @@ race:
 # Codec + generator microbenchmarks with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/compress ./internal/datagen
+
+# Coverage for the EDC block layer (the staged pipeline), with a
+# per-function summary and the total.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/core/...
+	$(GO) tool cover -func=coverage.out | tail -n 25
 
 # The tier-1 gate: everything a PR must keep green.
 check: vet build test race

@@ -29,6 +29,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "seed offset for all generators")
 		format     = flag.String("format", "table", "output format: table, csv, json")
 		workers    = flag.Int("workers", 0, "replay pipeline width: codec goroutines per replay (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
+		shards     = flag.Int("shards", 0, "LBA shards per replay: n > 1 partitions the volume across n independent pipelines run concurrently (changes the simulated system; deterministic for fixed n)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -56,7 +57,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers}
+	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers, Shards: *shards}
 	start := time.Now()
 	var (
 		tables []*bench.Table

@@ -23,6 +23,7 @@ package edc
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -108,6 +109,7 @@ type options struct {
 	exactSlots   bool
 	cpuWorkers   int
 	replayWork   int
+	shards       int
 	cacheBytes   int64
 	offload      bool
 	noEstimate   bool
@@ -182,6 +184,19 @@ func WithReplayWorkers(n int) Option {
 	}
 }
 
+// WithShards partitions the volume into n contiguous LBA ranges, each
+// served by an independent pipeline instance — its own virtual-time
+// engine, backend device (or array), allocator, and mapping — replayed
+// concurrently on OS goroutines. All shards read the same trace-derived
+// global intensity signal, so codec selection matches the paper's
+// whole-device feedback loop rather than fragmenting per shard. Results
+// are deterministic for a fixed n; n <= 1 keeps the stock single
+// pipeline. Sharding models an array of n EDC devices front-ending
+// disjoint ranges: per-shard closed-loop bounds and shard-local SD merge
+// make n > 1 a different (deterministic) system, not a faster identical
+// one.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
 // WithCache enables a host DRAM read cache of the given size (the upper
 // DRAM buffer in the paper's Fig. 4 architecture).
 func WithCache(bytes int64) Option { return func(o *options) { o.cacheBytes = bytes } }
@@ -199,10 +214,12 @@ func WithFlushTimeout(d time.Duration) Option { return func(o *options) { o.flus
 func WithStripeUnit(pages int) Option { return func(o *options) { o.stripePages = pages } }
 
 // System is one ready-to-replay EDC stack: virtual-time engine, backend
-// devices, and the EDC block layer. A System replays exactly one trace.
+// devices, and the EDC block layer — or, with WithShards(n>1), a router
+// over n such stacks. A System replays exactly one trace.
 type System struct {
-	eng *sim.Engine
-	dev *core.Device
+	eng     *sim.Engine
+	dev     *core.Device
+	sharded *core.ShardedDevice
 }
 
 // DataProfiles maps the named payload models usable with
@@ -314,31 +331,17 @@ func policyFor(o options) (core.Policy, error) {
 	}
 }
 
-// NewSystem builds a System exposing volumeBytes of logical space.
-func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
-	o := options{
-		scheme:      SchemeEDC,
-		gzCeiling:   core.DefaultGzCeiling,
-		lzfCeiling:  core.DefaultLzfCeiling,
-		backend:     SingleSSD,
-		devices:     1,
-		ssdCfg:      ssd.DefaultConfig(),
-		data:        datagen.Enterprise(),
-		dataSeed:    1,
-		stripePages: 16,
-	}
-	for _, opt := range opts {
-		opt(&o)
-	}
-	eng := sim.NewEngine()
-	var be core.Backend
+// buildBackend constructs one backend instance on eng per the configured
+// organization. It is a factory (not inlined in NewSystem) so sharded
+// replay can stamp out one private backend per shard.
+func buildBackend(o options, eng *sim.Engine) (core.Backend, error) {
 	switch o.backend {
 	case SingleSSD:
 		d, err := ssd.New(o.ssdCfg)
 		if err != nil {
 			return nil, err
 		}
-		be = core.NewSingleSSD(eng, d)
+		return core.NewSingleSSD(eng, d), nil
 	case RAIS0, RAIS5:
 		n := o.devices
 		if n < 2 {
@@ -360,18 +363,24 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		be = core.NewRAISBackend(eng, arr)
+		return core.NewRAISBackend(eng, arr), nil
 	default:
 		return nil, fmt.Errorf("edc: unknown backend kind %d", o.backend)
 	}
+}
+
+// deviceOptions builds core.Options from the facade options. Policy and
+// Data carry mutable state, so sharded replay calls this once per shard
+// for private instances.
+func deviceOptions(o options) (core.Options, error) {
 	pol, err := policyFor(o)
 	if err != nil {
-		return nil, err
+		return core.Options{}, err
 	}
 	if o.noEstimate {
 		pol = core.WithoutEstimator(pol)
 	}
-	dev, err := core.NewDevice(eng, be, volumeBytes, core.Options{
+	return core.Options{
 		Policy:        pol,
 		Cost:          o.cost,
 		Data:          datagen.New(o.data, o.dataSeed),
@@ -384,7 +393,62 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 		Offload:       o.offload,
 		MaxRun:        o.maxRun,
 		FlushTimeout:  o.flushTimeout,
-	})
+	}, nil
+}
+
+// NewSystem builds a System exposing volumeBytes of logical space.
+func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
+	o := options{
+		scheme:      SchemeEDC,
+		gzCeiling:   core.DefaultGzCeiling,
+		lzfCeiling:  core.DefaultLzfCeiling,
+		backend:     SingleSSD,
+		devices:     1,
+		ssdCfg:      ssd.DefaultConfig(),
+		data:        datagen.Enterprise(),
+		dataSeed:    1,
+		stripePages: 16,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards > 1 {
+		// Split the replay-pipeline budget across shards: each shard's
+		// event loop already runs on its own goroutine, so per-shard
+		// codec workers beyond GOMAXPROCS/shards only add contention.
+		perShard := o
+		if perShard.replayWork == 0 {
+			w := runtime.GOMAXPROCS(0) / o.shards
+			if w <= 1 {
+				w = -1 // sequential inline execution
+			}
+			perShard.replayWork = w
+		}
+		sharded, err := core.NewSharded(core.ShardSetup{
+			Shards:      o.shards,
+			VolumeBytes: volumeBytes,
+			Backend: func(eng *sim.Engine) (core.Backend, error) {
+				return buildBackend(perShard, eng)
+			},
+			Options: func(int) (core.Options, error) {
+				return deviceOptions(perShard)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &System{sharded: sharded}, nil
+	}
+	eng := sim.NewEngine()
+	be, err := buildBackend(o, eng)
+	if err != nil {
+		return nil, err
+	}
+	dopts, err := deviceOptions(o)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := core.NewDevice(eng, be, volumeBytes, dopts)
 	if err != nil {
 		return nil, err
 	}
@@ -394,6 +458,9 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 // Play replays t and returns the measured results. A System is
 // single-use.
 func (s *System) Play(t *Trace) (*Results, error) {
+	if s.sharded != nil {
+		return s.sharded.Play(t)
+	}
 	return s.dev.Play(t)
 }
 

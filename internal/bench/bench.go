@@ -34,6 +34,12 @@ type Params struct {
 	// edc.WithReplayWorkers (default 0: runtime.GOMAXPROCS(0)). It only
 	// affects wall-clock speed; results are identical for any setting.
 	Workers int
+	// Shards is the LBA-shard count passed to edc.WithShards (default 0:
+	// the stock single pipeline). Unlike Workers, n > 1 changes the
+	// simulated system (n independent devices over disjoint LBA ranges),
+	// so results differ from the single-pipeline numbers — but remain
+	// deterministic for a fixed n.
+	Shards int
 }
 
 func (p Params) requests() int {

@@ -79,6 +79,9 @@ func replayScheme(p Params, backend edc.BackendKind, tr *trace.Trace, s edc.Sche
 	if p.Workers != 0 {
 		opts = append(opts, edc.WithReplayWorkers(p.Workers))
 	}
+	if p.Shards > 1 {
+		opts = append(opts, edc.WithShards(p.Shards))
+	}
 	if backend == edc.SingleSSD {
 		opts = append(opts, edc.WithSSDConfig(singleSSDConfig()))
 	} else {

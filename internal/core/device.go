@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,6 +26,11 @@ type Options struct {
 	// (default: 1 s window, 10 bins).
 	MonitorWindow time.Duration
 	MonitorBins   int
+	// Meter overrides the local dual-window workload monitor with an
+	// external intensity source. Sharded replay injects a shared
+	// read-only IntensitySnapshot here so every shard sees the same
+	// global signal. Nil keeps the local monitors.
+	Meter WorkloadMeter
 	// MaxRun caps SD merging in bytes (default: DefaultMaxRun).
 	MaxRun int64
 	// FlushTimeout bounds how long a pending run may wait for a
@@ -96,51 +100,28 @@ const DefaultFlushTimeout = 300 * time.Microsecond
 // Device is the EDC block device: the paper's three modules — Workload
 // Monitor, Compression/Decompression Engine, Request Distributer — wired
 // between a trace replay source and a simulated flash backend (Fig. 4).
+// Since the pipeline decomposition it is pure wiring: the frontend
+// admits requests under the closed-loop bound, the write path runs
+// SD merge → estimate → policy → codec → store, the read path runs
+// lookup → device read → decompress → verify, and the store engine owns
+// allocator + mapping + backend. Each stage lives in its own file and is
+// unit-testable in isolation.
 type Device struct {
 	eng *sim.Engine
 	cpu sim.Server
-	be  Backend
 
-	policy     Policy
-	cost       CostModel
-	reg        *compress.Registry
-	monitor    *Monitor // long window: detects idle periods
-	fastMon    *Monitor // short window: reacts to burst onsets
-	sd         *SeqDetector
-	est        *Estimator
-	data       *datagen.Generator
-	alloc      *Allocator
-	mapping    *Mapping
-	volBytes   int64
-	flushWait  time.Duration
-	disableSD  bool
-	exactSlots bool
-	verify     bool
+	fs *failState
+	fe *frontend
+	wp *writePath
+	rp *readPath
+	se *storeEngine
 
-	version     uint32
-	flushGen    int64
-	inFlight    int64
-	maxInFlight int64
-	deferred    []trace.Request
-	hostCache   *cache.Cache
-	offload     bool
-	offloadCost CodecCost
+	policy   Policy
+	volBytes int64
 
-	payloads map[*Extent][]byte // verify mode
-
-	// Real-CPU pipeline: codec work dispatched at processRun time runs
-	// on pool workers while the event loop advances virtual time; store
-	// joins on the future. The pool exists only while Play runs.
 	replayWorkers int
-	pool          *parallel.Pool
-
-	// freeBufs recycles content/payload buffers. It is only touched by
-	// the event-loop goroutine (workers receive buffers by closure and
-	// hand them back through the joined future), so no locking.
-	freeBufs [][]byte
-
-	stats *RunStats
-	err   error
+	played        bool
+	stats         *RunStats
 }
 
 // NewDevice builds an EDC device over backend be exposing volumeBytes of
@@ -175,6 +156,9 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 	if opts.MonitorBins <= 0 {
 		opts.MonitorBins = 10
 	}
+	if opts.Meter == nil {
+		opts.Meter = newDualMonitor(opts.MonitorWindow, opts.MonitorBins)
+	}
 	if opts.Estimator == nil {
 		opts.Estimator = NewEstimator()
 	}
@@ -208,44 +192,81 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 	case opts.ReplayWorkers < 0:
 		opts.ReplayWorkers = 1 // sequential inline execution
 	}
-	d := &Device{
+	volBytes := volumeBytes &^ (BlockSize - 1)
+	if volBytes == 0 {
+		return nil, errors.New("core: volume smaller than one block")
+	}
+
+	fs := &failState{}
+	se := newStoreEngine(be, volBytes, opts.VerifyReads)
+	hostCache := cache.New(opts.CacheBytes)
+	stats := newRunStats(opts.Policy.Name(), "", be.Describe())
+
+	wp := &writePath{
 		eng:         eng,
 		cpu:         cpu,
-		be:          be,
-		policy:      opts.Policy,
-		cost:        opts.Cost,
-		reg:         opts.Registry,
-		monitor:     NewMonitor(opts.MonitorWindow, opts.MonitorBins),
-		fastMon:     NewMonitor(opts.MonitorWindow/8, (opts.MonitorBins+1)/2),
+		fs:          fs,
+		stats:       stats,
+		se:          se,
+		meter:       opts.Meter,
 		sd:          NewSeqDetector(opts.MaxRun),
 		est:         opts.Estimator,
 		data:        opts.Data,
-		alloc:       NewAllocator(be.LogicalBytes()),
-		volBytes:    volumeBytes &^ (BlockSize - 1),
-		flushWait:   opts.FlushTimeout,
-		maxInFlight: int64(opts.MaxOutstanding),
-		hostCache:   cache.New(opts.CacheBytes),
-		offload:     opts.Offload,
-		offloadCost: opts.OffloadCost,
+		policy:      opts.Policy,
+		cost:        opts.Cost,
+		hostCache:   hostCache,
 		disableSD:   opts.DisableSD,
 		exactSlots:  opts.ExactSlots,
+		offload:     opts.Offload,
+		offloadCost: opts.OffloadCost,
+		flushWait:   opts.FlushTimeout,
+	}
+	rp := &readPath{
+		eng:         eng,
+		cpu:         cpu,
+		fs:          fs,
+		se:          se,
+		cost:        opts.Cost,
+		reg:         opts.Registry,
+		data:        opts.Data,
+		hostCache:   hostCache,
 		verify:      opts.VerifyReads,
+		offload:     opts.Offload,
+		offloadCost: opts.OffloadCost,
+	}
+	fe := &frontend{
+		eng:         eng,
+		fs:          fs,
+		stats:       stats,
+		meter:       opts.Meter,
+		volBytes:    volBytes,
+		maxInFlight: int64(opts.MaxOutstanding),
+	}
+	// Stage wiring: admission fans out to the write/read paths; both
+	// report completions back to the frontend's closed loop.
+	fe.onWrite = wp.admitWrite
+	fe.onRead = func(issue time.Duration, off, size int64) {
+		wp.noteRead() // a read breaks write contiguity (Fig. 7)
+		rp.read(issue, off, size)
+	}
+	wp.complete = func(resp time.Duration) { fe.finish(resp, true) }
+	wp.drop = fe.drop
+	rp.complete = func(resp time.Duration) { fe.finish(resp, false) }
+	rp.drop = fe.drop
 
+	return &Device{
+		eng:           eng,
+		cpu:           cpu,
+		fs:            fs,
+		fe:            fe,
+		wp:            wp,
+		rp:            rp,
+		se:            se,
+		policy:        opts.Policy,
+		volBytes:      volBytes,
 		replayWorkers: opts.ReplayWorkers,
-	}
-	if d.volBytes == 0 {
-		return nil, errors.New("core: volume smaller than one block")
-	}
-	d.mapping = NewMapping(d.volBytes, d.alloc, func(e *Extent) {
-		d.be.Trim(e.DevOff, e.SlotLen)
-		if d.payloads != nil {
-			delete(d.payloads, e)
-		}
-	})
-	if d.verify {
-		d.payloads = make(map[*Extent][]byte)
-	}
-	return d, nil
+		stats:         stats,
+	}, nil
 }
 
 // Policy returns the device's policy.
@@ -255,431 +276,48 @@ func (d *Device) Policy() Policy { return d.policy }
 func (d *Device) VolumeBytes() int64 { return d.volBytes }
 
 // Mapping exposes the mapping table (tests, diagnostics).
-func (d *Device) Mapping() *Mapping { return d.mapping }
-
-// alignRequest snaps a host request to block granularity inside the
-// volume (the paper's EDC operates on fixed-size blocks, Sec. III-C).
-func (d *Device) alignRequest(r trace.Request) (off, size int64) {
-	off = r.Offset &^ (BlockSize - 1)
-	end := (r.Offset + r.Size + BlockSize - 1) &^ (BlockSize - 1)
-	size = end - off
-	if size <= 0 {
-		size = BlockSize
-	}
-	if size > d.volBytes {
-		size = d.volBytes
-	}
-	off %= d.volBytes
-	off &^= BlockSize - 1
-	if off+size > d.volBytes {
-		off = d.volBytes - size
-	}
-	return off, size
-}
-
-// getBuf returns a recycled buffer (possibly nil) with zero length.
-// Event-loop goroutine only.
-func (d *Device) getBuf() []byte {
-	if n := len(d.freeBufs); n > 0 {
-		b := d.freeBufs[n-1]
-		d.freeBufs = d.freeBufs[:n-1]
-		return b[:0]
-	}
-	return nil
-}
-
-// putBuf recycles a buffer for a later getBuf. Event-loop goroutine
-// only; the caller must not retain b.
-func (d *Device) putBuf(b []byte) {
-	if cap(b) == 0 {
-		return
-	}
-	d.freeBufs = append(d.freeBufs, b[:0])
-}
+func (d *Device) Mapping() *Mapping { return d.se.mapping }
 
 // Play replays t to completion and returns the collected statistics.
 // The device is single-use: create a fresh Device per run.
 func (d *Device) Play(t *trace.Trace) (*RunStats, error) {
-	if d.stats != nil {
+	if d.played {
 		return nil, errors.New("core: device already played a trace")
 	}
+	d.played = true
+	d.stats.Trace = t.Name
 	if d.replayWorkers > 1 {
-		d.pool = parallel.NewPool(d.replayWorkers)
+		d.wp.pool = parallel.NewPool(d.replayWorkers)
 		defer func() {
-			d.pool.Close()
-			d.pool = nil
+			d.wp.pool.Close()
+			d.wp.pool = nil
 		}()
 	}
-	d.stats = newRunStats(d.policy.Name(), t.Name, d.be.Describe())
-	for _, r := range t.Requests {
-		r := r
-		d.eng.Schedule(r.Arrival, func() { d.arrive(r) })
-	}
+	d.fe.start(t)
 	d.eng.Run()
-	// Drain any still-buffered run.
-	if d.sd.Pending() {
-		d.processRun(d.sd.Flush())
-		d.eng.Run()
-	}
-	if d.inFlight != 0 && d.err == nil {
-		d.err = fmt.Errorf("core: %d requests never completed", d.inFlight)
+	d.wp.drain()
+	if d.fe.inFlight != 0 && d.fs.err == nil {
+		d.fs.err = fmt.Errorf("core: %d requests never completed", d.fe.inFlight)
 	}
 	d.finalize()
-	return d.stats, d.err
-}
-
-// arrive handles one host request at the current virtual time, deferring
-// it when the outstanding bound is reached (closed-loop admission).
-func (d *Device) arrive(r trace.Request) {
-	if d.err != nil {
-		return
-	}
-	if d.inFlight >= d.maxInFlight {
-		d.deferred = append(d.deferred, r)
-		return
-	}
-	d.admit(r)
-}
-
-// admit processes one admitted request.
-func (d *Device) admit(r trace.Request) {
-	off, size := d.alignRequest(r)
-	now := d.eng.Now()
-	d.monitor.Record(now, size)
-	d.fastMon.Record(now, size)
-	d.stats.Requests++
-	// Response time is measured from issue (admission): under closed-loop
-	// replay a saturated backend shifts issue times instead of growing an
-	// unbounded arrival backlog, exactly as hardware trace replayers do.
-	issue := now
-	if r.Write {
-		d.stats.Writes++
-		w := PendingWrite{Arrival: issue, Offset: off, Size: size}
-		d.inFlight++
-		if d.disableSD {
-			d.processRun(&Run{Offset: off, Size: size, Writes: []PendingWrite{w}})
-			return
-		}
-		if run := d.sd.OnWrite(w); run != nil {
-			d.processRun(run)
-		}
-		d.armFlushTimer()
-		return
-	}
-	d.stats.Reads++
-	d.inFlight++
-	if run := d.sd.OnRead(); run != nil {
-		d.processRun(run)
-	}
-	d.processRead(issue, off, size)
-}
-
-// armFlushTimer (re)starts the idle flush for the pending run.
-func (d *Device) armFlushTimer() {
-	if d.flushWait <= 0 || !d.sd.Pending() {
-		return
-	}
-	d.flushGen++
-	gen := d.flushGen
-	d.eng.ScheduleAfter(d.flushWait, func() {
-		if gen == d.flushGen && d.sd.Pending() && d.err == nil {
-			d.processRun(d.sd.Flush())
-		}
-	})
-}
-
-// intensity is the paper's feedback signal: the sliding-window calculated
-// IOPS. Two windows are combined — a long one that recognizes genuinely
-// idle periods and a short one that reacts to burst onsets within tens of
-// milliseconds — and the more intense reading wins, so a burst is never
-// greeted with a heavyweight codec while the long window is still warming
-// up.
-func (d *Device) intensity(now time.Duration) float64 {
-	slow := d.monitor.CalculatedIOPS(now)
-	fast := d.fastMon.CalculatedIOPS(now)
-	if fast > slow {
-		return fast
-	}
-	return slow
-}
-
-// fail records the first fatal error and releases in-flight requests so
-// the replay terminates cleanly.
-func (d *Device) fail(err error) {
-	if d.err == nil {
-		d.err = err
-	}
-}
-
-// processRun compresses and stores one merged write run.
-func (d *Device) processRun(run *Run) {
-	if d.err != nil {
-		d.inFlight -= int64(len(run.Writes))
-		return
-	}
-	now := d.eng.Now()
-	d.stats.SDRuns++
-
-	ver := d.version
-	d.version++
-	content := d.data.AppendBlock(d.getBuf(), run.Offset, int(run.Size), ver)
-
-	var codec compress.Codec
-	var cpuTime time.Duration
-	if d.policy.ChecksCompressibility() {
-		cpuTime += EstimateCost
-		ratio := d.est.EstimateRatio(content)
-		if ratio >= WriteThroughRatio {
-			if ra, ok := d.policy.(RatioAware); ok {
-				codec = ra.SelectWithRatio(d.intensity(now), ratio)
-			} else {
-				codec = d.policy.Select(d.intensity(now))
-			}
-		} else {
-			d.stats.WriteThrough++
-		}
-	} else {
-		codec = d.policy.Select(d.intensity(now))
-	}
-	if codec != nil && !d.offload {
-		cpuTime += d.cost.CompressTime(codec.Tag(), run.Size)
-	}
-	// Pipeline the real codec work: compression is a pure function of
-	// (content, codec), so it can run on a worker goroutine while the
-	// event loop advances virtual time. store joins on the future, so
-	// virtual-time ordering and all statistics are unchanged.
-	var fut *parallel.Future[[]byte]
-	if codec != nil && d.pool != nil {
-		c := codec
-		dst := d.getBuf()
-		fut = parallel.Go(d.pool, func() []byte {
-			return compress.AppendCompress(c, dst, content)
-		})
-	}
-	store := func(_, _ time.Duration) { d.store(run, content, codec, fut, ver) }
-	if cpuTime > 0 {
-		d.cpu.Submit(sim.Job{Service: cpuTime, Done: store})
-	} else {
-		store(now, now)
-	}
-}
-
-// store joins the codec result (or runs the codec inline), allocates the
-// quantized slot, updates the mapping, and issues the device write.
-func (d *Device) store(run *Run, content []byte, codec compress.Codec, fut *parallel.Future[[]byte], ver uint32) {
-	var payload []byte
-	// Join before any early return: the worker owns the payload buffer
-	// (and reads content) until the future resolves.
-	if fut != nil {
-		payload = fut.Wait()
-	}
-	if d.err != nil {
-		d.inFlight -= int64(len(run.Writes))
-		d.putBuf(content)
-		d.putBuf(payload)
-		return
-	}
-	tag := compress.TagNone
-	compLen := run.Size
-	slotLen := run.Size
-	if codec != nil {
-		if fut == nil {
-			payload = compress.AppendCompress(codec, d.getBuf(), content)
-		}
-		slot, ok := QuantizeSlot(run.Size, int64(len(payload)))
-		if ok {
-			tag = codec.Tag()
-			compLen = int64(len(payload))
-			slotLen = slot
-			if d.exactSlots {
-				slotLen = compLen // ablation: no quantization
-			}
-		} else {
-			// Codec output above 75 %: keep uncompressed (Sec. III-C).
-			d.stats.Oversize++
-			d.putBuf(payload)
-			payload = nil
-		}
-	}
-	devOff, err := d.alloc.Alloc(slotLen)
-	if err != nil {
-		d.fail(fmt.Errorf("storing run at %d: %w", run.Offset, err))
-		d.inFlight -= int64(len(run.Writes))
-		d.putBuf(content)
-		d.putBuf(payload)
-		return
-	}
-	ext := &Extent{
-		Offset:  run.Offset,
-		OrigLen: run.Size,
-		CompLen: compLen,
-		SlotLen: slotLen,
-		Tag:     tag,
-		DevOff:  devOff,
-		Version: ver,
-	}
-	if err := d.mapping.Insert(ext); err != nil {
-		d.fail(err)
-		d.inFlight -= int64(len(run.Writes))
-		d.putBuf(content)
-		d.putBuf(payload)
-		return
-	}
-	if d.verify {
-		if tag != compress.TagNone {
-			d.payloads[ext] = append([]byte(nil), payload...)
-		} else {
-			d.payloads[ext] = append([]byte(nil), content...)
-		}
-	}
-	d.stats.OrigBytes += run.Size
-	d.stats.CompBytes += compLen
-	d.stats.StoredBytes += slotLen
-	d.stats.RunsByTag[tag]++
-	d.stats.BytesByTag[tag] += run.Size
-	d.putBuf(content)
-	d.putBuf(payload)
-
-	var extra time.Duration
-	if d.offload && tag != compress.TagNone {
-		extra = time.Duration(float64(run.Size) / d.offloadCost.CompressBps * float64(time.Second))
-	}
-	d.hostCache.InsertRange(run.Offset, run.Size)
-	writes := run.Writes
-	d.be.Write(devOff, slotLen, extra, func() {
-		now := d.eng.Now()
-		for _, w := range writes {
-			d.observe(now-w.Arrival, true)
-			d.inFlight--
-		}
-	})
-}
-
-// processRead plans and issues one host read. Fully cached reads are
-// served from DRAM, skipping the device and any decompression.
-func (d *Device) processRead(arrival time.Duration, off, size int64) {
-	if d.hostCache.ContainsRange(off, size) {
-		d.eng.ScheduleAfter(CacheHitLatency, func() {
-			d.observe(d.eng.Now()-arrival, false)
-			d.inFlight--
-		})
-		return
-	}
-	plan, err := d.mapping.ReadPlan(off, size)
-	if err != nil {
-		d.fail(err)
-		d.inFlight--
-		return
-	}
-	remaining := len(plan)
-	if remaining == 0 {
-		d.observe(d.eng.Now()-arrival, false)
-		d.inFlight--
-		return
-	}
-	complete := func() {
-		remaining--
-		if remaining == 0 {
-			d.hostCache.InsertRange(off, size)
-			d.observe(d.eng.Now()-arrival, false)
-			d.inFlight--
-		}
-	}
-	for _, seg := range plan {
-		switch {
-		case seg.Ext == nil:
-			// Hole: the device still transfers zero pages.
-			d.be.Read(0, seg.Bytes, 0, complete)
-		case seg.Ext.Tag == compress.TagNone:
-			d.be.Read(seg.Ext.DevOff, seg.Bytes, 0, complete)
-		default:
-			ext := seg.Ext
-			// Snapshot the payload now: an overwrite may free the extent
-			// while this read is in flight (the host still gets the data
-			// captured at submission time).
-			var payload []byte
-			if d.verify {
-				payload = d.payloads[ext]
-			}
-			if d.offload {
-				// The device's codec engine decompresses in-line.
-				extra := time.Duration(float64(ext.OrigLen) / d.offloadCost.DecompressBps * float64(time.Second))
-				d.be.Read(ext.DevOff, ext.CompLen, extra, func() {
-					if d.verify {
-						d.verifyExtent(ext, payload)
-					}
-					complete()
-				})
-				break
-			}
-			d.be.Read(ext.DevOff, ext.CompLen, 0, func() {
-				svc := d.cost.DecompressTime(ext.Tag, ext.OrigLen)
-				d.cpu.Submit(sim.Job{Service: svc, Done: func(_, _ time.Duration) {
-					if d.verify {
-						d.verifyExtent(ext, payload)
-					}
-					complete()
-				}})
-			})
-		}
-	}
-}
-
-// verifyExtent decompresses the payload snapshot taken at read submission
-// and compares it with the regenerated original content.
-func (d *Device) verifyExtent(ext *Extent, payload []byte) {
-	if payload == nil {
-		d.fail(fmt.Errorf("core: verify: extent at %d has no payload", ext.Offset))
-		return
-	}
-	codec, err := d.reg.ByTag(ext.Tag)
-	if err != nil {
-		d.fail(err)
-		return
-	}
-	got, err := codec.Decompress(payload, int(ext.OrigLen))
-	if err != nil {
-		d.fail(fmt.Errorf("core: verify: decompress extent at %d: %w", ext.Offset, err))
-		return
-	}
-	want := d.data.AppendBlock(d.getBuf(), ext.Offset, int(ext.OrigLen), ext.Version)
-	equal := bytes.Equal(got, want)
-	d.putBuf(want)
-	if !equal {
-		d.fail(fmt.Errorf("core: verify: content mismatch for extent at %d", ext.Offset))
-	}
-}
-
-func (d *Device) observe(resp time.Duration, write bool) {
-	d.stats.Resp.Observe(resp)
-	if write {
-		d.stats.RespWrite.Observe(resp)
-	} else {
-		d.stats.RespRead.Observe(resp)
-	}
-	// A completion frees one admission slot.
-	if len(d.deferred) > 0 && d.inFlight <= d.maxInFlight {
-		next := d.deferred[0]
-		d.deferred = d.deferred[1:]
-		d.admit(next)
-	}
+	return d.stats, d.fs.err
 }
 
 // finalize snapshots end-of-run state into stats.
 func (d *Device) finalize() {
 	s := d.stats
-	s.LiveBlocks = d.mapping.LiveBlocks()
-	s.LiveSlotBytes = d.alloc.InUse()
-	s.PeakSlotBytes = d.alloc.PeakUse()
-	s.DeadSlotBytes = d.mapping.DeadSlotBytes()
-	s.AllocClasses = len(d.alloc.SizeClasses())
-	s.SDMerged = d.sd.Merged()
+	s.LiveBlocks = d.se.mapping.LiveBlocks()
+	s.LiveSlotBytes = d.se.alloc.InUse()
+	s.PeakSlotBytes = d.se.alloc.PeakUse()
+	s.DeadSlotBytes = d.se.mapping.DeadSlotBytes()
+	s.AllocClasses = len(d.se.alloc.SizeClasses())
+	s.SDMerged = d.wp.sd.Merged()
 	s.CPU = d.cpu.Stats()
-	s.Cache = d.hostCache.Stats()
-	s.Devices = d.be.DeviceStats()
-	s.Queues = d.be.QueueStats()
+	s.Cache = d.wp.hostCache.Stats()
+	s.Devices = d.se.be.DeviceStats()
+	s.Queues = d.se.be.QueueStats()
 	s.Duration = d.eng.Now()
 	if s.Err == nil {
-		s.Err = d.err
+		s.Err = d.fs.err
 	}
 }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"time"
+)
+
+// storeEngine owns the storage side of the pipeline: the slot allocator,
+// the logical-to-device mapping table, the backend, the verify-mode
+// payload store, and the replay buffer freelist. The write path calls it
+// to place compressed runs; the read path calls it to plan and issue
+// device reads. It performs no policy decisions and observes no
+// statistics of its own.
+type storeEngine struct {
+	be      Backend
+	alloc   *Allocator
+	mapping *Mapping
+
+	payloads map[*Extent][]byte // verify mode; nil otherwise
+
+	// freeBufs recycles content/payload buffers. It is only touched by
+	// the event-loop goroutine (workers receive buffers by closure and
+	// hand them back through the joined future), so no locking.
+	freeBufs [][]byte
+}
+
+// newStoreEngine wires allocator + mapping over be for a volume of
+// volBytes. Freed extents trim their device range; in verify mode the
+// retained payload snapshot is dropped with the extent.
+func newStoreEngine(be Backend, volBytes int64, verify bool) *storeEngine {
+	se := &storeEngine{
+		be:    be,
+		alloc: NewAllocator(be.LogicalBytes()),
+	}
+	se.mapping = NewMapping(volBytes, se.alloc, func(e *Extent) {
+		se.be.Trim(e.DevOff, e.SlotLen)
+		if se.payloads != nil {
+			delete(se.payloads, e)
+		}
+	})
+	if verify {
+		se.payloads = make(map[*Extent][]byte)
+	}
+	return se
+}
+
+// getBuf returns a recycled buffer (possibly nil) with zero length.
+// Event-loop goroutine only.
+func (se *storeEngine) getBuf() []byte {
+	if n := len(se.freeBufs); n > 0 {
+		b := se.freeBufs[n-1]
+		se.freeBufs = se.freeBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putBuf recycles a buffer for a later getBuf. Event-loop goroutine
+// only; the caller must not retain b.
+func (se *storeEngine) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	se.freeBufs = append(se.freeBufs, b[:0])
+}
+
+// place allocates a slot of slotLen and maps [ext.Offset, +OrigLen) to
+// the extent, filling ext.DevOff. Any previous extents covering those
+// blocks are unmapped (and their slots freed).
+func (se *storeEngine) place(ext *Extent) error {
+	devOff, err := se.alloc.Alloc(ext.SlotLen)
+	if err != nil {
+		return err
+	}
+	ext.DevOff = devOff
+	return se.mapping.Insert(ext)
+}
+
+// keepPayload snapshots the stored bytes for verify-mode reads.
+func (se *storeEngine) keepPayload(ext *Extent, data []byte) {
+	if se.payloads != nil {
+		se.payloads[ext] = append([]byte(nil), data...)
+	}
+}
+
+// payload returns the verify-mode snapshot for ext (nil outside verify
+// mode or after the extent died).
+func (se *storeEngine) payload(ext *Extent) []byte {
+	return se.payloads[ext]
+}
+
+// write issues a device write of the extent's slot; done fires when the
+// transfer (plus any device-side codec time in extra) completes.
+func (se *storeEngine) write(devOff, slotLen int64, extra time.Duration, done func()) {
+	se.be.Write(devOff, slotLen, extra, done)
+}
+
+// read issues a device read; done fires at transfer completion.
+func (se *storeEngine) read(devOff, bytes int64, extra time.Duration, done func()) {
+	se.be.Read(devOff, bytes, extra, done)
+}
+
+// readPlan decomposes a block-aligned read into extents and holes.
+func (se *storeEngine) readPlan(off, size int64) ([]ReadSegment, error) {
+	return se.mapping.ReadPlan(off, size)
+}
+
+// failState carries the first fatal replay error; every stage shares one
+// instance so any stage can abort the run.
+type failState struct {
+	err error
+}
+
+// fail records the first fatal error (later errors are dropped).
+func (f *failState) fail(err error) {
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+// failed reports whether the replay has aborted.
+func (f *failState) failed() bool { return f.err != nil }

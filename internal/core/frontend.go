@@ -1,0 +1,146 @@
+package core
+
+import (
+	"time"
+
+	"edc/internal/sim"
+	"edc/internal/trace"
+)
+
+// frontend is the admission stage of the request pipeline: it streams
+// trace arrivals into the event heap, enforces the closed-loop
+// outstanding bound (arrivals beyond it wait in a deferred queue and are
+// admitted as completions free slots), aligns requests to the volume,
+// feeds the workload meter, and observes response times. Admitted
+// requests are handed to the write and read paths through the two
+// callbacks, so the stage is testable with fakes.
+type frontend struct {
+	eng   *sim.Engine
+	fs    *failState
+	stats *RunStats
+	meter WorkloadMeter
+
+	volBytes    int64
+	inFlight    int64
+	maxInFlight int64
+	deferred    []trace.Request
+
+	// onWrite admits one aligned write (SD merge onward).
+	onWrite func(w PendingWrite)
+	// onRead admits one aligned read (pending-run flush + read plan).
+	onRead func(issue time.Duration, off, size int64)
+}
+
+// start begins replaying t: request i+1 is scheduled when request i
+// arrives, so the heap holds O(1) arrival events instead of the whole
+// trace. Arrivals use the engine's priority class, which reproduces
+// exactly the ordering of a fully pre-scheduled trace: at equal virtual
+// times arrivals run before any plain event, and among themselves in
+// trace order. Traces with out-of-order arrival stamps (which streaming
+// could not schedule without going backwards) fall back to pre-scheduling
+// every request, the pre-streaming behaviour.
+func (fe *frontend) start(t *trace.Trace) {
+	reqs := t.Requests
+	if len(reqs) == 0 {
+		return
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			for _, r := range reqs {
+				r := r
+				fe.eng.SchedulePriority(r.Arrival, func() { fe.arrive(r) })
+			}
+			return
+		}
+	}
+	i := 0
+	var step func()
+	step = func() {
+		r := reqs[i]
+		i++
+		if i < len(reqs) {
+			fe.eng.SchedulePriority(reqs[i].Arrival, step)
+		}
+		fe.arrive(r)
+	}
+	fe.eng.SchedulePriority(reqs[0].Arrival, step)
+}
+
+// arrive handles one host request at the current virtual time, deferring
+// it when the outstanding bound is reached (closed-loop admission).
+func (fe *frontend) arrive(r trace.Request) {
+	if fe.fs.failed() {
+		return
+	}
+	if fe.inFlight >= fe.maxInFlight {
+		fe.deferred = append(fe.deferred, r)
+		return
+	}
+	fe.admit(r)
+}
+
+// admit processes one admitted request.
+func (fe *frontend) admit(r trace.Request) {
+	off, size := alignRequest(fe.volBytes, r)
+	now := fe.eng.Now()
+	fe.meter.Record(now, size)
+	fe.stats.Requests++
+	// Response time is measured from issue (admission): under closed-loop
+	// replay a saturated backend shifts issue times instead of growing an
+	// unbounded arrival backlog, exactly as hardware trace replayers do.
+	issue := now
+	if r.Write {
+		fe.stats.Writes++
+		fe.inFlight++
+		fe.onWrite(PendingWrite{Arrival: issue, Offset: off, Size: size})
+		return
+	}
+	fe.stats.Reads++
+	fe.inFlight++
+	fe.onRead(issue, off, size)
+}
+
+// finish completes one request: the response time is observed and the
+// freed admission slot may admit a deferred request.
+func (fe *frontend) finish(resp time.Duration, write bool) {
+	fe.stats.Resp.Observe(resp)
+	if write {
+		fe.stats.RespWrite.Observe(resp)
+	} else {
+		fe.stats.RespRead.Observe(resp)
+	}
+	// A completion frees one admission slot.
+	if len(fe.deferred) > 0 && fe.inFlight <= fe.maxInFlight {
+		next := fe.deferred[0]
+		fe.deferred = fe.deferred[1:]
+		fe.admit(next)
+	}
+	fe.inFlight--
+}
+
+// drop releases n in-flight requests without observing them (failed
+// replay teardown).
+func (fe *frontend) drop(n int) {
+	fe.inFlight -= int64(n)
+}
+
+// alignRequest snaps a host request to block granularity inside a volume
+// of volBytes (the paper's EDC operates on fixed-size blocks, Sec.
+// III-C).
+func alignRequest(volBytes int64, r trace.Request) (off, size int64) {
+	off = r.Offset &^ (BlockSize - 1)
+	end := (r.Offset + r.Size + BlockSize - 1) &^ (BlockSize - 1)
+	size = end - off
+	if size <= 0 {
+		size = BlockSize
+	}
+	if size > volBytes {
+		size = volBytes
+	}
+	off %= volBytes
+	off &^= BlockSize - 1
+	if off+size > volBytes {
+		off = volBytes - size
+	}
+	return off, size
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"edc/internal/cache"
+	"edc/internal/compress"
+	"edc/internal/datagen"
+	"edc/internal/sim"
+)
+
+// readPath is the read stage of the request pipeline: host-cache check →
+// mapping lookup → device read → decompression (host CPU station or
+// in-device codec engine) → optional round-trip verification. Device I/O
+// and the mapping go through the store engine; completions return to the
+// frontend via the complete/drop callbacks.
+type readPath struct {
+	eng  *sim.Engine
+	cpu  sim.Server
+	fs   *failState
+	se   *storeEngine
+	cost CostModel
+	reg  *compress.Registry
+	data *datagen.Generator
+
+	hostCache   *cache.Cache
+	verify      bool
+	offload     bool
+	offloadCost CodecCost
+
+	// complete finishes one host read; drop releases a read without
+	// observing it on a failed run.
+	complete func(resp time.Duration)
+	drop     func(n int)
+}
+
+// read plans and issues one host read. Fully cached reads are served
+// from DRAM, skipping the device and any decompression.
+func (rp *readPath) read(arrival time.Duration, off, size int64) {
+	if rp.hostCache.ContainsRange(off, size) {
+		rp.eng.ScheduleAfter(CacheHitLatency, func() {
+			rp.complete(rp.eng.Now() - arrival)
+		})
+		return
+	}
+	plan, err := rp.se.readPlan(off, size)
+	if err != nil {
+		rp.fs.fail(err)
+		rp.drop(1)
+		return
+	}
+	remaining := len(plan)
+	if remaining == 0 {
+		rp.complete(rp.eng.Now() - arrival)
+		return
+	}
+	complete := func() {
+		remaining--
+		if remaining == 0 {
+			rp.hostCache.InsertRange(off, size)
+			rp.complete(rp.eng.Now() - arrival)
+		}
+	}
+	for _, seg := range plan {
+		switch {
+		case seg.Ext == nil:
+			// Hole: the device still transfers zero pages.
+			rp.se.read(0, seg.Bytes, 0, complete)
+		case seg.Ext.Tag == compress.TagNone:
+			rp.se.read(seg.Ext.DevOff, seg.Bytes, 0, complete)
+		default:
+			ext := seg.Ext
+			// Snapshot the payload now: an overwrite may free the extent
+			// while this read is in flight (the host still gets the data
+			// captured at submission time).
+			var payload []byte
+			if rp.verify {
+				payload = rp.se.payload(ext)
+			}
+			if rp.offload {
+				// The device's codec engine decompresses in-line.
+				extra := time.Duration(float64(ext.OrigLen) / rp.offloadCost.DecompressBps * float64(time.Second))
+				rp.se.read(ext.DevOff, ext.CompLen, extra, func() {
+					if rp.verify {
+						rp.verifyExtent(ext, payload)
+					}
+					complete()
+				})
+				break
+			}
+			rp.se.read(ext.DevOff, ext.CompLen, 0, func() {
+				svc := rp.cost.DecompressTime(ext.Tag, ext.OrigLen)
+				rp.cpu.Submit(sim.Job{Service: svc, Done: func(_, _ time.Duration) {
+					if rp.verify {
+						rp.verifyExtent(ext, payload)
+					}
+					complete()
+				}})
+			})
+		}
+	}
+}
+
+// verifyExtent decompresses the payload snapshot taken at read submission
+// and compares it with the regenerated original content.
+func (rp *readPath) verifyExtent(ext *Extent, payload []byte) {
+	if payload == nil {
+		rp.fs.fail(fmt.Errorf("core: verify: extent at %d has no payload", ext.Offset))
+		return
+	}
+	codec, err := rp.reg.ByTag(ext.Tag)
+	if err != nil {
+		rp.fs.fail(err)
+		return
+	}
+	got, err := codec.Decompress(payload, int(ext.OrigLen))
+	if err != nil {
+		rp.fs.fail(fmt.Errorf("core: verify: decompress extent at %d: %w", ext.Offset, err))
+		return
+	}
+	want := rp.data.AppendBlock(rp.se.getBuf(), ext.Offset, int(ext.OrigLen), ext.Version)
+	equal := bytes.Equal(got, want)
+	rp.se.putBuf(want)
+	if !equal {
+		rp.fs.fail(fmt.Errorf("core: verify: content mismatch for extent at %d", ext.Offset))
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"edc/internal/parallel"
+	"edc/internal/sim"
+	"edc/internal/trace"
+)
+
+// ShardSetup describes an LBA-sharded replay: the volume is partitioned
+// into Shards contiguous block-aligned ranges, each served by an
+// independent pipeline instance — its own sim.Engine, backend, allocator,
+// mapping, and stages — replayed concurrently on OS goroutines. The
+// factories run once per shard so no mutable state is shared; the only
+// cross-shard structure is the read-only IntensitySnapshot every shard
+// queries for the global workload signal.
+type ShardSetup struct {
+	// Shards is the partition width (>= 1).
+	Shards int
+	// VolumeBytes is the full logical volume being partitioned.
+	VolumeBytes int64
+	// Backend builds one shard's private backend on its private engine.
+	Backend func(eng *sim.Engine) (Backend, error)
+	// Options builds one shard's Options. It must return fresh
+	// per-shard state for every call (Data generator, Estimator, Policy)
+	// — sharing any of them across shards races. Options.Meter is
+	// overwritten with the shared intensity snapshot.
+	Options func(shard int) (Options, error)
+	// MonitorWindow sizes the shared snapshot's slow window (zero: the
+	// device default of 500 ms).
+	MonitorWindow time.Duration
+}
+
+// ShardedDevice routes requests to LBA-range shards and replays them in
+// parallel. Single-shard replay should use Device directly: the sharded
+// path has different (though deterministic) semantics — per-shard
+// closed-loop bounds, shard-local SD merge, and a trace-derived global
+// intensity signal.
+type ShardedDevice struct {
+	setup  ShardSetup
+	vol    int64
+	bounds []int64 // len Shards+1; shard i serves [bounds[i], bounds[i+1])
+	played bool
+}
+
+// NewSharded validates the setup and computes the LBA partition.
+func NewSharded(setup ShardSetup) (*ShardedDevice, error) {
+	if setup.Shards < 1 {
+		return nil, errors.New("core: shards must be >= 1")
+	}
+	if setup.Backend == nil || setup.Options == nil {
+		return nil, errors.New("core: shard setup needs Backend and Options factories")
+	}
+	vol := setup.VolumeBytes &^ (BlockSize - 1)
+	if vol <= 0 {
+		return nil, errors.New("core: volume smaller than one block")
+	}
+	nBlocks := vol / BlockSize
+	if int64(setup.Shards) > nBlocks {
+		return nil, fmt.Errorf("core: %d shards exceed %d volume blocks", setup.Shards, nBlocks)
+	}
+	return &ShardedDevice{
+		setup:  setup,
+		vol:    vol,
+		bounds: shardBounds(vol, setup.Shards),
+	}, nil
+}
+
+// shardBounds splits vol into n block-aligned ranges covering the whole
+// volume with no overlap: the first vol/BlockSize mod n shards get one
+// extra block.
+func shardBounds(vol int64, n int) []int64 {
+	nBlocks := vol / BlockSize
+	per, rem := nBlocks/int64(n), nBlocks%int64(n)
+	bounds := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		blocks := per
+		if int64(i) < rem {
+			blocks++
+		}
+		bounds[i+1] = bounds[i] + blocks*BlockSize
+	}
+	return bounds
+}
+
+// Bounds returns the partition offsets (len Shards+1, ascending,
+// bounds[0]=0, bounds[n]=volume).
+func (s *ShardedDevice) Bounds() []int64 {
+	out := make([]int64, len(s.bounds))
+	copy(out, s.bounds)
+	return out
+}
+
+// VolumeBytes returns the full logical volume size.
+func (s *ShardedDevice) VolumeBytes() int64 { return s.vol }
+
+// shardFor returns the shard index serving byte offset off.
+func (s *ShardedDevice) shardFor(off int64) int {
+	lo, hi := 0, len(s.bounds)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.bounds[mid] <= off {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// split routes t across the shards: each request is aligned against the
+// full volume (exactly as an unsharded device would), cut at shard
+// boundaries, and rebased into shard-local offsets. Arrival order within
+// a shard is trace order, so per-shard replay stays deterministic.
+func (s *ShardedDevice) split(t *trace.Trace) []*trace.Trace {
+	subs := make([]*trace.Trace, len(s.bounds)-1)
+	for i := range subs {
+		subs[i] = &trace.Trace{Name: t.Name}
+	}
+	for _, r := range t.Requests {
+		off, size := alignRequest(s.vol, r)
+		for size > 0 {
+			i := s.shardFor(off)
+			end := s.bounds[i+1]
+			n := size
+			if off+n > end {
+				n = end - off
+			}
+			subs[i].Requests = append(subs[i].Requests, trace.Request{
+				Arrival: r.Arrival,
+				Offset:  off - s.bounds[i],
+				Size:    n,
+				Write:   r.Write,
+			})
+			off += n
+			size -= n
+		}
+	}
+	return subs
+}
+
+// Play replays t across all shards concurrently and returns the merged
+// statistics. Each shard's replay is an independent virtual-time
+// simulation; the merge folds shard results in shard order, so the
+// output is deterministic for a fixed shard count.
+func (s *ShardedDevice) Play(t *trace.Trace) (*RunStats, error) {
+	if s.played {
+		return nil, errors.New("core: device already played a trace")
+	}
+	s.played = true
+
+	// The shared global workload signal: every shard selects codecs
+	// against the same trace-wide intensity, not its own slice of it.
+	snap := NewIntensitySnapshot(t, s.vol, s.setup.MonitorWindow)
+
+	n := len(s.bounds) - 1
+	devs := make([]*Device, n)
+	for i := 0; i < n; i++ {
+		opts, err := s.setup.Options(i)
+		if err != nil {
+			return nil, err
+		}
+		opts.Meter = snap
+		eng := sim.NewEngine()
+		be, err := s.setup.Backend(eng)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d backend: %w", i, err)
+		}
+		shardVol := s.bounds[i+1] - s.bounds[i]
+		dev, err := NewDevice(eng, be, shardVol, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		devs[i] = dev
+	}
+	subs := s.split(t)
+
+	type shardResult struct {
+		stats *RunStats
+		err   error
+	}
+	pool := parallel.NewPool(n)
+	futs := make([]*parallel.Future[shardResult], n)
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = parallel.Go(pool, func() shardResult {
+			st, err := devs[i].Play(subs[i])
+			return shardResult{stats: st, err: err}
+		})
+	}
+	parts := make([]*RunStats, n)
+	var firstErr error
+	for i, fut := range futs {
+		r := fut.Wait()
+		parts[i] = r.stats
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: shard %d: %w", i, r.err)
+		}
+	}
+	pool.Close()
+	merged := mergeRunStats(parts)
+	merged.Backend = fmt.Sprintf("%d-shard [%s]", n, parts[0].Backend)
+	if merged.Err == nil {
+		merged.Err = firstErr
+	}
+	return merged, firstErr
+}

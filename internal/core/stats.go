@@ -78,6 +78,64 @@ func newRunStats(scheme, traceName, backend string) *RunStats {
 	}
 }
 
+// mergeRunStats folds per-shard results into one global RunStats. Parts
+// are processed in slice (shard) order, so the merge is deterministic:
+// counters and histograms sum, per-device slices concatenate, Duration is
+// the longest shard's virtual time (shards run concurrently in real time
+// and each simulates the full trace timeline), and the first shard error
+// wins.
+func mergeRunStats(parts []*RunStats) *RunStats {
+	out := newRunStats(parts[0].Scheme, parts[0].Trace, parts[0].Backend)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Resp.Merge(p.Resp)
+		out.RespRead.Merge(p.RespRead)
+		out.RespWrite.Merge(p.RespWrite)
+		out.Requests += p.Requests
+		out.Reads += p.Reads
+		out.Writes += p.Writes
+		out.OrigBytes += p.OrigBytes
+		out.CompBytes += p.CompBytes
+		out.StoredBytes += p.StoredBytes
+		out.LiveBlocks += p.LiveBlocks
+		out.LiveSlotBytes += p.LiveSlotBytes
+		out.PeakSlotBytes += p.PeakSlotBytes
+		out.DeadSlotBytes += p.DeadSlotBytes
+		out.AllocClasses += p.AllocClasses
+		for tag, n := range p.RunsByTag {
+			out.RunsByTag[tag] += n
+		}
+		for tag, n := range p.BytesByTag {
+			out.BytesByTag[tag] += n
+		}
+		out.WriteThrough += p.WriteThrough
+		out.Oversize += p.Oversize
+		out.SDMerged += p.SDMerged
+		out.SDRuns += p.SDRuns
+		out.CPU.Jobs += p.CPU.Jobs
+		out.CPU.BusyTime += p.CPU.BusyTime
+		out.CPU.WaitTime += p.CPU.WaitTime
+		if p.CPU.MaxQueue > out.CPU.MaxQueue {
+			out.CPU.MaxQueue = p.CPU.MaxQueue
+		}
+		out.Cache.Hits += p.Cache.Hits
+		out.Cache.Misses += p.Cache.Misses
+		out.Cache.Insertions += p.Cache.Insertions
+		out.Cache.Evictions += p.Cache.Evictions
+		out.Devices = append(out.Devices, p.Devices...)
+		out.Queues = append(out.Queues, p.Queues...)
+		if p.Duration > out.Duration {
+			out.Duration = p.Duration
+		}
+		if out.Err == nil && p.Err != nil {
+			out.Err = p.Err
+		}
+	}
+	return out
+}
+
 // TrafficRatio is the paper's compression ratio over write traffic:
 // original bytes divided by stored bytes (>= 1; 1 for Native).
 func (rs *RunStats) TrafficRatio() float64 {

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"edc/internal/cache"
+	"edc/internal/compress"
+	"edc/internal/datagen"
+	"edc/internal/parallel"
+	"edc/internal/sim"
+)
+
+// writePath is the write stage of the request pipeline: SD merge →
+// compressibility estimate → policy selection → codec dispatch → slot
+// quantization → store. It owns the sequentiality detector, the flush
+// timer, and the run version counter; placement and device I/O go
+// through the store engine, completions return to the frontend via the
+// complete/drop callbacks.
+type writePath struct {
+	eng   *sim.Engine
+	cpu   sim.Server
+	fs    *failState
+	stats *RunStats
+	se    *storeEngine
+	meter WorkloadMeter
+
+	sd     *SeqDetector
+	est    *Estimator
+	data   *datagen.Generator
+	policy Policy
+	cost   CostModel
+
+	hostCache   *cache.Cache
+	disableSD   bool
+	exactSlots  bool
+	offload     bool
+	offloadCost CodecCost
+
+	flushWait time.Duration
+	flushGen  int64
+	version   uint32
+
+	// Real-CPU pipeline: codec work dispatched at processRun time runs
+	// on pool workers while the event loop advances virtual time; store
+	// joins on the future. The pool exists only while Play runs.
+	pool *parallel.Pool
+
+	// complete finishes one host write (response observation +
+	// closed-loop slot release); drop releases writes without observing
+	// them on a failed run.
+	complete func(resp time.Duration)
+	drop     func(n int)
+}
+
+// admitWrite feeds one admitted host write into the SD merge stage.
+func (wp *writePath) admitWrite(w PendingWrite) {
+	if wp.disableSD {
+		wp.processRun(&Run{Offset: w.Offset, Size: w.Size, Writes: []PendingWrite{w}})
+		return
+	}
+	if run := wp.sd.OnWrite(w); run != nil {
+		wp.processRun(run)
+	}
+	wp.armFlushTimer()
+}
+
+// noteRead flushes the pending run: a read breaks write contiguity.
+func (wp *writePath) noteRead() {
+	if run := wp.sd.OnRead(); run != nil {
+		wp.processRun(run)
+	}
+}
+
+// armFlushTimer (re)starts the idle flush for the pending run.
+func (wp *writePath) armFlushTimer() {
+	if wp.flushWait <= 0 || !wp.sd.Pending() {
+		return
+	}
+	wp.flushGen++
+	gen := wp.flushGen
+	wp.eng.ScheduleAfter(wp.flushWait, func() {
+		if gen == wp.flushGen && wp.sd.Pending() && !wp.fs.failed() {
+			wp.processRun(wp.sd.Flush())
+		}
+	})
+}
+
+// drain flushes the still-buffered run after the event heap empties,
+// looping until no pending run remains: completing a flushed run can
+// admit deferred writes that buffer a fresh run, so a single flush is
+// not enough for traces that end mid-run.
+func (wp *writePath) drain() {
+	for wp.sd.Pending() {
+		wp.processRun(wp.sd.Flush())
+		wp.eng.Run()
+	}
+}
+
+// processRun compresses and stores one merged write run.
+func (wp *writePath) processRun(run *Run) {
+	if wp.fs.failed() {
+		wp.drop(len(run.Writes))
+		return
+	}
+	now := wp.eng.Now()
+	wp.stats.SDRuns++
+
+	ver := wp.version
+	wp.version++
+	content := wp.data.AppendBlock(wp.se.getBuf(), run.Offset, int(run.Size), ver)
+
+	var codec compress.Codec
+	var cpuTime time.Duration
+	if wp.policy.ChecksCompressibility() {
+		cpuTime += EstimateCost
+		ratio := wp.est.EstimateRatio(content)
+		if ratio >= WriteThroughRatio {
+			if ra, ok := wp.policy.(RatioAware); ok {
+				codec = ra.SelectWithRatio(wp.meter.Intensity(now), ratio)
+			} else {
+				codec = wp.policy.Select(wp.meter.Intensity(now))
+			}
+		} else {
+			wp.stats.WriteThrough++
+		}
+	} else {
+		codec = wp.policy.Select(wp.meter.Intensity(now))
+	}
+	if codec != nil && !wp.offload {
+		cpuTime += wp.cost.CompressTime(codec.Tag(), run.Size)
+	}
+	// Pipeline the real codec work: compression is a pure function of
+	// (content, codec), so it can run on a worker goroutine while the
+	// event loop advances virtual time. store joins on the future, so
+	// virtual-time ordering and all statistics are unchanged.
+	var fut *parallel.Future[[]byte]
+	if codec != nil && wp.pool != nil {
+		c := codec
+		dst := wp.se.getBuf()
+		fut = parallel.Go(wp.pool, func() []byte {
+			return compress.AppendCompress(c, dst, content)
+		})
+	}
+	store := func(_, _ time.Duration) { wp.store(run, content, codec, fut, ver) }
+	if cpuTime > 0 {
+		wp.cpu.Submit(sim.Job{Service: cpuTime, Done: store})
+	} else {
+		store(now, now)
+	}
+}
+
+// store joins the codec result (or runs the codec inline), allocates the
+// quantized slot, updates the mapping, and issues the device write.
+func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *parallel.Future[[]byte], ver uint32) {
+	var payload []byte
+	// Join before any early return: the worker owns the payload buffer
+	// (and reads content) until the future resolves.
+	if fut != nil {
+		payload = fut.Wait()
+	}
+	if wp.fs.failed() {
+		wp.drop(len(run.Writes))
+		wp.se.putBuf(content)
+		wp.se.putBuf(payload)
+		return
+	}
+	tag := compress.TagNone
+	compLen := run.Size
+	slotLen := run.Size
+	if codec != nil {
+		if fut == nil {
+			payload = compress.AppendCompress(codec, wp.se.getBuf(), content)
+		}
+		slot, ok := QuantizeSlot(run.Size, int64(len(payload)))
+		if ok {
+			tag = codec.Tag()
+			compLen = int64(len(payload))
+			slotLen = slot
+			if wp.exactSlots {
+				slotLen = compLen // ablation: no quantization
+			}
+		} else {
+			// Codec output above 75 %: keep uncompressed (Sec. III-C).
+			wp.stats.Oversize++
+			wp.se.putBuf(payload)
+			payload = nil
+		}
+	}
+	ext := &Extent{
+		Offset:  run.Offset,
+		OrigLen: run.Size,
+		CompLen: compLen,
+		SlotLen: slotLen,
+		Tag:     tag,
+		Version: ver,
+	}
+	if err := wp.se.place(ext); err != nil {
+		wp.fs.fail(fmt.Errorf("storing run at %d: %w", run.Offset, err))
+		wp.drop(len(run.Writes))
+		wp.se.putBuf(content)
+		wp.se.putBuf(payload)
+		return
+	}
+	if tag != compress.TagNone {
+		wp.se.keepPayload(ext, payload)
+	} else {
+		wp.se.keepPayload(ext, content)
+	}
+	wp.stats.OrigBytes += run.Size
+	wp.stats.CompBytes += compLen
+	wp.stats.StoredBytes += slotLen
+	wp.stats.RunsByTag[tag]++
+	wp.stats.BytesByTag[tag] += run.Size
+	wp.se.putBuf(content)
+	wp.se.putBuf(payload)
+
+	var extra time.Duration
+	if wp.offload && tag != compress.TagNone {
+		extra = time.Duration(float64(run.Size) / wp.offloadCost.CompressBps * float64(time.Second))
+	}
+	wp.hostCache.InsertRange(run.Offset, run.Size)
+	writes := run.Writes
+	wp.se.write(ext.DevOff, slotLen, extra, func() {
+		now := wp.eng.Now()
+		for _, w := range writes {
+			wp.complete(now - w.Arrival)
+		}
+	})
+}

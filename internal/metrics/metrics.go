@@ -157,6 +157,22 @@ func (h *LatencyHist) Observe(d time.Duration) {
 	h.buckets[i]++
 }
 
+// Merge adds every observation recorded in o into h (bucket-exact:
+// merging histograms equals observing the union of their inputs).
+// Sharded replay uses it to fold per-shard response distributions into
+// one global distribution.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.overflow += o.overflow
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
 // Count returns the number of observations.
 func (h *LatencyHist) Count() int64 { return h.count }
 

@@ -28,7 +28,8 @@ func NewEngine() *Engine {
 
 type event struct {
 	at  time.Duration
-	seq int64 // FIFO tie-break for simultaneous events
+	pri int8  // class tie-break: priority events run before plain ones
+	seq int64 // FIFO tie-break for simultaneous same-class events
 	fn  func()
 }
 
@@ -38,6 +39,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }
@@ -57,10 +61,24 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Schedule runs fn at virtual time `at`. Scheduling in the past panics:
 // it indicates a logic error in the caller.
 func (e *Engine) Schedule(at time.Duration, fn func()) {
+	e.schedule(at, 0, fn)
+}
+
+// SchedulePriority runs fn at virtual time `at`, ahead of every plain
+// event scheduled for the same instant; among priority events FIFO
+// order applies. Trace replay schedules request arrivals in this class
+// so an arrival streamed into the heap mid-run keeps exactly the
+// ordering it had when every arrival was pre-scheduled before the first
+// plain event existed.
+func (e *Engine) SchedulePriority(at time.Duration, fn func()) {
+	e.schedule(at, -1, fn)
+}
+
+func (e *Engine) schedule(at time.Duration, pri int8, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
 	}
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	heap.Push(&e.events, event{at: at, pri: pri, seq: e.seq, fn: fn})
 	e.seq++
 }
 

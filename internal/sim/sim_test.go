@@ -35,6 +35,33 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	}
 }
 
+// TestPriorityEventsBeatPlainEvents pins the contract behind streamed
+// trace replay: at one virtual time, every SchedulePriority event runs
+// before any plain Schedule event regardless of insertion order, and
+// within each class insertion order (seq) is preserved.
+func TestPriorityEventsBeatPlainEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	at := time.Millisecond
+	e.Schedule(at, func() { order = append(order, "plain0") })
+	e.SchedulePriority(at, func() { order = append(order, "pri0") })
+	e.Schedule(at, func() { order = append(order, "plain1") })
+	e.SchedulePriority(at, func() { order = append(order, "pri1") })
+	// An earlier plain event still runs first: priority only breaks ties
+	// at equal times.
+	e.Schedule(at/2, func() { order = append(order, "early") })
+	e.Run()
+	want := []string{"early", "pri0", "pri1", "plain0", "plain1"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestSchedulePastPanics(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(time.Second, func() {})
