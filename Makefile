@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check cover clean
+.PHONY: all build test vet fmtcheck doclint race bench check cover clean
 
 all: check
 
@@ -9,6 +9,18 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file is not gofmt-clean, listing the offenders.
+fmtcheck:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Fail on undocumented exported identifiers in the audited packages
+# (root edc, internal/core, internal/metrics, internal/obs).
+doclint:
+	$(GO) run ./cmd/doclint
 
 test:
 	$(GO) test ./...
@@ -29,7 +41,7 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 25
 
 # The tier-1 gate: everything a PR must keep green.
-check: vet build test race
+check: fmtcheck vet build doclint test race
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,221 @@
+// Command doclint fails when a package exports an undocumented
+// identifier. It is the `make doclint` gate behind the documentation
+// guarantee: every exported type, function, method, constant, variable,
+// struct field, and interface method in the audited packages carries a
+// doc comment (a block comment on a const/var group covers its members;
+// a trailing line comment counts for fields and grouped values).
+//
+// Usage:
+//
+//	doclint [package-dir ...]
+//
+// With no arguments it audits the documented API surface: the root edc
+// package, internal/core, internal/metrics, and internal/obs. Test
+// files are ignored. Exits non-zero listing every offender as
+// file:line: identifier.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// defaultDirs is the audited API surface when no arguments are given.
+var defaultDirs = []string{".", "internal/core", "internal/metrics", "internal/obs"}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	var bad []string
+	for _, dir := range dirs {
+		offenders, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		bad = append(bad, offenders...)
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		for _, b := range bad {
+			fmt.Println(b)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", len(bad))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns its offenders.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	flag := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		bad = append(bad, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		exportedTypes := collectExportedTypes(pkg)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					lintFunc(d, exportedTypes, flag)
+				case *ast.GenDecl:
+					lintGen(fset, d, flag)
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// collectExportedTypes records the package's exported type names so
+// methods on unexported types (unreachable API) are skipped.
+func collectExportedTypes(pkg *ast.Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lintFunc flags exported functions, and exported methods whose
+// receiver type is itself exported, that carry no doc comment.
+func lintFunc(d *ast.FuncDecl, exportedTypes map[string]bool, flag func(token.Pos, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "func"
+	if d.Recv != nil {
+		recv := receiverType(d.Recv)
+		if !exportedTypes[recv] {
+			return
+		}
+		kind = "method " + recv + "."
+	} else {
+		kind += " "
+	}
+	flag(d.Pos(), kind+d.Name.Name)
+}
+
+// receiverType unwraps the receiver's base type name.
+func receiverType(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return ""
+	}
+	t := fl.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if g, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = g.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// lintGen flags undocumented exported consts, vars, and types. A doc
+// comment on the grouped declaration covers every spec in the group;
+// per-spec doc or trailing line comments also count. Exported struct
+// fields and interface methods inside a type must each be documented,
+// where a documented member also covers the undocumented members
+// immediately below it (the group-heading idiom: coverage stops at the
+// first blank line).
+func lintGen(fset *token.FileSet, d *ast.GenDecl, flag func(token.Pos, string)) {
+	groupDoc := d.Doc != nil
+	covered := newCoverage(fset)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			documented := groupDoc || covered.check(s, s.Doc != nil || s.Comment != nil)
+			for _, name := range s.Names {
+				if name.IsExported() && !documented {
+					flag(name.Pos(), d.Tok.String()+" "+name.Name)
+				}
+			}
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && s.Doc == nil && s.Comment == nil {
+				flag(s.Name.Pos(), "type "+s.Name.Name)
+			}
+			lintTypeBody(fset, s, flag)
+		}
+	}
+}
+
+// coverage tracks group-heading propagation: a documented member covers
+// the undocumented members on the immediately following lines, until a
+// blank line breaks the group.
+type coverage struct {
+	fset    *token.FileSet
+	covered bool
+	lastEnd int
+}
+
+func newCoverage(fset *token.FileSet) *coverage {
+	return &coverage{fset: fset, lastEnd: -2}
+}
+
+// check reports whether the node at n counts as documented, given its
+// own doc status, and advances the group state.
+func (c *coverage) check(n ast.Node, hasDoc bool) bool {
+	line := c.fset.Position(n.Pos()).Line
+	adjacent := line == c.lastEnd+1
+	c.lastEnd = c.fset.Position(n.End()).Line
+	if hasDoc {
+		c.covered = true
+		return true
+	}
+	if !adjacent {
+		c.covered = false
+	}
+	return c.covered
+}
+
+// lintTypeBody audits the members of an exported struct or interface.
+func lintTypeBody(fset *token.FileSet, s *ast.TypeSpec, flag func(token.Pos, string)) {
+	lintMembers := func(kind string, fields *ast.FieldList) {
+		covered := newCoverage(fset)
+		for _, f := range fields.List {
+			documented := covered.check(f, f.Doc != nil || f.Comment != nil)
+			for _, name := range f.Names {
+				if name.IsExported() && !documented {
+					flag(name.Pos(), kind+" "+s.Name.Name+"."+name.Name)
+				}
+			}
+		}
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lintMembers("field", t.Fields)
+	case *ast.InterfaceType:
+		lintMembers("interface method", t.Methods)
+	}
+}

@@ -1,4 +1,5 @@
-// Command edcbench regenerates the paper's tables and figures.
+// Command edcbench regenerates the paper's tables and figures, and runs
+// single instrumented replays for the observability layer.
 //
 // Usage:
 //
@@ -6,18 +7,28 @@
 //	edcbench -experiment fig10   # one experiment
 //	edcbench -list               # list experiment IDs
 //	edcbench -requests 30000     # bigger replays
+//
+//	edcbench -replay fin1 -trace-out trace.jsonl   # decision trace
+//	edcbench -replay fin1 -json                    # machine-readable stats
+//	edcbench -replay prxy0 -series-out s.json -metrics-out m.prom
+//
+// OBSERVABILITY.md documents the trace, series, and counter formats.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"time"
 
+	"edc"
 	"edc/internal/bench"
+	"edc/internal/ssd"
 )
 
 func main() {
@@ -32,8 +43,38 @@ func main() {
 		shards     = flag.Int("shards", 0, "LBA shards per replay: n > 1 partitions the volume across n independent pipelines run concurrently (changes the simulated system; deterministic for fixed n)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		replayWl    = flag.String("replay", "", "run one instrumented replay of the named workload (fin1, fin2, usr0, prxy0) instead of an experiment")
+		scheme      = flag.String("scheme", "EDC", "compression scheme for -replay (Native, Lzf, Lz4, Gzip, Bzip2, EDC, EDC+)")
+		traceOut    = flag.String("trace-out", "", "with -replay: write one JSONL decision event per line to this file (\"-\" = stdout)")
+		seriesOut   = flag.String("series-out", "", "with -replay: write the sampled time series as JSON to this file")
+		seriesEvery = flag.Duration("series-interval", time.Second, "time-series bin width for -series-out")
+		metricsOut  = flag.String("metrics-out", "", "with -replay: write decision counters in Prometheus text format to this file (\"-\" = stdout)")
+		jsonOut     = flag.Bool("json", false, "with -replay: print the result as machine-readable JSON instead of the text report")
 	)
 	flag.Parse()
+
+	if *replayWl != "" {
+		err := runReplay(replayConfig{
+			workload:    *replayWl,
+			scheme:      *scheme,
+			requests:    *requests,
+			volumeMiB:   *volumeMiB,
+			seed:        *seed,
+			workers:     *workers,
+			shards:      *shards,
+			traceOut:    *traceOut,
+			seriesOut:   *seriesOut,
+			seriesEvery: *seriesEvery,
+			metricsOut:  *metricsOut,
+			jsonOut:     *jsonOut,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		desc := bench.Describe()
@@ -92,4 +133,140 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// replayConfig carries the -replay mode flags.
+type replayConfig struct {
+	workload    string
+	scheme      string
+	requests    int
+	volumeMiB   int
+	seed        int64
+	workers     int
+	shards      int
+	traceOut    string
+	seriesOut   string
+	seriesEvery time.Duration
+	metricsOut  string
+	jsonOut     bool
+}
+
+// outFile resolves an output path: "-" is stdout (no close), anything
+// else is created.
+func outFile(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// runReplay performs one instrumented replay: generate the named
+// workload, attach whatever observers the flags request, play it, and
+// write the outputs. Seeds match the experiment harness (trace seed
+// 1000+seed, same 512 MiB single-SSD device model), so a -replay run is
+// directly comparable to the fig8/fig10 rows for the same workload.
+func runReplay(rc replayConfig) error {
+	volumeMiB := rc.volumeMiB
+	if volumeMiB <= 0 {
+		volumeMiB = 256
+	}
+	requests := rc.requests
+	if requests <= 0 {
+		requests = 12000
+	}
+	volume := int64(volumeMiB) << 20
+	prof, err := edc.WorkloadByName(rc.workload, volume)
+	if err != nil {
+		return err
+	}
+	tr, err := prof.GenerateN(requests, 1000+rc.seed)
+	if err != nil {
+		return err
+	}
+
+	ssdCfg := ssd.DefaultConfig()
+	ssdCfg.Blocks = 2048 // 512 MiB raw: the fig8/fig10 single-SSD model
+	opts := []edc.Option{
+		edc.WithScheme(edc.Scheme(rc.scheme)),
+		edc.WithSSDConfig(ssdCfg),
+	}
+	if rc.workers != 0 {
+		opts = append(opts, edc.WithReplayWorkers(rc.workers))
+	}
+	if rc.shards > 1 {
+		opts = append(opts, edc.WithShards(rc.shards))
+	}
+
+	var jt *edc.JSONLTracer
+	if rc.traceOut != "" {
+		w, closeFn, err := outFile(rc.traceOut)
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		jt = edc.NewJSONLTracer(w)
+		opts = append(opts, edc.WithTracer(jt))
+	}
+	if rc.seriesOut != "" {
+		opts = append(opts, edc.WithTimeSeries(rc.seriesEvery))
+	}
+	if rc.metricsOut != "" && jt == nil && rc.seriesOut == "" {
+		// Counters ride on the collector; force one with a no-op tracer.
+		opts = append(opts, edc.WithTracer(edc.TracerFunc(func(*edc.TraceEvent) {})))
+	}
+
+	res, err := edc.Replay(tr, volume, opts...)
+	if err != nil {
+		return err
+	}
+	if jt != nil {
+		if err := jt.Flush(); err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+	}
+	if rc.seriesOut != "" {
+		w, closeFn, err := outFile(rc.seriesOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Obs.Series); err != nil {
+			closeFn()
+			return fmt.Errorf("series output: %w", err)
+		}
+		if err := closeFn(); err != nil {
+			return err
+		}
+	}
+	if rc.metricsOut != "" {
+		w, closeFn, err := outFile(rc.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Obs.WritePrometheus(w); err != nil {
+			closeFn()
+			return fmt.Errorf("metrics output: %w", err)
+		}
+		if err := closeFn(); err != nil {
+			return err
+		}
+	}
+
+	// Keep stdout clean for the trace stream when it goes there.
+	sum := os.Stdout
+	if rc.traceOut == "-" || (rc.metricsOut == "-" && !rc.jsonOut) {
+		sum = os.Stderr
+	}
+	if rc.jsonOut {
+		enc := json.NewEncoder(sum)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.Report())
+	}
+	_, err = fmt.Fprint(sum, res.Format())
+	return err
 }

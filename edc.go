@@ -23,6 +23,7 @@ package edc
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ import (
 	_ "edc/internal/compress/lzf"
 	"edc/internal/core"
 	"edc/internal/datagen"
+	"edc/internal/obs"
 	"edc/internal/rais"
 	"edc/internal/sim"
 	"edc/internal/ssd"
@@ -60,7 +62,55 @@ type (
 	SSDConfig = ssd.Config
 	// CostModel maps codecs to CPU throughput in the simulator.
 	CostModel = core.CostModel
+	// Report is the machine-readable (JSON) form of Results.
+	Report = core.Report
+	// Tracer consumes one TraceEvent per pipeline decision (WithTracer).
+	Tracer = obs.Tracer
+	// TracerFunc adapts a function to the Tracer interface.
+	TracerFunc = obs.TracerFunc
+	// TraceEvent is one pipeline decision record (see OBSERVABILITY.md
+	// for the JSONL schema).
+	TraceEvent = obs.Event
+	// TraceEventType names a pipeline decision point.
+	TraceEventType = obs.EventType
+	// JSONLTracer writes one JSON object per decision, one per line.
+	JSONLTracer = obs.JSONLTracer
+	// ObsReport is the observability snapshot embedded in Results.Obs:
+	// decision counters (with a Prometheus-style text exposition) plus
+	// the optional WithTimeSeries samples.
+	ObsReport = obs.Report
 )
+
+// The traced decision points, re-exported for Tracer implementations
+// filtering on TraceEvent.Type.
+const (
+	// EvAdmit: the frontend admitted one host request.
+	EvAdmit = obs.EvAdmit
+	// EvDefer: the closed-loop bound parked one request.
+	EvDefer = obs.EvDefer
+	// EvSDMerge: a contiguous write joined the pending run.
+	EvSDMerge = obs.EvSDMerge
+	// EvSDFlush: the pending run was flushed (Reason says why).
+	EvSDFlush = obs.EvSDFlush
+	// EvEstimate: the sampling estimator ruled on a run.
+	EvEstimate = obs.EvEstimate
+	// EvPolicy: the policy chose a codec at the current calculated IOPS.
+	EvPolicy = obs.EvPolicy
+	// EvSlot: codec output was placed into a quantized slot.
+	EvSlot = obs.EvSlot
+	// EvSlotFree: a dead extent's slot returned to the allocator.
+	EvSlotFree = obs.EvSlotFree
+	// EvCacheHit: the host DRAM cache served a read.
+	EvCacheHit = obs.EvCacheHit
+	// EvCacheMiss: the host DRAM cache missed a read.
+	EvCacheMiss = obs.EvCacheMiss
+	// EvDecompress: a read had to decompress a compressed extent.
+	EvDecompress = obs.EvDecompress
+)
+
+// NewJSONLTracer returns a Tracer writing one JSON event per line to w
+// (buffered; call Flush when the replay completes).
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
 
 // Scheme names the paper's five evaluated schemes.
 type Scheme string
@@ -116,6 +166,8 @@ type options struct {
 	maxRun       int64
 	flushTimeout time.Duration
 	stripePages  int
+	tracer       obs.Tracer
+	seriesEvery  time.Duration
 }
 
 // Option customizes a System.
@@ -212,6 +264,29 @@ func WithFlushTimeout(d time.Duration) Option { return func(o *options) { o.flus
 
 // WithStripeUnit sets the RAIS stripe unit in pages (default 16).
 func WithStripeUnit(pages int) Option { return func(o *options) { o.stripePages = pages } }
+
+// WithTracer streams one TraceEvent per pipeline decision to t
+// (admission, SD merge/flush, estimator verdict, codec choice, slot
+// placement, cache lookup, decompression). Tracers are strict
+// observers: results are identical with and without one attached.
+// Under WithShards the per-shard streams merge deterministically by
+// (virtual time, shard, sequence) after the replay, so t sees a totally
+// ordered stream but only once the run completes.
+func WithTracer(t Tracer) Option { return func(o *options) { o.tracer = t } }
+
+// WithTimeSeries samples calculated IOPS, codec mix, and slot occupancy
+// into fixed-interval bins of the given width (Results.Obs.Series).
+// Sampling is passive — values are recorded at existing decision points,
+// never from added timer events — so it cannot perturb the replay.
+// d <= 0 selects one second.
+func WithTimeSeries(d time.Duration) Option {
+	return func(o *options) {
+		if d <= 0 {
+			d = time.Second
+		}
+		o.seriesEvery = d
+	}
+}
 
 // System is one ready-to-replay EDC stack: virtual-time engine, backend
 // devices, and the EDC block layer — or, with WithShards(n>1), a router
@@ -412,6 +487,10 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	var col *obs.Collector
+	if o.tracer != nil || o.seriesEvery > 0 {
+		col = obs.New(obs.Config{Tracer: o.tracer, SeriesInterval: o.seriesEvery})
+	}
 	if o.shards > 1 {
 		// Split the replay-pipeline budget across shards: each shard's
 		// event loop already runs on its own goroutine, so per-shard
@@ -433,6 +512,7 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 			Options: func(int) (core.Options, error) {
 				return deviceOptions(perShard)
 			},
+			Obs: col,
 		})
 		if err != nil {
 			return nil, err
@@ -448,6 +528,7 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	dopts.Obs = col
 	dev, err := core.NewDevice(eng, be, volumeBytes, dopts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,123 @@
+// Observability: replay a short synthetic workload with a decision
+// tracer attached and print where every write went — which codec the
+// elastic policy chose at each intensity level, what the estimator
+// bypassed, and how much space the quantized slots wasted.
+//
+//	go run ./examples/observability
+//
+// The same event stream can be written as JSONL with
+// `edcbench -replay fin1 -trace-out trace.jsonl`; OBSERVABILITY.md
+// documents the schema and shows jq recipes over it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"edc"
+)
+
+func main() {
+	const volume = 64 << 20
+
+	// A two-phase trace: a calm stretch of spaced-out writes (low
+	// calculated IOPS → the policy can afford Gzip-class compression),
+	// then a dense burst (high calculated IOPS → light or no
+	// compression). The codec-by-phase breakdown below makes the Fig. 6
+	// feedback loop visible per decision.
+	var tr edc.Trace
+	tr.Name = "obs-demo"
+	at := time.Duration(0)
+	for i := 0; i < 400; i++ { // calm phase: 2 ms apart
+		tr.Requests = append(tr.Requests, edc.Request{
+			Arrival: at, Offset: int64(i%512) * 16384, Size: 16384, Write: true,
+		})
+		at += 2 * time.Millisecond
+	}
+	burstStart := at
+	for i := 0; i < 400; i++ { // burst phase: 50 µs apart
+		tr.Requests = append(tr.Requests, edc.Request{
+			Arrival: at, Offset: int64((i*3)%512) * 16384, Size: 16384, Write: true,
+		})
+		at += 50 * time.Microsecond
+	}
+
+	// Collect the decision stream in memory. Tracers are pure observers:
+	// the replay result is identical with or without one.
+	var events []edc.TraceEvent
+	res, err := edc.Replay(&tr, volume,
+		edc.WithTracer(edc.TracerFunc(func(e *edc.TraceEvent) {
+			events = append(events, *e)
+		})),
+		edc.WithTimeSeries(500*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Codec-decision breakdown per phase, plus slot-waste accounting —
+	// straight off the event stream.
+	type phaseMix map[string]int
+	calm, burst := phaseMix{}, phaseMix{}
+	var wasteBytes, slotEvents int64
+	var ciopsCalm, ciopsBurst []float64
+	for _, e := range events {
+		switch e.Type {
+		case edc.EvPolicy:
+			if time.Duration(e.TUS)*time.Microsecond < burstStart {
+				calm[e.Codec]++
+				ciopsCalm = append(ciopsCalm, e.CIOPS)
+			} else {
+				burst[e.Codec]++
+				ciopsBurst = append(ciopsBurst, e.CIOPS)
+			}
+		case edc.EvSlot:
+			if e.Reason != "oversize" {
+				wasteBytes += e.Waste
+				slotEvents++
+			}
+		}
+	}
+
+	fmt.Printf("replayed %d requests, %d decision events\n\n", res.Requests, len(events))
+	printMix := func(label string, mix phaseMix, ciops []float64) {
+		fmt.Printf("%s (mean calculated IOPS %.0f):\n", label, mean(ciops))
+		names := make([]string, 0, len(mix))
+		for name := range mix {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-5s %4d runs\n", name, mix[name])
+		}
+	}
+	printMix("calm phase", calm, ciopsCalm)
+	printMix("burst phase", burst, ciopsBurst)
+
+	fmt.Printf("\nestimator write-through: %d runs (%.1f%%)\n",
+		res.WriteThrough, 100*res.WriteThroughRate())
+	if slotEvents > 0 {
+		fmt.Printf("quantized slot waste: %d bytes over %d stored runs (%.0f B/run)\n",
+			wasteBytes, slotEvents, float64(wasteBytes)/float64(slotEvents))
+	}
+
+	// The counters snapshot renders in the Prometheus text format.
+	fmt.Println("\ncounters:")
+	if err := res.Obs.WritePrometheus(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

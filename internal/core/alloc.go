@@ -121,7 +121,7 @@ func (a *Allocator) SizeClasses() []int64 {
 
 // Range is one reserved extent used when rebuilding from a snapshot.
 type Range struct {
-	Off, Len int64
+	Off, Len int64 // byte offset and length on the device
 }
 
 // Rebuild resets the allocator to exactly the given reserved ranges

@@ -9,6 +9,7 @@ import (
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/obs"
 	"edc/internal/parallel"
 	"edc/internal/sim"
 	"edc/internal/trace"
@@ -78,6 +79,12 @@ type Options struct {
 	// OffloadCost is the device-side codec engine throughput (default:
 	// a hardware-assisted engine at 150/300 MB/s).
 	OffloadCost CodecCost
+	// Obs receives one event per pipeline decision plus counters and
+	// optional time series (see internal/obs). Nil disables observability
+	// entirely; the nil path is bit-identical to an uninstrumented
+	// replay — collectors are strict observers and never feed back into
+	// the simulation.
+	Obs *obs.Collector
 }
 
 // DefaultOffloadCost models a hardware compression engine in the device
@@ -118,6 +125,7 @@ type Device struct {
 
 	policy   Policy
 	volBytes int64
+	obs      *obs.Collector
 
 	replayWorkers int
 	played        bool
@@ -199,6 +207,8 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 
 	fs := &failState{}
 	se := newStoreEngine(be, volBytes, opts.VerifyReads)
+	se.obs = opts.Obs
+	se.now = eng.Now
 	hostCache := cache.New(opts.CacheBytes)
 	stats := newRunStats(opts.Policy.Name(), "", be.Describe())
 
@@ -209,6 +219,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		stats:       stats,
 		se:          se,
 		meter:       opts.Meter,
+		obs:         opts.Obs,
 		sd:          NewSeqDetector(opts.MaxRun),
 		est:         opts.Estimator,
 		data:        opts.Data,
@@ -229,6 +240,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		cost:        opts.Cost,
 		reg:         opts.Registry,
 		data:        opts.Data,
+		obs:         opts.Obs,
 		hostCache:   hostCache,
 		verify:      opts.VerifyReads,
 		offload:     opts.Offload,
@@ -239,6 +251,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		fs:          fs,
 		stats:       stats,
 		meter:       opts.Meter,
+		obs:         opts.Obs,
 		volBytes:    volBytes,
 		maxInFlight: int64(opts.MaxOutstanding),
 	}
@@ -264,6 +277,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		se:            se,
 		policy:        opts.Policy,
 		volBytes:      volBytes,
+		obs:           opts.Obs,
 		replayWorkers: opts.ReplayWorkers,
 		stats:         stats,
 	}, nil
@@ -317,6 +331,7 @@ func (d *Device) finalize() {
 	s.Devices = d.se.be.DeviceStats()
 	s.Queues = d.se.be.QueueStats()
 	s.Duration = d.eng.Now()
+	s.Obs = d.obs.Report()
 	if s.Err == nil {
 		s.Err = d.fs.err
 	}

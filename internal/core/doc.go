@@ -1,0 +1,36 @@
+// Package core implements the paper's contribution: the Elastic Data
+// Compression (EDC) block layer. It contains the workload monitor
+// (calculated-IOPS measurement, Sec. III-D), the sampling compressibility
+// estimator, the sequentiality detector (Sec. III-E, Fig. 7), the
+// quantized-slot mapping table (Sec. III-C, Fig. 5), the elastic policy
+// and its fixed-algorithm baselines, and the event-driven block device
+// that replays traces against a simulated SSD or RAIS backend.
+//
+// # Pipeline
+//
+// A Device is pure wiring over four stages, each in its own file:
+//
+//   - frontend: closed-loop admission control with a deferred FIFO
+//     (frontend.go)
+//   - write path: SD merge → compressibility estimate → policy codec
+//     choice → codec execution → quantized slot placement (writepath.go)
+//   - read path: host cache → mapping lookup → device read →
+//     decompression → optional verification (readpath.go)
+//   - store engine: slot allocator, mapping table, and the backend
+//     (engine.go)
+//
+// Replay runs on a virtual-time event loop (internal/sim); codec work is
+// charged deterministic CPU cost from a CostModel, so results are
+// machine-independent and bit-reproducible. ShardedDevice partitions the
+// volume by LBA across n independent pipelines for scale-out replay.
+//
+// # Observability
+//
+// Every stage carries an optional *obs.Collector (Options.Obs): one hook
+// call per decision — admit/defer, SD merge/flush with reason, estimator
+// verdict, policy codec choice with the calculated IOPS it saw, slot
+// class and waste, cache hit/miss, decompression. A nil collector is a
+// no-op and the instrumented replay is bit-identical to an
+// uninstrumented one; sharded replays buffer per shard and merge
+// deterministically. See OBSERVABILITY.md at the repository root.
+package core

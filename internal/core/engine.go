@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"edc/internal/obs"
 )
 
 // storeEngine owns the storage side of the pipeline: the slot allocator,
@@ -14,6 +16,11 @@ type storeEngine struct {
 	be      Backend
 	alloc   *Allocator
 	mapping *Mapping
+
+	// obs/now feed slot alloc/free events to the observability layer;
+	// both are set by NewDevice (now is the owning engine's clock).
+	obs *obs.Collector
+	now func() time.Duration
 
 	payloads map[*Extent][]byte // verify mode; nil otherwise
 
@@ -32,6 +39,9 @@ func newStoreEngine(be Backend, volBytes int64, verify bool) *storeEngine {
 		alloc: NewAllocator(be.LogicalBytes()),
 	}
 	se.mapping = NewMapping(volBytes, se.alloc, func(e *Extent) {
+		if se.obs != nil {
+			se.obs.SlotFree(se.now(), e.Offset, e.OrigLen, e.SlotLen)
+		}
 		se.be.Trim(e.DevOff, e.SlotLen)
 		if se.payloads != nil {
 			delete(se.payloads, e)
@@ -72,6 +82,9 @@ func (se *storeEngine) place(ext *Extent) error {
 		return err
 	}
 	ext.DevOff = devOff
+	if se.obs != nil {
+		se.obs.SlotAlloc(se.now(), ext.SlotLen)
+	}
 	return se.mapping.Insert(ext)
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"edc/internal/obs"
 	"edc/internal/sim"
 	"edc/internal/trace"
 )
@@ -19,6 +20,7 @@ type frontend struct {
 	fs    *failState
 	stats *RunStats
 	meter WorkloadMeter
+	obs   *obs.Collector
 
 	volBytes    int64
 	inFlight    int64
@@ -74,6 +76,7 @@ func (fe *frontend) arrive(r trace.Request) {
 	}
 	if fe.inFlight >= fe.maxInFlight {
 		fe.deferred = append(fe.deferred, r)
+		fe.obs.Defer(fe.eng.Now(), r.Offset, r.Size, r.Write, len(fe.deferred))
 		return
 	}
 	fe.admit(r)
@@ -84,6 +87,7 @@ func (fe *frontend) admit(r trace.Request) {
 	off, size := alignRequest(fe.volBytes, r)
 	now := fe.eng.Now()
 	fe.meter.Record(now, size)
+	fe.obs.Admit(now, off, size, r.Write)
 	fe.stats.Requests++
 	// Response time is measured from issue (admission): under closed-loop
 	// replay a saturated backend shifts issue times instead of growing an

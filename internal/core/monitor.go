@@ -1,10 +1,3 @@
-// Package core implements the paper's contribution: the Elastic Data
-// Compression (EDC) block layer. It contains the workload monitor
-// (calculated-IOPS measurement, Sec. III-D), the sampling compressibility
-// estimator, the sequentiality detector (Sec. III-E, Fig. 7), the
-// quantized-slot mapping table (Sec. III-C, Fig. 5), the elastic policy
-// and its fixed-algorithm baselines, and the event-driven block device
-// that replays traces against a simulated SSD or RAIS backend.
 package core
 
 import (

@@ -51,8 +51,8 @@ func Fixed(name string, codec compress.Codec) Policy {
 // Level is one rung of the elastic ladder: the codec used while the
 // calculated IOPS is at or below MaxIOPS.
 type Level struct {
-	MaxIOPS float64
-	Codec   compress.Codec
+	MaxIOPS float64        // upper intensity bound for this rung
+	Codec   compress.Codec // codec applied at or below the bound (nil: none)
 }
 
 // ElasticPolicy is the paper's EDC selection (Fig. 6): codecs of higher

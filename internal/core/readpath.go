@@ -8,6 +8,7 @@ import (
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/obs"
 	"edc/internal/sim"
 )
 
@@ -24,6 +25,7 @@ type readPath struct {
 	cost CostModel
 	reg  *compress.Registry
 	data *datagen.Generator
+	obs  *obs.Collector
 
 	hostCache   *cache.Cache
 	verify      bool
@@ -39,7 +41,14 @@ type readPath struct {
 // read plans and issues one host read. Fully cached reads are served
 // from DRAM, skipping the device and any decompression.
 func (rp *readPath) read(arrival time.Duration, off, size int64) {
-	if rp.hostCache.ContainsRange(off, size) {
+	// ContainsRange mutates the cache (LRU touch + hit/miss counters), so
+	// the single existing call's result feeds both the trace and the
+	// branch — calling it again for observability would perturb the run.
+	hit := rp.hostCache.ContainsRange(off, size)
+	if rp.obs != nil && rp.hostCache.CapacityBlocks() > 0 {
+		rp.obs.CacheLookup(rp.eng.Now(), off, size, hit)
+	}
+	if hit {
 		rp.eng.ScheduleAfter(CacheHitLatency, func() {
 			rp.complete(rp.eng.Now() - arrival)
 		})
@@ -72,6 +81,9 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 			rp.se.read(seg.Ext.DevOff, seg.Bytes, 0, complete)
 		default:
 			ext := seg.Ext
+			if rp.obs != nil {
+				rp.obs.Decompress(rp.eng.Now(), ext.Offset, ext.OrigLen, tagName(rp.reg, ext.Tag), ext.CompLen)
+			}
 			// Snapshot the payload now: an overwrite may free the extent
 			// while this read is in flight (the host still gets the data
 			// captured at submission time).
@@ -101,6 +113,15 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 			})
 		}
 	}
+}
+
+// tagName resolves a codec tag to its registry name for the event
+// stream.
+func tagName(reg *compress.Registry, tag compress.Tag) string {
+	if c, err := reg.ByTag(tag); err == nil {
+		return c.Name()
+	}
+	return fmt.Sprintf("tag%d", tag)
 }
 
 // verifyExtent decompresses the payload snapshot taken at read submission

@@ -6,18 +6,18 @@ import (
 
 // PendingWrite is one host write buffered by the sequentiality detector.
 type PendingWrite struct {
-	Arrival time.Duration
-	Offset  int64
-	Size    int64
+	Arrival time.Duration // virtual arrival time of the host write
+	Offset  int64         // logical byte offset
+	Size    int64         // length in bytes
 }
 
 // Run is a maximal merged sequence of contiguous writes, compressed as a
 // single block (paper Sec. III-E: larger blocks compress better and
 // decompress faster per byte).
 type Run struct {
-	Offset int64
-	Size   int64
-	Writes []PendingWrite
+	Offset int64          // logical byte offset of the run start
+	Size   int64          // merged length in bytes
+	Writes []PendingWrite // the host writes folded into the run, in order
 }
 
 // SeqDetector implements the paper's SD module (Fig. 7): contiguous
@@ -86,6 +86,20 @@ func (sd *SeqDetector) take() *Run {
 
 // Pending reports whether a run is being accumulated.
 func (sd *SeqDetector) Pending() bool { return sd.cur != nil }
+
+// Peek returns the pending run's extent and write count without
+// disturbing it (ok false when nothing is buffered). The write path uses
+// it to classify flush reasons for the observability layer before
+// feeding OnWrite.
+func (sd *SeqDetector) Peek() (off, size int64, writes int, ok bool) {
+	if sd.cur == nil {
+		return 0, 0, 0, false
+	}
+	return sd.cur.Offset, sd.cur.Size, len(sd.cur.Writes), true
+}
+
+// MaxRun returns the merge cap in bytes.
+func (sd *SeqDetector) MaxRun() int64 { return sd.maxRun }
 
 // PendingOverlaps reports whether the byte range [off, off+size)
 // intersects the pending run (read-after-buffered-write detection).

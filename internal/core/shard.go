@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"edc/internal/obs"
 	"edc/internal/parallel"
 	"edc/internal/sim"
 	"edc/internal/trace"
@@ -32,6 +33,11 @@ type ShardSetup struct {
 	// MonitorWindow sizes the shared snapshot's slow window (zero: the
 	// device default of 500 ms).
 	MonitorWindow time.Duration
+	// Obs observes the merged replay: each shard gets a private buffering
+	// child collector (Options.Obs is overwritten), and after the shards
+	// join their event streams merge deterministically by (virtual time,
+	// shard, sequence) into this parent. Nil disables observability.
+	Obs *obs.Collector
 }
 
 // ShardedDevice routes requests to LBA-range shards and replays them in
@@ -158,12 +164,15 @@ func (s *ShardedDevice) Play(t *trace.Trace) (*RunStats, error) {
 
 	n := len(s.bounds) - 1
 	devs := make([]*Device, n)
+	kids := make([]*obs.Collector, n)
 	for i := 0; i < n; i++ {
 		opts, err := s.setup.Options(i)
 		if err != nil {
 			return nil, err
 		}
 		opts.Meter = snap
+		kids[i] = s.setup.Obs.Child(i)
+		opts.Obs = kids[i]
 		eng := sim.NewEngine()
 		be, err := s.setup.Backend(eng)
 		if err != nil {
@@ -201,7 +210,9 @@ func (s *ShardedDevice) Play(t *trace.Trace) (*RunStats, error) {
 		}
 	}
 	pool.Close()
+	s.setup.Obs.Absorb(kids)
 	merged := mergeRunStats(parts)
+	merged.Obs = s.setup.Obs.Report()
 	merged.Backend = fmt.Sprintf("%d-shard [%s]", n, parts[0].Backend)
 	if merged.Err == nil {
 		merged.Err = firstErr

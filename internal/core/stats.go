@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/metrics"
+	"edc/internal/obs"
 	"edc/internal/sim"
 	"edc/internal/ssd"
 )
@@ -18,14 +20,18 @@ import (
 // (Fig. 9), per-codec usage, SD effectiveness, and device endurance
 // counters (the paper's reliability objective).
 type RunStats struct {
+	// Scheme, Trace, and Backend identify the run: the compression
+	// scheme name, the workload trace name, and the device backend.
 	Scheme  string
 	Trace   string
 	Backend string
 
+	// Response-time distributions: all requests, reads only, writes only.
 	Resp      *metrics.LatencyHist
 	RespRead  *metrics.LatencyHist
 	RespWrite *metrics.LatencyHist
 
+	// Request counts completed by the replay.
 	Requests int64
 	Reads    int64
 	Writes   int64
@@ -62,6 +68,10 @@ type RunStats struct {
 
 	// Duration is the virtual time at which the replay drained.
 	Duration time.Duration
+
+	// Obs is the observability snapshot (decision counters plus optional
+	// time series) when a collector was attached; nil otherwise.
+	Obs *obs.Report
 
 	// Err records a fatal replay error (e.g. device space exhaustion).
 	Err error
@@ -186,15 +196,189 @@ func (rs *RunStats) TotalFlashWrites() int64 {
 	return n
 }
 
+// WriteThroughRate is the fraction of stored runs the estimator bypassed
+// as incompressible (0 when no runs were stored).
+func (rs *RunStats) WriteThroughRate() float64 {
+	if rs.SDRuns == 0 {
+		return 0
+	}
+	return float64(rs.WriteThrough) / float64(rs.SDRuns)
+}
+
+// OversizeRate is the fraction of stored runs whose codec output missed
+// the 75 % slot class and reverted to uncompressed storage (0 when no
+// runs were stored).
+func (rs *RunStats) OversizeRate() float64 {
+	if rs.SDRuns == 0 {
+		return 0
+	}
+	return float64(rs.Oversize) / float64(rs.SDRuns)
+}
+
 // String renders a compact one-line summary.
 func (rs *RunStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s/%s: n=%d mean=%v p99=%v ratio=%.2f comp=%.2f erases=%d",
+	fmt.Fprintf(&b, "%s/%s: n=%d mean=%v p99=%v ratio=%.2f comp=%.2f wt=%.1f%% ovr=%.1f%% erases=%d",
 		rs.Scheme, rs.Trace, rs.Requests, rs.Resp.Mean().Round(time.Microsecond),
 		rs.Resp.Percentile(99).Round(time.Microsecond),
-		rs.TrafficRatio(), rs.Composite(), rs.TotalErases())
+		rs.TrafficRatio(), rs.Composite(),
+		100*rs.WriteThroughRate(), 100*rs.OversizeRate(), rs.TotalErases())
 	if rs.Err != nil {
 		fmt.Fprintf(&b, " ERR=%v", rs.Err)
 	}
 	return b.String()
+}
+
+// tagLabel names a codec tag using the default registry ("none" for
+// uncompressed storage).
+func tagLabel(tag compress.Tag) string {
+	if tag == compress.TagNone {
+		return "none"
+	}
+	if c, err := compress.Default().ByTag(tag); err == nil {
+		return c.Name()
+	}
+	return fmt.Sprintf("tag%d", tag)
+}
+
+// Format renders the canonical multi-line human-readable report: request
+// counts, the response-time distribution, space accounting, policy
+// behaviour (including the write-through and oversize rates), SD
+// effectiveness, and endurance counters. It is the one report the docs
+// reference; edcbench prints it for single replays.
+func (rs *RunStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheme=%s trace=%s backend=%s\n", rs.Scheme, rs.Trace, rs.Backend)
+	fmt.Fprintf(&b, "requests: %d (%d reads, %d writes)\n", rs.Requests, rs.Reads, rs.Writes)
+	fmt.Fprintf(&b, "response: mean=%v p50=%v p90=%v p99=%v (read mean=%v, write mean=%v)\n",
+		rs.Resp.Mean().Round(time.Microsecond),
+		rs.Resp.Percentile(50).Round(time.Microsecond),
+		rs.Resp.Percentile(90).Round(time.Microsecond),
+		rs.Resp.Percentile(99).Round(time.Microsecond),
+		rs.RespRead.Mean().Round(time.Microsecond),
+		rs.RespWrite.Mean().Round(time.Microsecond))
+	fmt.Fprintf(&b, "space: orig=%d comp=%d stored=%d ratio=%.3f codec-ratio=%.3f\n",
+		rs.OrigBytes, rs.CompBytes, rs.StoredBytes, rs.TrafficRatio(), rs.CodecRatio())
+	fmt.Fprintf(&b, "live: blocks=%d slot-bytes=%d peak=%d dead=%d alloc-classes=%d\n",
+		rs.LiveBlocks, rs.LiveSlotBytes, rs.PeakSlotBytes, rs.DeadSlotBytes, rs.AllocClasses)
+	fmt.Fprintf(&b, "policy: write-through=%d (%.1f%%) oversize=%d (%.1f%%)\n",
+		rs.WriteThrough, 100*rs.WriteThroughRate(), rs.Oversize, 100*rs.OversizeRate())
+	tags := make([]int, 0, len(rs.RunsByTag))
+	for tag := range rs.RunsByTag {
+		tags = append(tags, int(tag))
+	}
+	sort.Ints(tags)
+	for _, t := range tags {
+		tag := compress.Tag(t)
+		fmt.Fprintf(&b, "  codec %-5s runs=%d bytes=%d\n", tagLabel(tag), rs.RunsByTag[tag], rs.BytesByTag[tag])
+	}
+	fmt.Fprintf(&b, "sd: runs=%d merged-writes=%d\n", rs.SDRuns, rs.SDMerged)
+	fmt.Fprintf(&b, "cache: hits=%d misses=%d\n", rs.Cache.Hits, rs.Cache.Misses)
+	fmt.Fprintf(&b, "endurance: erases=%d flash-pages=%d\n", rs.TotalErases(), rs.TotalFlashWrites())
+	fmt.Fprintf(&b, "composite=%.3f duration=%v\n", rs.Composite(), rs.Duration.Round(time.Millisecond))
+	if rs.Err != nil {
+		fmt.Fprintf(&b, "error: %v\n", rs.Err)
+	}
+	return b.String()
+}
+
+// Report is the machine-readable form of RunStats, stable under
+// encoding/json round-trips (edcbench -json). Histograms flatten to the
+// percentiles the experiments report; codec maps key by name.
+type Report struct {
+	// Scheme/Trace/Backend identify the run.
+	Scheme  string `json:"scheme"`
+	Trace   string `json:"trace"`
+	Backend string `json:"backend"`
+
+	// Request counts.
+	Requests int64 `json:"requests"`
+	Reads    int64 `json:"reads"`
+	Writes   int64 `json:"writes"`
+
+	// Response-time distribution in microseconds.
+	MeanUS      float64 `json:"mean_us"`
+	P50US       float64 `json:"p50_us"`
+	P90US       float64 `json:"p90_us"`
+	P99US       float64 `json:"p99_us"`
+	ReadMeanUS  float64 `json:"read_mean_us"`
+	WriteMeanUS float64 `json:"write_mean_us"`
+
+	// Space accounting.
+	OrigBytes    int64   `json:"orig_bytes"`
+	CompBytes    int64   `json:"comp_bytes"`
+	StoredBytes  int64   `json:"stored_bytes"`
+	TrafficRatio float64 `json:"traffic_ratio"`
+	CodecRatio   float64 `json:"codec_ratio"`
+
+	// Live-space accounting.
+	LiveBlocks    int64 `json:"live_blocks"`
+	LiveSlotBytes int64 `json:"live_slot_bytes"`
+	PeakSlotBytes int64 `json:"peak_slot_bytes"`
+	DeadSlotBytes int64 `json:"dead_slot_bytes"`
+	AllocClasses  int   `json:"alloc_classes"`
+
+	// Policy behaviour (codec maps key by registry name).
+	RunsByCodec      map[string]int64 `json:"runs_by_codec"`
+	BytesByCodec     map[string]int64 `json:"bytes_by_codec"`
+	WriteThrough     int64            `json:"write_through"`
+	WriteThroughRate float64          `json:"write_through_rate"`
+	Oversize         int64            `json:"oversize"`
+	OversizeRate     float64          `json:"oversize_rate"`
+
+	// SD effectiveness.
+	SDRuns   int64 `json:"sd_runs"`
+	SDMerged int64 `json:"sd_merged"`
+
+	// Cache behaviour.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	// Endurance counters and the composite metric (Fig. 9).
+	Erases     int64   `json:"erases"`
+	FlashPages int64   `json:"flash_pages"`
+	Composite  float64 `json:"composite"`
+	DurationUS int64   `json:"duration_us"`
+
+	// Obs is the observability snapshot when a collector was attached.
+	Obs *obs.Report `json:"obs,omitempty"`
+
+	// Error is the fatal replay error, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// Report flattens the run into its machine-readable form.
+func (rs *RunStats) Report() *Report {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	r := &Report{
+		Scheme: rs.Scheme, Trace: rs.Trace, Backend: rs.Backend,
+		Requests: rs.Requests, Reads: rs.Reads, Writes: rs.Writes,
+		MeanUS: us(rs.Resp.Mean()), P50US: us(rs.Resp.Percentile(50)),
+		P90US: us(rs.Resp.Percentile(90)), P99US: us(rs.Resp.Percentile(99)),
+		ReadMeanUS: us(rs.RespRead.Mean()), WriteMeanUS: us(rs.RespWrite.Mean()),
+		OrigBytes: rs.OrigBytes, CompBytes: rs.CompBytes, StoredBytes: rs.StoredBytes,
+		TrafficRatio: rs.TrafficRatio(), CodecRatio: rs.CodecRatio(),
+		LiveBlocks: rs.LiveBlocks, LiveSlotBytes: rs.LiveSlotBytes,
+		PeakSlotBytes: rs.PeakSlotBytes, DeadSlotBytes: rs.DeadSlotBytes,
+		AllocClasses: rs.AllocClasses,
+		RunsByCodec:  make(map[string]int64, len(rs.RunsByTag)),
+		BytesByCodec: make(map[string]int64, len(rs.BytesByTag)),
+		WriteThrough: rs.WriteThrough, WriteThroughRate: rs.WriteThroughRate(),
+		Oversize: rs.Oversize, OversizeRate: rs.OversizeRate(),
+		SDRuns: rs.SDRuns, SDMerged: rs.SDMerged,
+		CacheHits: rs.Cache.Hits, CacheMisses: rs.Cache.Misses,
+		Erases: rs.TotalErases(), FlashPages: rs.TotalFlashWrites(),
+		Composite: rs.Composite(), DurationUS: rs.Duration.Microseconds(),
+		Obs: rs.Obs,
+	}
+	for tag, n := range rs.RunsByTag {
+		r.RunsByCodec[tagLabel(tag)] += n
+	}
+	for tag, n := range rs.BytesByTag {
+		r.BytesByCodec[tagLabel(tag)] += n
+	}
+	if rs.Err != nil {
+		r.Error = rs.Err.Error()
+	}
+	return r
 }

@@ -7,6 +7,7 @@ import (
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/obs"
 	"edc/internal/parallel"
 	"edc/internal/sim"
 )
@@ -24,6 +25,7 @@ type writePath struct {
 	stats *RunStats
 	se    *storeEngine
 	meter WorkloadMeter
+	obs   *obs.Collector
 
 	sd     *SeqDetector
 	est    *Estimator
@@ -59,7 +61,28 @@ func (wp *writePath) admitWrite(w PendingWrite) {
 		wp.processRun(&Run{Offset: w.Offset, Size: w.Size, Writes: []PendingWrite{w}})
 		return
 	}
-	if run := wp.sd.OnWrite(w); run != nil {
+	// Classify what this write will do to the pending run before feeding
+	// the detector, so a resulting flush carries its reason. Peek is a
+	// pure read; the disabled path does none of this.
+	var reason string
+	if wp.obs != nil {
+		if off, size, _, ok := wp.sd.Peek(); ok {
+			if w.Offset == off+size {
+				reason = obs.FlushMaxRun // contiguous: only the cap can flush
+			} else {
+				reason = obs.FlushNonContig
+			}
+		}
+	}
+	run := wp.sd.OnWrite(w)
+	if wp.obs != nil {
+		if run != nil {
+			wp.obs.SDFlush(wp.eng.Now(), reason, run.Offset, run.Size, len(run.Writes))
+		} else if _, _, writes, ok := wp.sd.Peek(); ok && writes > 1 {
+			wp.obs.SDMerge(wp.eng.Now(), w.Offset, w.Size, writes)
+		}
+	}
+	if run != nil {
 		wp.processRun(run)
 	}
 	wp.armFlushTimer()
@@ -68,6 +91,7 @@ func (wp *writePath) admitWrite(w PendingWrite) {
 // noteRead flushes the pending run: a read breaks write contiguity.
 func (wp *writePath) noteRead() {
 	if run := wp.sd.OnRead(); run != nil {
+		wp.obs.SDFlush(wp.eng.Now(), obs.FlushRead, run.Offset, run.Size, len(run.Writes))
 		wp.processRun(run)
 	}
 }
@@ -81,7 +105,9 @@ func (wp *writePath) armFlushTimer() {
 	gen := wp.flushGen
 	wp.eng.ScheduleAfter(wp.flushWait, func() {
 		if gen == wp.flushGen && wp.sd.Pending() && !wp.fs.failed() {
-			wp.processRun(wp.sd.Flush())
+			run := wp.sd.Flush()
+			wp.obs.SDFlush(wp.eng.Now(), obs.FlushTimeout, run.Offset, run.Size, len(run.Writes))
+			wp.processRun(run)
 		}
 	})
 }
@@ -92,7 +118,9 @@ func (wp *writePath) armFlushTimer() {
 // not enough for traces that end mid-run.
 func (wp *writePath) drain() {
 	for wp.sd.Pending() {
-		wp.processRun(wp.sd.Flush())
+		run := wp.sd.Flush()
+		wp.obs.SDFlush(wp.eng.Now(), obs.FlushDrain, run.Offset, run.Size, len(run.Writes))
+		wp.processRun(run)
 		wp.eng.Run()
 	}
 }
@@ -116,16 +144,24 @@ func (wp *writePath) processRun(run *Run) {
 		cpuTime += EstimateCost
 		ratio := wp.est.EstimateRatio(content)
 		if ratio >= WriteThroughRatio {
+			wp.obs.Estimate(now, run.Offset, run.Size, ratio, false)
+			// Intensity is a pure read of the meter, so capturing it for
+			// the trace costs nothing on the disabled path.
+			ciops := wp.meter.Intensity(now)
 			if ra, ok := wp.policy.(RatioAware); ok {
-				codec = ra.SelectWithRatio(wp.meter.Intensity(now), ratio)
+				codec = ra.SelectWithRatio(ciops, ratio)
 			} else {
-				codec = wp.policy.Select(wp.meter.Intensity(now))
+				codec = wp.policy.Select(ciops)
 			}
+			wp.obs.PolicyChoice(now, run.Offset, run.Size, ciops, codecName(codec))
 		} else {
 			wp.stats.WriteThrough++
+			wp.obs.Estimate(now, run.Offset, run.Size, ratio, true)
 		}
 	} else {
-		codec = wp.policy.Select(wp.meter.Intensity(now))
+		ciops := wp.meter.Intensity(now)
+		codec = wp.policy.Select(ciops)
+		wp.obs.PolicyChoice(now, run.Offset, run.Size, ciops, codecName(codec))
 	}
 	if codec != nil && !wp.offload {
 		cpuTime += wp.cost.CompressTime(codec.Tag(), run.Size)
@@ -148,6 +184,15 @@ func (wp *writePath) processRun(run *Run) {
 	} else {
 		store(now, now)
 	}
+}
+
+// codecName renders a policy selection for the event stream ("none" when
+// the run is stored uncompressed).
+func codecName(c compress.Codec) string {
+	if c == nil {
+		return "none"
+	}
+	return c.Name()
 }
 
 // store joins the codec result (or runs the codec inline), allocates the
@@ -180,9 +225,11 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 			if wp.exactSlots {
 				slotLen = compLen // ablation: no quantization
 			}
+			wp.obs.SlotChoice(wp.eng.Now(), run.Offset, run.Size, codec.Name(), compLen, slotLen, false)
 		} else {
 			// Codec output above 75 %: keep uncompressed (Sec. III-C).
 			wp.stats.Oversize++
+			wp.obs.SlotChoice(wp.eng.Now(), run.Offset, run.Size, codec.Name(), int64(len(payload)), run.Size, true)
 			wp.se.putBuf(payload)
 			payload = nil
 		}

@@ -234,8 +234,8 @@ func (ts *TimeSeries) Interval() time.Duration { return ts.interval }
 
 // Point is one (bin start, value) sample.
 type Point struct {
-	T time.Duration
-	V float64
+	T time.Duration // bin start (virtual time)
+	V float64       // accumulated value in the bin
 }
 
 // Points returns the series sorted by time. Empty bins are omitted.

@@ -91,6 +91,98 @@ func TestLatencyHistAccuracy(t *testing.T) {
 	}
 }
 
+func TestLatencyHistEmptyPercentiles(t *testing.T) {
+	h := NewLatencyHist()
+	for _, p := range []float64{-1, 0, 50, 99, 100, 200} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty hist p%v = %v; want 0", p, got)
+		}
+	}
+	var zero *LatencyHist
+	h.Merge(zero) // nil merge must be a no-op
+	if h.Count() != 0 {
+		t.Fatalf("count after nil merge = %d", h.Count())
+	}
+}
+
+func TestLatencyHistSingleBucket(t *testing.T) {
+	h := NewLatencyHist()
+	v := 100 * time.Microsecond
+	h.Observe(v)
+	// With one observation every percentile lands in the same bucket,
+	// whose lower bound is at most the observed value and within the
+	// histogram's ~1/16 relative bucket width below it.
+	lo := h.Percentile(0)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		got := h.Percentile(p)
+		if got != lo {
+			t.Fatalf("p%v = %v; want %v (single bucket)", p, got, lo)
+		}
+		if got > v || float64(v-got)/float64(v) > 1.0/histSubBuckets {
+			t.Fatalf("p%v = %v outside bucket containing %v", p, got, v)
+		}
+	}
+	if h.Mean() != v {
+		t.Fatalf("mean = %v; want exact %v", h.Mean(), v)
+	}
+}
+
+func TestLatencyHistMergeCommutative(t *testing.T) {
+	build := func(vals []time.Duration) *LatencyHist {
+		h := NewLatencyHist()
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	a := []time.Duration{time.Microsecond, 50 * time.Microsecond, 3 * time.Millisecond, 10 * time.Hour}
+	b := []time.Duration{7 * time.Microsecond, 3 * time.Millisecond, 900 * time.Millisecond}
+
+	ab := build(a)
+	ab.Merge(build(b))
+	ba := build(b)
+	ba.Merge(build(a))
+	union := build(append(append([]time.Duration{}, a...), b...))
+
+	for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+		if ab.Percentile(p) != ba.Percentile(p) {
+			t.Fatalf("p%v: a+b %v != b+a %v", p, ab.Percentile(p), ba.Percentile(p))
+		}
+		if ab.Percentile(p) != union.Percentile(p) {
+			t.Fatalf("p%v: merged %v != union %v", p, ab.Percentile(p), union.Percentile(p))
+		}
+	}
+	if ab.Count() != ba.Count() || ab.Count() != int64(len(a)+len(b)) {
+		t.Fatalf("counts: a+b=%d b+a=%d want %d", ab.Count(), ba.Count(), len(a)+len(b))
+	}
+	if ab.Mean() != ba.Mean() || ab.Mean() != union.Mean() {
+		t.Fatalf("means: a+b=%v b+a=%v union=%v", ab.Mean(), ba.Mean(), union.Mean())
+	}
+}
+
+func TestSummaryStdDevNearConstant(t *testing.T) {
+	// The naive sum-of-squares variance can go slightly negative on
+	// near-constant streams with a large offset; StdDev must clamp it to
+	// zero instead of returning NaN.
+	var s Summary
+	base := 1e9
+	for i := 0; i < 10000; i++ {
+		s.Observe(base + 1e-6*float64(i%2))
+	}
+	sd := s.StdDev()
+	if math.IsNaN(sd) || sd < 0 {
+		t.Fatalf("stddev = %v on near-constant stream", sd)
+	}
+	var c Summary
+	for i := 0; i < 1000; i++ {
+		c.Observe(base)
+	}
+	sd = c.StdDev()
+	if math.IsNaN(sd) || sd < 0 {
+		t.Fatalf("stddev = %v on constant stream", sd)
+	}
+}
+
 func TestTimeSeries(t *testing.T) {
 	ts := NewTimeSeries(time.Second)
 	ts.Add(0, 1)

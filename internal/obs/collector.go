@@ -1,0 +1,405 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Config configures a Collector. The zero value collects counters only.
+type Config struct {
+	// Tracer receives one Event per decision (nil: no event stream).
+	Tracer Tracer
+	// SeriesInterval enables fixed-interval time-series sampling with
+	// the given bin width (0 disables).
+	SeriesInterval time.Duration
+	// Shard tags every event with the producing shard (0 unsharded).
+	Shard int
+}
+
+// Collector is the pipeline-facing observer: the core stages call one
+// hook method per decision. A nil *Collector is valid — every method is
+// a nil-receiver no-op — so the disabled path costs one nil check per
+// decision and is bit-identical to an uninstrumented replay. Hooks only
+// read values the pipeline already computed; nothing flows back.
+//
+// A Collector is used from a single goroutine (its pipeline's event
+// loop). Sharded replay creates one buffering Child per shard and folds
+// them back with Absorb after the shards join.
+type Collector struct {
+	shard  int
+	tracer Tracer
+	series *Series
+
+	buffering bool
+	buf       []Event
+
+	seq      int64
+	counters map[string]int64
+}
+
+// New returns a Collector streaming to cfg.Tracer and sampling series
+// at cfg.SeriesInterval. Counters are always collected.
+func New(cfg Config) *Collector {
+	c := &Collector{
+		shard:    cfg.Shard,
+		tracer:   cfg.Tracer,
+		counters: make(map[string]int64),
+	}
+	if cfg.SeriesInterval > 0 {
+		c.series = NewSeries(cfg.SeriesInterval)
+	}
+	return c
+}
+
+// Child returns a buffering collector for one shard of a sharded
+// replay: it records events in memory instead of streaming them, so the
+// shard goroutines never contend on the parent's tracer. Fold children
+// back with Absorb. A nil parent returns a nil child (the no-op chain).
+func (c *Collector) Child(shard int) *Collector {
+	if c == nil {
+		return nil
+	}
+	child := &Collector{
+		shard:     shard,
+		buffering: c.tracer != nil,
+		counters:  make(map[string]int64),
+	}
+	if c.series != nil {
+		child.series = NewSeries(c.series.interval)
+	}
+	return child
+}
+
+// Absorb merges the per-shard children into c deterministically: events
+// are ordered by (virtual time, shard, per-shard sequence) and emitted
+// to c's tracer in that order; counters sum; series bins sum. Because
+// each shard's replay is itself deterministic, a traced sharded run
+// yields an identical event stream for a fixed shard count.
+func (c *Collector) Absorb(children []*Collector) {
+	if c == nil {
+		return
+	}
+	var total int
+	for _, ch := range children {
+		if ch != nil {
+			total += len(ch.buf)
+		}
+	}
+	merged := make([]Event, 0, total)
+	for _, ch := range children {
+		if ch == nil {
+			continue
+		}
+		merged = append(merged, ch.buf...)
+		for k, v := range ch.counters {
+			c.counters[k] += v
+		}
+		if c.series != nil {
+			c.series.merge(ch.series)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := &merged[i], &merged[j]
+		if a.TUS != b.TUS {
+			return a.TUS < b.TUS
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	if c.tracer != nil {
+		for i := range merged {
+			c.tracer.Emit(&merged[i])
+		}
+	}
+}
+
+// Events returns a copy of the buffered event stream (buffering
+// collectors only; streaming collectors return nil).
+func (c *Collector) Events() []Event {
+	if c == nil || len(c.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, len(c.buf))
+	copy(out, c.buf)
+	return out
+}
+
+// emit stamps and routes one event.
+func (c *Collector) emit(e Event) {
+	e.Shard = c.shard
+	e.Seq = c.seq
+	c.seq++
+	c.counters["edc_events_total"]++
+	if c.buffering {
+		c.buf = append(c.buf, e)
+	}
+	if c.tracer != nil {
+		c.tracer.Emit(&e)
+	}
+}
+
+// op renders the admit/defer direction label.
+func op(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// Admit records one request admitted by the frontend.
+func (c *Collector) Admit(now time.Duration, off, size int64, write bool) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_admitted_total{op=%q}", op(write))]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvAdmit, Op: op(write), Off: off, Size: size})
+}
+
+// Defer records one request parked in the deferred FIFO; queued is the
+// queue depth including it.
+func (c *Collector) Defer(now time.Duration, off, size int64, write bool, queued int) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_deferred_total{op=%q}", op(write))]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvDefer, Op: op(write), Off: off, Size: size, Queued: queued})
+}
+
+// SDMerge records a write joining the pending run; writes is the run's
+// host-write count including it.
+func (c *Collector) SDMerge(now time.Duration, off, size int64, writes int) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_sd_merged_total"]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvSDMerge, Off: off, Size: size, Writes: writes})
+}
+
+// SDFlush records the pending run [runOff, runOff+runSize), carrying
+// writes host writes, leaving the detector for the given reason.
+func (c *Collector) SDFlush(now time.Duration, reason string, runOff, runSize int64, writes int) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_sd_flushes_total{reason=%q}", reason)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvSDFlush, Reason: reason, Off: runOff, Size: runSize, Writes: writes})
+}
+
+// Estimate records the sampling estimator's verdict on the run at
+// [off, off+size): the sampled ratio and whether the run is written
+// through (ratio below the 4/3 write-through threshold).
+func (c *Collector) Estimate(now time.Duration, off, size int64, ratio float64, writeThrough bool) {
+	if c == nil {
+		return
+	}
+	verdict := "compress"
+	if writeThrough {
+		verdict = "write_through"
+	}
+	c.counters[fmt.Sprintf("edc_estimates_total{verdict=%q}", verdict)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvEstimate, Off: off, Size: size, Ratio: ratio, Verdict: verdict})
+}
+
+// PolicyChoice records the codec the policy selected for the run at
+// [off, off+size) given the calculated IOPS at decision time. codec is
+// "none" when the run is stored uncompressed.
+func (c *Collector) PolicyChoice(now time.Duration, off, size int64, ciops float64, codec string) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_policy_runs_total{codec=%q}", codec)]++
+	if c.series != nil {
+		c.series.observeIOPS(now, ciops)
+		c.series.observeCodec(now, codec)
+	}
+	c.emit(Event{TUS: now.Microseconds(), Type: EvPolicy, Off: off, Size: size, CIOPS: ciops, Codec: codec})
+}
+
+// SlotChoice records the quantized placement of one stored run: the
+// codec output of comp bytes went into a slot of slot bytes (Fig. 5
+// classes 25/50/75/100 % of orig). oversize marks codec output above
+// the 75 % class, which reverts the run to uncompressed storage.
+func (c *Collector) SlotChoice(now time.Duration, off, orig int64, codec string, comp, slot int64, oversize bool) {
+	if c == nil {
+		return
+	}
+	e := Event{TUS: now.Microseconds(), Type: EvSlot, Off: off, Size: orig,
+		Codec: codec, Comp: comp, Slot: slot, ClassPct: slotClassPct(orig, slot), Waste: slot - comp}
+	if oversize {
+		e.Reason = "oversize"
+		c.counters["edc_slot_oversize_total"]++
+	} else {
+		c.counters[fmt.Sprintf("edc_slots_total{class=%q}", fmt.Sprintf("%d", e.ClassPct))]++
+		c.counters["edc_slot_waste_bytes_total"] += e.Waste
+	}
+	c.emit(e)
+}
+
+// SlotAlloc records slot bytes entering use (occupancy series +
+// counters); the engine calls it when an extent is placed.
+func (c *Collector) SlotAlloc(now time.Duration, bytes int64) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_slot_alloc_bytes_total"] += bytes
+	if c.series != nil {
+		c.series.observeSlot(now, bytes)
+	}
+}
+
+// SlotFree records a dead extent's slot returning to the allocator:
+// the logical range [off, off+orig) stored in slot bytes.
+func (c *Collector) SlotFree(now time.Duration, off, orig, slot int64) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_slot_free_bytes_total"] += slot
+	if c.series != nil {
+		c.series.observeSlot(now, -slot)
+	}
+	c.emit(Event{TUS: now.Microseconds(), Type: EvSlotFree, Off: off, Size: orig, Slot: slot})
+}
+
+// CacheLookup records the host-cache ruling on a read of
+// [off, off+size).
+func (c *Collector) CacheLookup(now time.Duration, off, size int64, hit bool) {
+	if c == nil {
+		return
+	}
+	typ, result := EvCacheMiss, "miss"
+	if hit {
+		typ, result = EvCacheHit, "hit"
+	}
+	c.counters[fmt.Sprintf("edc_cache_lookups_total{result=%q}", result)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: typ, Off: off, Size: size})
+}
+
+// Decompress records a read segment that must decompress a compressed
+// extent: comp stored bytes inflate back to orig bytes with codec.
+func (c *Collector) Decompress(now time.Duration, off, orig int64, codec string, comp int64) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_decompress_total{codec=%q}", codec)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvDecompress, Off: off, Size: orig, Codec: codec, Comp: comp})
+}
+
+// slotClassPct maps a slot length to its quantized class percentage.
+// Non-quantized slots (the exact-fit ablation) round up to the nearest
+// percent.
+func slotClassPct(orig, slot int64) int {
+	if orig <= 0 {
+		return 0
+	}
+	quarter := (orig + 3) / 4
+	if quarter > 0 && slot%quarter == 0 && slot/quarter >= 1 && slot/quarter <= 4 {
+		return int(25 * (slot / quarter))
+	}
+	if slot >= orig {
+		return 100
+	}
+	return int((slot*100 + orig - 1) / orig)
+}
+
+// Counters returns a copy of the counter map (Prometheus-style keys,
+// labels inline: `edc_sd_flushes_total{reason="read"}`).
+func (c *Collector) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Report snapshots the collector for embedding in RunStats and JSON
+// output. A nil collector reports nil.
+func (c *Collector) Report() *Report {
+	if c == nil {
+		return nil
+	}
+	r := &Report{Counters: c.Counters()}
+	if c.series != nil {
+		r.Series = c.series.report()
+	}
+	return r
+}
+
+// Report is the end-of-run observability snapshot: the counters and, if
+// sampling was enabled, the time series.
+type Report struct {
+	// Counters holds the cumulative decision counters keyed by
+	// Prometheus-style name (labels inline).
+	Counters map[string]int64 `json:"counters"`
+	// Series holds the sampled time series (nil when disabled).
+	Series *SeriesReport `json:"series,omitempty"`
+}
+
+// counterHelp documents each counter family for the text exposition.
+var counterHelp = map[string]string{
+	"edc_events_total":           "decision events emitted",
+	"edc_admitted_total":         "host requests admitted by the frontend",
+	"edc_deferred_total":         "host requests parked by the closed-loop bound",
+	"edc_sd_merged_total":        "writes merged into a pending run",
+	"edc_sd_flushes_total":       "pending runs flushed, by reason",
+	"edc_estimates_total":        "sampling-estimator verdicts",
+	"edc_policy_runs_total":      "stored runs by selected codec",
+	"edc_slots_total":            "quantized slot placements by class",
+	"edc_slot_oversize_total":    "runs whose codec output missed the 75% class",
+	"edc_slot_waste_bytes_total": "slot bytes beyond codec output (internal fragmentation)",
+	"edc_slot_alloc_bytes_total": "slot bytes allocated",
+	"edc_slot_free_bytes_total":  "slot bytes freed by dead extents",
+	"edc_cache_lookups_total":    "host-cache read lookups by result",
+	"edc_decompress_total":       "read segments requiring decompression, by codec",
+}
+
+// WritePrometheus renders the counters in the Prometheus text
+// exposition format (families sorted, HELP/TYPE once per family).
+func (r *Report) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := ""
+	for _, k := range keys {
+		family := k
+		if i := indexByte(k, '{'); i >= 0 {
+			family = k[:i]
+		}
+		if family != seen {
+			seen = family
+			if help := counterHelp[family]; help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", family); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, r.Counters[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexByte is strings.IndexByte without the import.
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,192 @@
+// Package obs is the observability layer of the EDC pipeline: a
+// structured decision tracer, fixed-interval time series, and a counters
+// snapshot with a Prometheus-style text exposition.
+//
+// The paper's central claim is that EDC's per-request decisions —
+// calculated-IOPS feedback (Fig. 6), estimator write-through
+// (Sec. III-C), SD merging (Fig. 7), and quantized slot placement
+// (Fig. 5) — buy its performance/space tradeoff. This package makes
+// every one of those decisions visible as it happens instead of only as
+// end-of-run aggregates in core.RunStats.
+//
+// The core pipeline calls a *Collector at each decision point. A nil
+// *Collector is valid and free: every hook is a nil-receiver no-op, so
+// the disabled path is bit-identical to a build without the layer.
+// Collectors are strictly observers — they read values the pipeline has
+// already computed and never feed anything back, so an attached tracer
+// cannot perturb the simulation (replay results are identical with and
+// without one; the core tests enforce this).
+//
+// Sharded replay gives each shard a buffering Child collector and merges
+// the shards deterministically afterwards (sort by virtual time, then
+// shard, then per-shard sequence), so a traced sharded run produces the
+// same event stream every time for a fixed shard count.
+//
+// The JSONL event schema, counter names, and time-series format are
+// documented in OBSERVABILITY.md at the repository root.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// EventType names a pipeline decision point. The values appear verbatim
+// in the JSONL "type" field.
+type EventType string
+
+// The decision points traced by the pipeline, in stage order.
+const (
+	// EvAdmit: the frontend admitted one host request under the
+	// closed-loop bound.
+	EvAdmit EventType = "admit"
+	// EvDefer: the outstanding bound was reached and the request joined
+	// the deferred FIFO.
+	EvDefer EventType = "defer"
+	// EvSDMerge: a contiguous write joined the pending run (Fig. 7).
+	EvSDMerge EventType = "sd_merge"
+	// EvSDFlush: the pending run was flushed; Reason says why.
+	EvSDFlush EventType = "sd_flush"
+	// EvEstimate: the sampling estimator ruled on a run's
+	// compressibility (Sec. III-C write-through rule).
+	EvEstimate EventType = "estimate"
+	// EvPolicy: the policy chose a codec at the current calculated IOPS
+	// (Fig. 6 feedback selection).
+	EvPolicy EventType = "policy"
+	// EvSlot: the codec output was placed into a quantized slot
+	// (Fig. 5), or kept uncompressed when it missed the 75 % class.
+	EvSlot EventType = "slot"
+	// EvSlotFree: a live extent died (overwrite) and its slot bytes were
+	// returned to the allocator.
+	EvSlotFree EventType = "slot_free"
+	// EvCacheHit / EvCacheMiss: the host DRAM cache ruled on a read.
+	EvCacheHit EventType = "cache_hit"
+	// EvCacheMiss is the cache-lookup counterpart of EvCacheHit.
+	EvCacheMiss EventType = "cache_miss"
+	// EvDecompress: a read covers a compressed extent and must
+	// decompress it.
+	EvDecompress EventType = "decompress"
+)
+
+// SD flush reasons recorded in Event.Reason.
+const (
+	// FlushNonContig: a write outside the run's tail broke contiguity.
+	FlushNonContig = "noncontig"
+	// FlushMaxRun: the merged run hit the size cap.
+	FlushMaxRun = "maxrun"
+	// FlushRead: a read arrived (reads break write contiguity, Fig. 7).
+	FlushRead = "read"
+	// FlushTimeout: the idle flush timer fired.
+	FlushTimeout = "timeout"
+	// FlushDrain: end-of-trace drain forced the run out.
+	FlushDrain = "drain"
+)
+
+// Event is one pipeline decision. Every event carries the virtual time
+// (microseconds), the shard that produced it, a per-shard sequence
+// number, the decision type, and the logical byte range it concerns;
+// the remaining fields are type-specific and omitted from the JSON when
+// zero-valued (read them with jq's // operator: `.ciops // 0`).
+type Event struct {
+	// TUS is the virtual time of the decision in microseconds.
+	TUS int64 `json:"t_us"`
+	// Shard is the LBA shard that produced the event (0 unsharded).
+	Shard int `json:"shard"`
+	// Seq is the per-shard emission index; (TUS, Shard, Seq) totally
+	// orders a merged stream.
+	Seq int64 `json:"seq"`
+	// Type is the decision point.
+	Type EventType `json:"type"`
+	// Op is "read" or "write" on admit/defer events.
+	Op string `json:"op,omitempty"`
+	// Off is the logical byte offset the decision concerns (shard-local
+	// under sharded replay, like every offset the shard pipeline sees).
+	Off int64 `json:"off"`
+	// Size is the logical byte length (the original, uncompressed size
+	// on write-path events).
+	Size int64 `json:"size"`
+	// Reason qualifies sd_flush ("noncontig", "maxrun", "read",
+	// "timeout", "drain") and slot ("oversize") events.
+	Reason string `json:"reason,omitempty"`
+	// Writes is the number of host writes folded into a flushed run.
+	Writes int `json:"writes,omitempty"`
+	// Queued is the deferred-FIFO depth after a defer event.
+	Queued int `json:"queued,omitempty"`
+	// Ratio is the estimator's sampled compression ratio (>= 1).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Verdict is the estimator ruling: "compress" or "write_through".
+	Verdict string `json:"verdict,omitempty"`
+	// CIOPS is the calculated IOPS observed at policy-decision time.
+	CIOPS float64 `json:"ciops,omitempty"`
+	// Codec is the codec name ("none" when stored uncompressed).
+	Codec string `json:"codec,omitempty"`
+	// Comp is the codec output length in bytes.
+	Comp int64 `json:"comp,omitempty"`
+	// Slot is the allocated (quantized) slot length in bytes.
+	Slot int64 `json:"slot,omitempty"`
+	// ClassPct is the slot class as a percentage of the original size
+	// (25/50/75/100 under quantized allocation).
+	ClassPct int `json:"class_pct,omitempty"`
+	// Waste is Slot - Comp: the internal fragmentation the quantized
+	// class accepts to avoid relocation (Fig. 5).
+	Waste int64 `json:"waste,omitempty"`
+}
+
+// Tracer consumes pipeline decision events. Implementations must not
+// retain e past the call: the collector reuses nothing today, but the
+// contract keeps buffering strategies open.
+type Tracer interface {
+	// Emit receives one decision event.
+	Emit(e *Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(*Event)
+
+// Emit implements Tracer.
+func (f TracerFunc) Emit(e *Event) { f(e) }
+
+// JSONLTracer writes one JSON object per event, one event per line —
+// the format OBSERVABILITY.md documents and `jq` consumes directly.
+// Output is buffered; call Flush when the replay completes. Not safe
+// for concurrent use (the pipeline emits from one goroutine; sharded
+// replay buffers per shard and emits the merged stream sequentially).
+type JSONLTracer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLTracer returns a tracer writing JSONL to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Emit implements Tracer: marshal the event and append a newline. The
+// first write error sticks and suppresses further output.
+func (t *JSONLTracer) Emit(e *Event) {
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (t *JSONLTracer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Err returns the first write or marshal error (nil if none).
+func (t *JSONLTracer) Err() error { return t.err }

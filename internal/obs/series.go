@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"edc/internal/metrics"
+)
+
+// Series samples the pipeline's state into fixed-interval bins built on
+// metrics.TimeSeries. Sampling is passive: values are recorded at the
+// decision points the pipeline already reaches, never from scheduled
+// timer events, so enabling a series cannot add events to the simulation
+// heap (which would renumber event sequence tie-breaks and perturb the
+// replay).
+//
+// Three signals are tracked:
+//
+//   - calculated IOPS, observed at each policy decision (per-bin mean);
+//   - codec mix, runs stored per codec per bin;
+//   - slot occupancy, the net slot bytes allocated minus freed per bin
+//     (deltas sum across shards; the cumulative sum is the live
+//     occupancy curve).
+type Series struct {
+	interval time.Duration
+
+	iopsSum *metrics.TimeSeries // sum of ciops samples per bin
+	iopsN   *metrics.TimeSeries // sample counts per bin
+	codec   map[string]*metrics.TimeSeries
+	slot    *metrics.TimeSeries // net slot-byte delta per bin
+}
+
+// NewSeries returns a series set with the given bin width (<= 0 selects
+// one second).
+func NewSeries(interval time.Duration) *Series {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Series{
+		interval: interval,
+		iopsSum:  metrics.NewTimeSeries(interval),
+		iopsN:    metrics.NewTimeSeries(interval),
+		codec:    make(map[string]*metrics.TimeSeries),
+		slot:     metrics.NewTimeSeries(interval),
+	}
+}
+
+// Interval returns the bin width.
+func (s *Series) Interval() time.Duration { return s.interval }
+
+// observeIOPS records one calculated-IOPS sample at virtual time t.
+func (s *Series) observeIOPS(t time.Duration, v float64) {
+	s.iopsSum.Add(t, v)
+	s.iopsN.Add(t, 1)
+}
+
+// observeCodec records one stored run for the named codec.
+func (s *Series) observeCodec(t time.Duration, codec string) {
+	ts := s.codec[codec]
+	if ts == nil {
+		ts = metrics.NewTimeSeries(s.interval)
+		s.codec[codec] = ts
+	}
+	ts.Add(t, 1)
+}
+
+// observeSlot records a slot-occupancy change of delta bytes (positive
+// on allocation, negative on free).
+func (s *Series) observeSlot(t time.Duration, delta int64) {
+	s.slot.Add(t, float64(delta))
+}
+
+// merge folds o's bins into s (bin-exact: both series must share the
+// interval, which Child guarantees).
+func (s *Series) merge(o *Series) {
+	if o == nil {
+		return
+	}
+	mergeTS(s.iopsSum, o.iopsSum)
+	mergeTS(s.iopsN, o.iopsN)
+	mergeTS(s.slot, o.slot)
+	for name, ts := range o.codec {
+		dst := s.codec[name]
+		if dst == nil {
+			dst = metrics.NewTimeSeries(s.interval)
+			s.codec[name] = dst
+		}
+		mergeTS(dst, ts)
+	}
+}
+
+// mergeTS re-adds src's occupied bins into dst. Points() returns bin
+// start times, which Add maps back onto exactly the same bins.
+func mergeTS(dst, src *metrics.TimeSeries) {
+	for _, p := range src.Points() {
+		dst.Add(p.T, p.V)
+	}
+}
+
+// SeriesPoint is one (bin start, value) sample in a report.
+type SeriesPoint struct {
+	// TUS is the bin start in virtual microseconds.
+	TUS int64 `json:"t_us"`
+	// V is the bin value (meaning depends on the series).
+	V float64 `json:"v"`
+}
+
+// SeriesReport is the JSON form of a Series, written by
+// `edcbench -series-out` and embedded in Report.
+type SeriesReport struct {
+	// IntervalUS is the bin width in microseconds.
+	IntervalUS int64 `json:"interval_us"`
+	// CIOPS is the per-bin mean calculated IOPS observed at policy
+	// decisions (bins with no decision are omitted).
+	CIOPS []SeriesPoint `json:"ciops"`
+	// CodecRuns maps codec name to runs stored per bin.
+	CodecRuns map[string][]SeriesPoint `json:"codec_runs"`
+	// SlotBytes is the live slot occupancy in bytes at each bin end
+	// (cumulative sum of the per-bin allocation deltas, dense from bin
+	// zero through the last change).
+	SlotBytes []SeriesPoint `json:"slot_bytes"`
+}
+
+// report renders the series for JSON output.
+func (s *Series) report() *SeriesReport {
+	r := &SeriesReport{
+		IntervalUS: s.interval.Microseconds(),
+		CodecRuns:  make(map[string][]SeriesPoint, len(s.codec)),
+	}
+	counts := s.iopsN.Points()
+	nByBin := make(map[int64]float64, len(counts))
+	for _, p := range counts {
+		nByBin[int64(p.T)] = p.V
+	}
+	for _, p := range s.iopsSum.Points() {
+		n := nByBin[int64(p.T)]
+		if n <= 0 {
+			continue
+		}
+		r.CIOPS = append(r.CIOPS, SeriesPoint{TUS: p.T.Microseconds(), V: p.V / n})
+	}
+	names := make([]string, 0, len(s.codec))
+	for name := range s.codec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pts := s.codec[name].Points()
+		out := make([]SeriesPoint, len(pts))
+		for i, p := range pts {
+			out[i] = SeriesPoint{TUS: p.T.Microseconds(), V: p.V}
+		}
+		r.CodecRuns[name] = out
+	}
+	var occ float64
+	for _, p := range s.slot.Dense() {
+		occ += p.V
+		r.SlotBytes = append(r.SlotBytes, SeriesPoint{TUS: p.T.Microseconds(), V: occ})
+	}
+	return r
+}
