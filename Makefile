@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmtcheck doclint race bench check cover clean
+.PHONY: all build test vet fmtcheck doclint race raceall bench check cover faultcheck clean
 
 all: check
 
@@ -29,6 +29,19 @@ test:
 # goroutines joining the virtual-time event loop).
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/parallel/... .
+
+# Race-check everything (the CI race job; slower than `race`).
+raceall:
+	$(GO) test -race ./...
+
+# Determinism gate for the fault layer: replay fig8 twice under a canned
+# fault plan and fail on any byte of divergence.
+FAULTPLAN := {"seed":7,"read_transient":0.01,"write_transient":0.02,"write_hard":0.005,"spike_rate":0.01,"spike_latency":"2ms"}
+faultcheck:
+	$(GO) run ./cmd/edcbench -experiment fig8 -format csv -requests 3000 -faults '$(FAULTPLAN)' > /tmp/edc-faultcheck-1.csv
+	$(GO) run ./cmd/edcbench -experiment fig8 -format csv -requests 3000 -faults '$(FAULTPLAN)' > /tmp/edc-faultcheck-2.csv
+	cmp /tmp/edc-faultcheck-1.csv /tmp/edc-faultcheck-2.csv
+	@echo "faultcheck OK: fig8 under the canned fault plan is deterministic"
 
 # Codec + generator microbenchmarks with allocation counts.
 bench:

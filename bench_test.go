@@ -153,7 +153,11 @@ func BenchmarkAblationSlots(b *testing.B) {
 // requests per wall-clock second for the default EDC stack.
 func BenchmarkReplayThroughput(b *testing.B) {
 	const volume = 128 << 20
-	tr, err := edc.Workload("fin1", volume).GenerateN(2000, 99)
+	prof, err := edc.WorkloadByName("fin1", volume)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := prof.GenerateN(2000, 99)
 	if err != nil {
 		b.Fatal(err)
 	}

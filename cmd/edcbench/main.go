@@ -41,6 +41,7 @@ func main() {
 		format     = flag.String("format", "table", "output format: table, csv, json")
 		workers    = flag.Int("workers", 0, "replay pipeline width: codec goroutines per replay (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
 		shards     = flag.Int("shards", 0, "LBA shards per replay: n > 1 partitions the volume across n independent pipelines run concurrently (changes the simulated system; deterministic for fixed n)")
+		faults     = flag.String("faults", "", "JSON fault plan injected into every replay (see DESIGN.md §11; deterministic for a fixed plan seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -54,6 +55,16 @@ func main() {
 	)
 	flag.Parse()
 
+	var plan *edc.FaultPlan
+	if *faults != "" {
+		p, err := edc.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edcbench: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		plan = p
+	}
+
 	if *replayWl != "" {
 		err := runReplay(replayConfig{
 			workload:    *replayWl,
@@ -63,6 +74,7 @@ func main() {
 			seed:        *seed,
 			workers:     *workers,
 			shards:      *shards,
+			faults:      plan,
 			traceOut:    *traceOut,
 			seriesOut:   *seriesOut,
 			seriesEvery: *seriesEvery,
@@ -98,7 +110,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers, Shards: *shards}
+	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers, Shards: *shards, Faults: plan}
 	start := time.Now()
 	var (
 		tables []*bench.Table
@@ -144,6 +156,7 @@ type replayConfig struct {
 	seed        int64
 	workers     int
 	shards      int
+	faults      *edc.FaultPlan
 	traceOut    string
 	seriesOut   string
 	seriesEvery time.Duration
@@ -199,6 +212,9 @@ func runReplay(rc replayConfig) error {
 	}
 	if rc.shards > 1 {
 		opts = append(opts, edc.WithShards(rc.shards))
+	}
+	if rc.faults != nil {
+		opts = append(opts, edc.WithFaults(rc.faults))
 	}
 
 	var jt *edc.JSONLTracer

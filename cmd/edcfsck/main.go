@@ -1,12 +1,19 @@
 // Command edcfsck checks EDC on-disk artifacts: mapping-table snapshots
-// (written by core.Mapping.SaveSnapshot) and compressed frame streams
-// (written by compress.FrameWriter). It verifies structure, checksums
-// and internal invariants, and prints a summary.
+// (written by core.Mapping.SaveSnapshot), append-only write journals
+// (written by core.Journal), and compressed frame streams (written by
+// compress.FrameWriter). It verifies structure, checksums and internal
+// invariants, and prints a summary.
 //
 // Usage:
 //
 //	edcfsck -kind snapshot -capacity 512 mapping.edcm
+//	edcfsck -kind journal journal.edcj
+//	edcfsck -kind journal -snapshot mapping.edcm -capacity 512 journal.edcj
 //	edcfsck -kind frames archive.edcf
+//
+// With -snapshot, the journal is replayed on top of the snapshot the
+// way crash recovery would, and the recovered mapping's invariants are
+// checked — a dry run of core.RecoverMapping.
 package main
 
 import (
@@ -26,13 +33,14 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "snapshot", "artifact kind: snapshot or frames")
-		capacity = flag.Int64("capacity", 1024, "backing device capacity in MiB (snapshot check)")
+		kind     = flag.String("kind", "snapshot", "artifact kind: snapshot, journal or frames")
+		capacity = flag.Int64("capacity", 1024, "backing device capacity in MiB (snapshot/journal check)")
 		decode   = flag.Bool("decode", false, "frames: fully decompress every frame, not just CRC-check")
+		snapPath = flag.String("snapshot", "", "journal: replay onto this snapshot and check the recovered mapping")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: edcfsck [-kind snapshot|frames] <file>")
+		fmt.Fprintln(os.Stderr, "usage: edcfsck [-kind snapshot|journal|frames] <file>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -54,6 +62,38 @@ func main() {
 		fmt.Printf("snapshot OK: %d live blocks in %d extents, %.1f MiB slots in use, %.1f MiB pinned by partially-dead extents\n",
 			m.LiveBlocks(), m.Extents(),
 			float64(alloc.InUse())/(1<<20), float64(m.DeadSlotBytes())/(1<<20))
+	case "journal":
+		data, err := io.ReadAll(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		records, torn, err := core.CheckJournal(data)
+		if err != nil {
+			fatalf("journal invalid after %d good records: %v", records, err)
+		}
+		tail := ""
+		if torn {
+			tail = ", torn tail dropped"
+		}
+		if *snapPath == "" {
+			fmt.Printf("journal OK: %d records%s\n", records, tail)
+			return
+		}
+		snap, err := os.ReadFile(*snapPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		alloc := core.NewAllocator(*capacity << 20)
+		m, replayed, err := core.RecoverMapping(snap, data, alloc)
+		if err != nil {
+			fatalf("recovery failed: %v", err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			fatalf("recovered mapping inconsistent: %v", err)
+		}
+		fmt.Printf("journal OK: %d records%s; recovery OK: %d replayed onto snapshot, %d live blocks in %d extents, %.1f MiB slots in use\n",
+			records, tail, replayed, m.LiveBlocks(), m.Extents(),
+			float64(alloc.InUse())/(1<<20))
 	case "frames":
 		if *decode {
 			fr := compress.NewFrameReader(f, compress.Default())

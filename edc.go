@@ -13,12 +13,21 @@
 // or no compression during bursts, and write-through for incompressible
 // blocks. This package exposes the system behind a small facade:
 //
-//	tr, _ := edc.Workload("fin1", 256<<20).GenerateN(20000, 1)
+//	wl, _ := edc.WorkloadByName("fin1", 256<<20)
+//	tr, _ := wl.GenerateN(20000, 1)
 //	res, _ := edc.Replay(tr, 256<<20, edc.WithScheme(edc.SchemeEDC))
 //	fmt.Println(res.MeanResponse(), res.TrafficRatio())
 //
+// Configuration is available in two equivalent forms: functional
+// options (the With* family) or the plain Config struct consumed by
+// NewSystemFromConfig — every option writes exactly one Config field.
+// Failures surface as typed errors (ErrUnknownScheme,
+// ErrUnknownWorkload, ErrReplayed, FaultError) for errors.Is/As.
+//
 // All simulation happens in virtual time: multi-hour traces replay in
-// seconds and results are bit-for-bit reproducible for a given seed.
+// seconds and results are bit-for-bit reproducible for a given seed —
+// including runs with an injected fault plan (WithFaults), whose
+// decisions derive deterministically from the plan seed.
 package edc
 
 import (
@@ -26,7 +35,6 @@ import (
 	"io"
 	"runtime"
 	"strings"
-	"time"
 
 	"edc/internal/compress"
 	_ "edc/internal/compress/bwz"
@@ -106,6 +114,15 @@ const (
 	EvCacheMiss = obs.EvCacheMiss
 	// EvDecompress: a read had to decompress a compressed extent.
 	EvDecompress = obs.EvDecompress
+	// EvFault: an injected device fault hit an operation.
+	EvFault = obs.EvFault
+	// EvRetry: a path re-issued an operation after a transient fault.
+	EvRetry = obs.EvRetry
+	// EvDegradedRead: a RAIS5 read reconstructed from parity.
+	EvDegradedRead = obs.EvDegradedRead
+	// EvRecover: a recovery decision (re-allocation, abandoned read, or
+	// crash recovery).
+	EvRecover = obs.EvRecover
 )
 
 // NewJSONLTracer returns a Tracer writing one JSON event per line to w
@@ -144,157 +161,21 @@ const (
 	RAIS5                        // rotating-parity array (Fig. 11)
 )
 
-type options struct {
-	scheme       Scheme
-	gzCeiling    float64
-	lzfCeiling   float64
-	backend      BackendKind
-	devices      int
-	ssdCfg       ssd.Config
-	data         DataProfile
-	dataSeed     int64
-	cost         CostModel
-	verify       bool
-	disableSD    bool
-	exactSlots   bool
-	cpuWorkers   int
-	replayWork   int
-	shards       int
-	cacheBytes   int64
-	offload      bool
-	noEstimate   bool
-	maxRun       int64
-	flushTimeout time.Duration
-	stripePages  int
-	tracer       obs.Tracer
-	seriesEvery  time.Duration
-}
-
-// Option customizes a System.
-type Option func(*options)
-
-// WithScheme selects the compression scheme (default SchemeEDC).
-func WithScheme(s Scheme) Option { return func(o *options) { o.scheme = s } }
-
-// WithElasticThresholds overrides EDC's calculated-IOPS ceilings: Gzip
-// below gzMax, Lzf between gzMax and lzfMax, none above (Fig. 12 sweeps
-// gzMax).
-func WithElasticThresholds(gzMax, lzfMax float64) Option {
-	return func(o *options) { o.gzCeiling, o.lzfCeiling = gzMax, lzfMax }
-}
-
-// WithBackend selects the storage organization and device count.
-func WithBackend(kind BackendKind, devices int) Option {
-	return func(o *options) { o.backend, o.devices = kind, devices }
-}
-
-// WithSSDConfig overrides the simulated device parameters.
-func WithSSDConfig(cfg SSDConfig) Option { return func(o *options) { o.ssdCfg = cfg } }
-
-// WithDataProfile selects the synthetic payload model and its seed.
-func WithDataProfile(p DataProfile, seed int64) Option {
-	return func(o *options) { o.data, o.dataSeed = p, seed }
-}
-
-// WithCostModel overrides the CPU cost model.
-func WithCostModel(cm CostModel) Option { return func(o *options) { o.cost = cm } }
-
-// WithVerify stores payloads and checks every read round-trips
-// (memory-hungry; tests and demos).
-func WithVerify() Option { return func(o *options) { o.verify = true } }
-
-// WithoutSD disables write merging (ablation).
-func WithoutSD() Option { return func(o *options) { o.disableSD = true } }
-
-// WithExactSlots disables the 25/50/75/100 % slot quantization
-// (ablation).
-func WithExactSlots() Option { return func(o *options) { o.exactSlots = true } }
-
-// WithoutEstimator disables EDC's compressibility sampling (ablation:
-// compress everything the intensity ladder selects).
-func WithoutEstimator() Option { return func(o *options) { o.noEstimate = true } }
-
-// WithMaxRun caps SD merging in bytes.
-func WithMaxRun(bytes int64) Option { return func(o *options) { o.maxRun = bytes } }
-
-// WithCPUWorkers models a multicore host: n parallel compression
-// workers (default 1, the paper's single-threaded prototype).
-func WithCPUWorkers(n int) Option { return func(o *options) { o.cpuWorkers = n } }
-
-// WithReplayWorkers sets how many OS goroutines execute real codec work
-// concurrently with the virtual-time event loop (the replay pipeline).
-// This changes only wall-clock replay speed: compressed output is a pure
-// function of (content, codec), so results are bit-identical for any
-// setting. Default runtime.GOMAXPROCS(0); n <= 1 runs sequentially
-// inline.
-func WithReplayWorkers(n int) Option {
-	return func(o *options) {
-		if n < 1 {
-			n = 1
-		}
-		o.replayWork = n
-	}
-}
-
-// WithShards partitions the volume into n contiguous LBA ranges, each
-// served by an independent pipeline instance — its own virtual-time
-// engine, backend device (or array), allocator, and mapping — replayed
-// concurrently on OS goroutines. All shards read the same trace-derived
-// global intensity signal, so codec selection matches the paper's
-// whole-device feedback loop rather than fragmenting per shard. Results
-// are deterministic for a fixed n; n <= 1 keeps the stock single
-// pipeline. Sharding models an array of n EDC devices front-ending
-// disjoint ranges: per-shard closed-loop bounds and shard-local SD merge
-// make n > 1 a different (deterministic) system, not a faster identical
-// one.
-func WithShards(n int) Option { return func(o *options) { o.shards = n } }
-
-// WithCache enables a host DRAM read cache of the given size (the upper
-// DRAM buffer in the paper's Fig. 4 architecture).
-func WithCache(bytes int64) Option { return func(o *options) { o.cacheBytes = bytes } }
-
-// WithOffload moves compression into the device controller, as
-// FTL-integrated designs do (zFTL; hardware-assisted compression): the
-// host CPU is free, but every compressed operation occupies the device's
-// codec engine.
-func WithOffload() Option { return func(o *options) { o.offload = true } }
-
-// WithFlushTimeout bounds SD buffering delay (negative disables).
-func WithFlushTimeout(d time.Duration) Option { return func(o *options) { o.flushTimeout = d } }
-
-// WithStripeUnit sets the RAIS stripe unit in pages (default 16).
-func WithStripeUnit(pages int) Option { return func(o *options) { o.stripePages = pages } }
-
-// WithTracer streams one TraceEvent per pipeline decision to t
-// (admission, SD merge/flush, estimator verdict, codec choice, slot
-// placement, cache lookup, decompression). Tracers are strict
-// observers: results are identical with and without one attached.
-// Under WithShards the per-shard streams merge deterministically by
-// (virtual time, shard, sequence) after the replay, so t sees a totally
-// ordered stream but only once the run completes.
-func WithTracer(t Tracer) Option { return func(o *options) { o.tracer = t } }
-
-// WithTimeSeries samples calculated IOPS, codec mix, and slot occupancy
-// into fixed-interval bins of the given width (Results.Obs.Series).
-// Sampling is passive — values are recorded at existing decision points,
-// never from added timer events — so it cannot perturb the replay.
-// d <= 0 selects one second.
-func WithTimeSeries(d time.Duration) Option {
-	return func(o *options) {
-		if d <= 0 {
-			d = time.Second
-		}
-		o.seriesEvery = d
-	}
-}
-
 // System is one ready-to-replay EDC stack: virtual-time engine, backend
 // devices, and the EDC block layer — or, with WithShards(n>1), a router
-// over n such stacks. A System replays exactly one trace.
+// over n such stacks. A System replays exactly one trace; a second Play
+// returns ErrReplayed.
 type System struct {
 	eng     *sim.Engine
 	dev     *core.Device
 	sharded *core.ShardedDevice
+
+	// Power-cut orchestration state: rebuilding the post-crash device
+	// needs the full configuration.
+	cfg      Config
+	col      *obs.Collector
+	volBytes int64
+	played   bool
 }
 
 // DataProfiles maps the named payload models usable with
@@ -318,7 +199,7 @@ func WorkloadNames() []string {
 // WorkloadByName returns a named synthetic workload profile over a
 // volume: "fin1", "fin2", "usr0", "prxy0" (case-insensitive; "usr_0"
 // and "prxy_0" are accepted aliases). Unknown names return an error
-// listing the valid choices.
+// wrapping ErrUnknownWorkload and listing the valid choices.
 func WorkloadByName(name string, volumeBytes int64) (WorkloadProfile, error) {
 	switch strings.ToLower(name) {
 	case "fin1":
@@ -330,13 +211,16 @@ func WorkloadByName(name string, volumeBytes int64) (WorkloadProfile, error) {
 	case "prxy0", "prxy_0":
 		return workload.Prxy0(volumeBytes), nil
 	default:
-		return WorkloadProfile{}, fmt.Errorf("edc: unknown workload %q (valid: %s)",
-			name, strings.Join(WorkloadNames(), ", "))
+		return WorkloadProfile{}, fmt.Errorf("%w %q (valid: %s)",
+			ErrUnknownWorkload, name, strings.Join(WorkloadNames(), ", "))
 	}
 }
 
-// Workload is the panicking form of WorkloadByName, for tests and
-// examples with hard-coded names.
+// Workload is the panicking form of WorkloadByName.
+//
+// Deprecated: use WorkloadByName and handle the error — tests and
+// examples included; a misspelled name should fail the test, not panic
+// the binary. Workload remains for quick throwaway scripts only.
 func Workload(name string, volumeBytes int64) WorkloadProfile {
 	p, err := WorkloadByName(name, volumeBytes)
 	if err != nil {
@@ -351,35 +235,35 @@ func StandardWorkloads(volumeBytes int64) []WorkloadProfile {
 }
 
 // policyFor builds the core policy for a scheme.
-func policyFor(o options) (core.Policy, error) {
+func policyFor(c Config) (core.Policy, error) {
 	reg := compress.Default()
-	switch o.scheme {
+	switch c.Scheme {
 	case SchemeNative:
 		return core.Native(), nil
 	case SchemeLzf:
-		c, err := reg.ByName("lzf")
+		cod, err := reg.ByName("lzf")
 		if err != nil {
 			return nil, err
 		}
-		return core.Fixed("Lzf", c), nil
+		return core.Fixed("Lzf", cod), nil
 	case SchemeLz4:
-		c, err := reg.ByName("lz4")
+		cod, err := reg.ByName("lz4")
 		if err != nil {
 			return nil, err
 		}
-		return core.Fixed("Lz4", c), nil
+		return core.Fixed("Lz4", cod), nil
 	case SchemeGzip:
-		c, err := reg.ByName("gz")
+		cod, err := reg.ByName("gz")
 		if err != nil {
 			return nil, err
 		}
-		return core.Fixed("Gzip", c), nil
+		return core.Fixed("Gzip", cod), nil
 	case SchemeBzip2:
-		c, err := reg.ByName("bwz")
+		cod, err := reg.ByName("bwz")
 		if err != nil {
 			return nil, err
 		}
-		return core.Fixed("Bzip2", c), nil
+		return core.Fixed("Bzip2", cod), nil
 	case SchemeEDC, SchemeEDCPlus:
 		gz, err := reg.ByName("gz")
 		if err != nil {
@@ -390,10 +274,10 @@ func policyFor(o options) (core.Policy, error) {
 			return nil, err
 		}
 		elastic, err := core.NewElastic("EDC", []core.Level{
-			{MaxIOPS: o.gzCeiling, Codec: gz},
-			{MaxIOPS: o.lzfCeiling, Codec: lzf},
+			{MaxIOPS: c.GzCeiling, Codec: gz},
+			{MaxIOPS: c.LzfCeiling, Codec: lzf},
 		})
-		if err != nil || o.scheme == SchemeEDC {
+		if err != nil || c.Scheme == SchemeEDC {
 			return elastic, err
 		}
 		bwz, err := reg.ByName("bwz")
@@ -402,109 +286,110 @@ func policyFor(o options) (core.Policy, error) {
 		}
 		return core.NewContentAware(elastic, bwz, 2.5)
 	default:
-		return nil, fmt.Errorf("edc: unknown scheme %q", o.scheme)
+		return nil, fmt.Errorf("%w %q", ErrUnknownScheme, c.Scheme)
 	}
 }
 
 // buildBackend constructs one backend instance on eng per the configured
 // organization. It is a factory (not inlined in NewSystem) so sharded
 // replay can stamp out one private backend per shard.
-func buildBackend(o options, eng *sim.Engine) (core.Backend, error) {
-	switch o.backend {
+func buildBackend(c Config, eng *sim.Engine) (core.Backend, error) {
+	switch c.Backend {
 	case SingleSSD:
-		d, err := ssd.New(o.ssdCfg)
+		d, err := ssd.New(c.SSD)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewSingleSSD(eng, d), nil
 	case RAIS0, RAIS5:
-		n := o.devices
+		n := c.Devices
 		if n < 2 {
 			n = 5 // the paper's array size
 		}
 		devs := make([]*ssd.SSD, n)
 		for i := range devs {
-			d, err := ssd.New(o.ssdCfg)
+			d, err := ssd.New(c.SSD)
 			if err != nil {
 				return nil, err
 			}
 			devs[i] = d
 		}
 		level := rais.RAIS0
-		if o.backend == RAIS5 {
+		if c.Backend == RAIS5 {
 			level = rais.RAIS5
 		}
-		arr, err := rais.New(level, devs, o.stripePages)
+		arr, err := rais.New(level, devs, c.StripeUnitPages)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewRAISBackend(eng, arr), nil
 	default:
-		return nil, fmt.Errorf("edc: unknown backend kind %d", o.backend)
+		return nil, fmt.Errorf("%w %d", ErrUnknownBackend, c.Backend)
 	}
 }
 
-// deviceOptions builds core.Options from the facade options. Policy and
+// deviceOptions builds core.Options from the facade config. Policy and
 // Data carry mutable state, so sharded replay calls this once per shard
 // for private instances.
-func deviceOptions(o options) (core.Options, error) {
-	pol, err := policyFor(o)
+func deviceOptions(c Config) (core.Options, error) {
+	pol, err := policyFor(c)
 	if err != nil {
 		return core.Options{}, err
 	}
-	if o.noEstimate {
+	if c.DisableEstimator {
 		pol = core.WithoutEstimator(pol)
 	}
 	return core.Options{
 		Policy:        pol,
-		Cost:          o.cost,
-		Data:          datagen.New(o.data, o.dataSeed),
-		VerifyReads:   o.verify,
-		DisableSD:     o.disableSD,
-		ExactSlots:    o.exactSlots,
-		CPUWorkers:    o.cpuWorkers,
-		ReplayWorkers: o.replayWork,
-		CacheBytes:    o.cacheBytes,
-		Offload:       o.offload,
-		MaxRun:        o.maxRun,
-		FlushTimeout:  o.flushTimeout,
+		Cost:          c.Cost,
+		Data:          datagen.New(c.Data, c.DataSeed),
+		VerifyReads:   c.Verify,
+		DisableSD:     c.DisableSD,
+		ExactSlots:    c.ExactSlots,
+		CPUWorkers:    c.CPUWorkers,
+		ReplayWorkers: c.ReplayWorkers,
+		CacheBytes:    c.CacheBytes,
+		Offload:       c.Offload,
+		MaxRun:        c.MaxRun,
+		FlushTimeout:  c.FlushTimeout,
+		Faults:        c.Faults,
+		SnapshotEvery: c.SnapshotEvery,
 	}, nil
 }
 
-// NewSystem builds a System exposing volumeBytes of logical space.
+// NewSystem builds a System exposing volumeBytes of logical space,
+// configured by options over DefaultConfig.
 func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
-	o := options{
-		scheme:      SchemeEDC,
-		gzCeiling:   core.DefaultGzCeiling,
-		lzfCeiling:  core.DefaultLzfCeiling,
-		backend:     SingleSSD,
-		devices:     1,
-		ssdCfg:      ssd.DefaultConfig(),
-		data:        datagen.Enterprise(),
-		dataSeed:    1,
-		stripePages: 16,
-	}
+	cfg := DefaultConfig()
 	for _, opt := range opts {
-		opt(&o)
+		opt(&cfg)
 	}
-	var col *obs.Collector
-	if o.tracer != nil || o.seriesEvery > 0 {
-		col = obs.New(obs.Config{Tracer: o.tracer, SeriesInterval: o.seriesEvery})
+	return NewSystemFromConfig(volumeBytes, cfg)
+}
+
+// NewSystemFromConfig builds a System from an explicit Config (the
+// struct form of the With* options). Zero-valued fields take their
+// documented defaults; the config is validated first.
+func NewSystemFromConfig(volumeBytes int64, cfg Config) (*System, error) {
+	cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if o.shards > 1 {
+	col := cfg.collector()
+	if cfg.Shards > 1 {
 		// Split the replay-pipeline budget across shards: each shard's
 		// event loop already runs on its own goroutine, so per-shard
 		// codec workers beyond GOMAXPROCS/shards only add contention.
-		perShard := o
-		if perShard.replayWork == 0 {
-			w := runtime.GOMAXPROCS(0) / o.shards
+		perShard := cfg
+		if perShard.ReplayWorkers == 0 {
+			w := runtime.GOMAXPROCS(0) / cfg.Shards
 			if w <= 1 {
 				w = -1 // sequential inline execution
 			}
-			perShard.replayWork = w
+			perShard.ReplayWorkers = w
 		}
 		sharded, err := core.NewSharded(core.ShardSetup{
-			Shards:      o.shards,
+			Shards:      cfg.Shards,
 			VolumeBytes: volumeBytes,
 			Backend: func(eng *sim.Engine) (core.Backend, error) {
 				return buildBackend(perShard, eng)
@@ -517,14 +402,14 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &System{sharded: sharded}, nil
+		return &System{sharded: sharded, cfg: cfg, col: col, volBytes: volumeBytes}, nil
 	}
 	eng := sim.NewEngine()
-	be, err := buildBackend(o, eng)
+	be, err := buildBackend(cfg, eng)
 	if err != nil {
 		return nil, err
 	}
-	dopts, err := deviceOptions(o)
+	dopts, err := deviceOptions(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -533,21 +418,85 @@ func NewSystem(volumeBytes int64, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{eng: eng, dev: dev}, nil
+	return &System{eng: eng, dev: dev, cfg: cfg, col: col, volBytes: volumeBytes}, nil
 }
 
 // Play replays t and returns the measured results. A System is
-// single-use.
+// single-use: a second call returns ErrReplayed.
 func (s *System) Play(t *Trace) (*Results, error) {
+	if s.played {
+		return nil, ErrReplayed
+	}
+	s.played = true
 	if s.sharded != nil {
 		return s.sharded.Play(t)
 	}
+	if s.cfg.Faults != nil && s.cfg.Faults.PowerCutAt > 0 {
+		return s.playWithPowerCut(t)
+	}
 	return s.dev.Play(t)
+}
+
+// playWithPowerCut runs the planned crash: replay until the cut, lose
+// whatever was in flight, rebuild a recovered device from the persisted
+// snapshot + journal, and resume with the remainder of the trace. The
+// returned Results merge both phases (the lost requests appear in
+// CrashLost, not in the response histograms). The recovered device's
+// fault injectors restart their decision streams from the plan seed, so
+// the whole crash-and-recover run is deterministic.
+func (s *System) playWithPowerCut(t *Trace) (*Results, error) {
+	cut := s.cfg.Faults.PowerCutAt
+	before, cs, err := s.dev.PlayUntil(t, cut)
+	if err != nil {
+		return before, err
+	}
+	eng := sim.NewEngine()
+	be, err := buildBackend(s.cfg, eng)
+	if err != nil {
+		return nil, err
+	}
+	dopts, err := deviceOptions(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	dopts.Obs = s.col // one collector spans both phases
+	dev, err := core.RecoverDevice(eng, be, s.volBytes, dopts, cs)
+	if err != nil {
+		return nil, err
+	}
+	// The restarted host re-issues only requests that arrive strictly
+	// after the cut; arrivals at or before it were admitted by the
+	// pre-cut engine (RunUntil fires events with time <= cut) and either
+	// completed or were swallowed by the crash (CrashLost).
+	rest := &Trace{Name: t.Name}
+	for _, r := range t.Requests {
+		if r.Arrival > cut {
+			rest.Requests = append(rest.Requests, r)
+		}
+	}
+	after, err := dev.Play(rest)
+	if err != nil {
+		return after, err
+	}
+	merged := core.MergeRunStats([]*core.RunStats{before, after})
+	// The shared collector accumulated across both phases; the second
+	// phase's snapshot is the complete one.
+	merged.Obs = after.Obs
+	return merged, nil
 }
 
 // Replay is the one-shot form: build a System, play the trace.
 func Replay(t *Trace, volumeBytes int64, opts ...Option) (*Results, error) {
 	s, err := NewSystem(volumeBytes, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Play(t)
+}
+
+// ReplayConfig is the one-shot struct-config form of Replay.
+func ReplayConfig(t *Trace, volumeBytes int64, cfg Config) (*Results, error) {
+	s, err := NewSystemFromConfig(volumeBytes, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package edc
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -165,8 +166,8 @@ func TestSystemSingleUse(t *testing.T) {
 	if _, err := s.Play(tr); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Play(tr); err == nil {
-		t.Fatal("second Play should fail")
+	if _, err := s.Play(tr); !errors.Is(err, ErrReplayed) {
+		t.Fatalf("second Play: err = %v, want ErrReplayed", err)
 	}
 }
 

@@ -11,7 +11,11 @@ import (
 // synthetic OLTP workload and run it through the elastic scheme.
 func ExampleReplay() {
 	const volume = 64 << 20
-	tr, err := edc.Workload("fin1", volume).GenerateN(500, 1)
+	prof, err := edc.WorkloadByName("fin1", volume)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := prof.GenerateN(500, 1)
 	if err != nil {
 		panic(err)
 	}

@@ -17,7 +17,11 @@ import (
 func main() {
 	const volume = 256 << 20
 
-	tr, err := edc.Workload("usr0", volume).GenerateN(8000, 11)
+	prof, err := edc.WorkloadByName("usr0", volume)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := prof.GenerateN(8000, 11)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,7 +17,11 @@ import (
 func main() {
 	const volume = 128 << 20
 
-	tr, err := edc.Workload("fin1", volume).GenerateN(10000, 42)
+	prof, err := edc.WorkloadByName("fin1", volume)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := prof.GenerateN(10000, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

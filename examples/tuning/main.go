@@ -16,7 +16,11 @@ import (
 func main() {
 	const volume = 128 << 20
 
-	tr, err := edc.Workload("fin2", volume).GenerateN(10000, 5)
+	prof, err := edc.WorkloadByName("fin2", volume)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := prof.GenerateN(10000, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

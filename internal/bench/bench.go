@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"edc"
 )
 
 // Params sizes an experiment run. Zero values select defaults tuned to
@@ -40,6 +42,11 @@ type Params struct {
 	// so results differ from the single-pipeline numbers — but remain
 	// deterministic for a fixed n.
 	Shards int
+	// Faults attaches a deterministic fault-injection plan to every
+	// replay (edc.WithFaults). Nil injects nothing; a non-nil plan
+	// changes the simulated system but keeps results deterministic for
+	// a fixed plan seed.
+	Faults *edc.FaultPlan
 }
 
 func (p Params) requests() int {

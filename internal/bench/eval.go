@@ -82,6 +82,9 @@ func replayScheme(p Params, backend edc.BackendKind, tr *trace.Trace, s edc.Sche
 	if p.Shards > 1 {
 		opts = append(opts, edc.WithShards(p.Shards))
 	}
+	if p.Faults != nil {
+		opts = append(opts, edc.WithFaults(p.Faults))
+	}
 	if backend == edc.SingleSSD {
 		opts = append(opts, edc.WithSSDConfig(singleSSDConfig()))
 	} else {

@@ -102,7 +102,10 @@ func runExtHints(p Params) ([]*Table, error) {
 // the volume wrap, so garbage collection actually runs.
 func runExtEndurance(p Params) ([]*Table, error) {
 	volume := int64(96) << 20
-	prof := edc.Workload("prxy0", volume)
+	prof, err := edc.WorkloadByName("prxy0", volume)
+	if err != nil {
+		return nil, err
+	}
 	tr, err := prof.GenerateN(3*p.requests(), 1007+p.Seed)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"edc/internal/fault"
+	"edc/internal/obs"
 	"edc/internal/rais"
 	"edc/internal/sim"
 	"edc/internal/ssd"
@@ -12,7 +14,10 @@ import (
 // Backend abstracts the flash storage under EDC: a single SSD or a RAIS
 // array. Operations are asynchronous in virtual time: done fires when the
 // device(s) complete the transfer, including any queueing behind earlier
-// operations.
+// operations. done receives the operation outcome — nil, or a
+// *fault.Error when an attached fault plan failed the operation (the
+// device still occupied its queue for the attempt). Backends without an
+// injected plan always complete with nil.
 type Backend interface {
 	// LogicalBytes is the host-visible capacity EDC may allocate from.
 	LogicalBytes() int64
@@ -20,10 +25,10 @@ type Backend interface {
 	PageSize() int
 	// Read fetches bytes at devOff; extra adds device-side service time
 	// (e.g. an in-FTL decompression engine).
-	Read(devOff, bytes int64, extra time.Duration, done func())
+	Read(devOff, bytes int64, extra time.Duration, done func(err error))
 	// Write stores bytes at devOff; extra adds device-side service time
 	// (e.g. an in-FTL compression engine).
-	Write(devOff, bytes int64, extra time.Duration, done func())
+	Write(devOff, bytes int64, extra time.Duration, done func(err error))
 	// Trim discards whole pages covered by [devOff, devOff+bytes).
 	Trim(devOff, bytes int64)
 	// DeviceStats snapshots per-member device counters.
@@ -32,6 +37,15 @@ type Backend interface {
 	QueueStats() []sim.Stats
 	// Describe returns a short human-readable backend description.
 	Describe() string
+}
+
+// FaultInjectable is implemented by backends that can consult a fault
+// plan on every operation. NewDevice calls InjectFaults when
+// Options.Faults is active; col and st receive the backend-level fault
+// observations (injected faults, degraded-read reconstructions).
+type FaultInjectable interface {
+	// InjectFaults attaches the plan's per-device decision streams.
+	InjectFaults(p *fault.Plan, col *obs.Collector, st *RunStats)
 }
 
 // span converts a byte extent to a (lpn, pages) pair clamped to
@@ -74,11 +88,36 @@ func trimSpan(devOff, bytes int64, pageSize int, maxPages int64) (lpn, pages int
 type SingleSSD struct {
 	dev *ssd.SSD
 	st  *sim.Station
+	eng *sim.Engine
+
+	inj    *fault.Injector
+	fobs   *obs.Collector
+	fstats *RunStats
 }
 
 // NewSingleSSD wires dev to a station on eng.
 func NewSingleSSD(eng *sim.Engine, dev *ssd.SSD) *SingleSSD {
-	return &SingleSSD{dev: dev, st: sim.NewStation(eng, "ssd0")}
+	return &SingleSSD{dev: dev, st: sim.NewStation(eng, "ssd0"), eng: eng}
+}
+
+// InjectFaults implements FaultInjectable.
+func (b *SingleSSD) InjectFaults(p *fault.Plan, col *obs.Collector, st *RunStats) {
+	b.inj = p.Injector(0)
+	b.fobs = col
+	b.fstats = st
+}
+
+// decide consults the injector for one operation (nil injector: clean).
+func (b *SingleSSD) decide(write bool, lpn, bytes int64) (*fault.Error, time.Duration) {
+	if b.inj == nil {
+		return nil, 0
+	}
+	out := b.inj.Op(b.eng.Now(), write, lpn)
+	if out.Err != nil {
+		b.fstats.Faults++
+		b.fobs.Fault(b.eng.Now(), out.Err.Op, 0, lpn*int64(b.PageSize()), bytes, out.Err.Transient)
+	}
+	return out.Err, out.Extra
 }
 
 // LogicalBytes implements Backend.
@@ -88,23 +127,25 @@ func (b *SingleSSD) LogicalBytes() int64 { return b.dev.LogicalBytes() }
 func (b *SingleSSD) PageSize() int { return b.dev.Config().PageSize }
 
 // Read implements Backend.
-func (b *SingleSSD) Read(devOff, bytes int64, extra time.Duration, done func()) {
+func (b *SingleSSD) Read(devOff, bytes int64, extra time.Duration, done func(err error)) {
 	lpn, pages := span(devOff, bytes, b.PageSize(), b.dev.LogicalPages())
 	svc, err := b.dev.ReadTime(lpn, pages*int64(b.PageSize()))
 	if err != nil {
 		panic(fmt.Sprintf("core: backend read: %v", err))
 	}
-	b.st.Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) { done() }})
+	ferr, fextra := b.decide(false, lpn, bytes)
+	b.st.Submit(sim.Job{Service: svc + extra + fextra, Done: func(_, _ time.Duration) { done(ferr.AsError()) }})
 }
 
 // Write implements Backend.
-func (b *SingleSSD) Write(devOff, bytes int64, extra time.Duration, done func()) {
+func (b *SingleSSD) Write(devOff, bytes int64, extra time.Duration, done func(err error)) {
 	lpn, pages := span(devOff, bytes, b.PageSize(), b.dev.LogicalPages())
 	svc, err := b.dev.WriteTime(lpn, pages*int64(b.PageSize()))
 	if err != nil {
 		panic(fmt.Sprintf("core: backend write: %v", err))
 	}
-	b.st.Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) { done() }})
+	ferr, fextra := b.decide(true, lpn, bytes)
+	b.st.Submit(sim.Job{Service: svc + extra + fextra, Done: func(_, _ time.Duration) { done(ferr.AsError()) }})
 }
 
 // Trim implements Backend.
@@ -131,15 +172,27 @@ func (b *SingleSSD) Describe() string {
 
 // RAISBackend is a Backend over a rais.Array, with one queue per member
 // device. Sub-operations on different members proceed in parallel; RAIS5
-// read-modify-write runs its read phase before its write phase.
+// read-modify-write runs its read phase before its write phase. With a
+// fault plan injected, a hard read failure on a RAIS5 member triggers a
+// degraded read: the missing stripe unit is reconstructed from the
+// surviving members and the operation completes successfully (the
+// paper's Fig. 11 array exists exactly for this).
 type RAISBackend struct {
 	arr *rais.Array
 	sts []*sim.Station
+	eng *sim.Engine
+
+	injs   []*fault.Injector
+	fobs   *obs.Collector
+	fstats *RunStats
 }
 
 var (
-	_ Backend = (*SingleSSD)(nil)
-	_ Backend = (*RAISBackend)(nil)
+	_ Backend         = (*SingleSSD)(nil)
+	_ Backend         = (*RAISBackend)(nil)
+	_ FaultInjectable = (*SingleSSD)(nil)
+	_ FaultInjectable = (*RAISBackend)(nil)
+	_ FaultInjectable = (*HDDBackend)(nil)
 )
 
 // NewRAISBackend wires each member device to its own station.
@@ -148,7 +201,18 @@ func NewRAISBackend(eng *sim.Engine, arr *rais.Array) *RAISBackend {
 	for i := range sts {
 		sts[i] = sim.NewStation(eng, fmt.Sprintf("ssd%d", i))
 	}
-	return &RAISBackend{arr: arr, sts: sts}
+	return &RAISBackend{arr: arr, sts: sts, eng: eng}
+}
+
+// InjectFaults implements FaultInjectable: each member device gets its
+// own decorrelated decision stream.
+func (b *RAISBackend) InjectFaults(p *fault.Plan, col *obs.Collector, st *RunStats) {
+	b.injs = make([]*fault.Injector, len(b.sts))
+	for i := range b.injs {
+		b.injs[i] = p.Injector(i)
+	}
+	b.fobs = col
+	b.fstats = st
 }
 
 // LogicalBytes implements Backend.
@@ -159,14 +223,27 @@ func (b *RAISBackend) PageSize() int { return b.arr.PageSize() }
 
 // issueExtra submits sub-ops to member stations (adding extra service
 // time to each, e.g. a per-device in-FTL codec engine), calling next
-// when all complete.
-func (b *RAISBackend) issueExtra(ops []rais.SubOp, extra time.Duration, next func()) {
+// when all complete. Fault outcomes are decided at submit time in
+// sub-op order, so the decision stream is deterministic; next receives
+// the first (by completion) sub-op error, with RAIS5 hard read failures
+// absorbed by degraded reads.
+func (b *RAISBackend) issueExtra(ops []rais.SubOp, extra time.Duration, next func(err error)) {
 	if len(ops) == 0 {
-		next()
+		next(nil)
 		return
 	}
 	remaining := len(ops)
+	var firstErr error
 	devs := b.arr.Devices()
+	sub := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			next(firstErr)
+		}
+	}
 	for _, op := range ops {
 		var svc time.Duration
 		var err error
@@ -178,20 +255,64 @@ func (b *RAISBackend) issueExtra(ops []rais.SubOp, extra time.Duration, next fun
 		if err != nil {
 			panic(fmt.Sprintf("core: rais sub-op: %v", err))
 		}
-		b.sts[op.Dev].Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) {
+		var ferr *fault.Error
+		if b.injs != nil {
+			out := b.injs[op.Dev].Op(b.eng.Now(), op.Write, op.LPN)
+			svc += out.Extra
+			if out.Err != nil {
+				ferr = out.Err
+				b.fstats.Faults++
+				b.fobs.Fault(b.eng.Now(), ferr.Op, op.Dev, op.LPN*int64(b.PageSize()), op.Bytes, ferr.Transient)
+			}
+		}
+		if ferr != nil && !op.Write && !ferr.Transient && b.arr.Level() == rais.RAIS5 {
+			// The member failed the read for good; after the attempt's
+			// service time, rebuild its stripe unit from the survivors.
+			op := op
+			b.sts[op.Dev].Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) {
+				b.degradedRead(op, sub)
+			}})
+			continue
+		}
+		e := ferr.AsError()
+		b.sts[op.Dev].Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) { sub(e) }})
+	}
+}
+
+// degradedRead reconstructs one failed member's stripe unit by reading
+// the same device pages from every surviving member (the left-symmetric
+// layout keeps a stripe's units at identical device-page indices).
+// Reconstruction reads bypass fault injection: the model injects one
+// failure per stripe, matching RAIS5's single-failure tolerance.
+func (b *RAISBackend) degradedRead(op rais.SubOp, done func(err error)) {
+	start := b.eng.Now()
+	b.fstats.DegradedReads++
+	b.fobs.DegradedRead(start, op.Dev, op.LPN*int64(b.PageSize()), op.Bytes)
+	devs := b.arr.Devices()
+	remaining := len(devs) - 1
+	for i := range devs {
+		if i == op.Dev {
+			continue
+		}
+		svc, err := devs[i].ReadTime(op.LPN, op.Bytes)
+		if err != nil {
+			panic(fmt.Sprintf("core: rais degraded read: %v", err))
+		}
+		b.sts[i].Submit(sim.Job{Service: svc, Done: func(_, _ time.Duration) {
 			remaining--
 			if remaining == 0 {
-				next()
+				b.fstats.DegradedReadTime += b.eng.Now() - start
+				done(nil)
 			}
 		}})
 	}
 }
 
 // Read implements Backend.
-func (b *RAISBackend) Read(devOff, bytes int64, extra time.Duration, done func()) {
+func (b *RAISBackend) Read(devOff, bytes int64, extra time.Duration, done func(err error)) {
 	lpn, pages := span(devOff, bytes, b.PageSize(), b.arr.LogicalPages())
 	if pages == 0 {
-		done()
+		done(nil)
 		return
 	}
 	ops, err := b.arr.MapRead(lpn, pages)
@@ -202,10 +323,10 @@ func (b *RAISBackend) Read(devOff, bytes int64, extra time.Duration, done func()
 }
 
 // Write implements Backend.
-func (b *RAISBackend) Write(devOff, bytes int64, extra time.Duration, done func()) {
+func (b *RAISBackend) Write(devOff, bytes int64, extra time.Duration, done func(err error)) {
 	lpn, pages := span(devOff, bytes, b.PageSize(), b.arr.LogicalPages())
 	if pages == 0 {
-		done()
+		done(nil)
 		return
 	}
 	ops, err := b.arr.MapWrite(lpn, pages)
@@ -213,7 +334,8 @@ func (b *RAISBackend) Write(devOff, bytes int64, extra time.Duration, done func(
 		panic(fmt.Sprintf("core: rais write map: %v", err))
 	}
 	// Split read-modify-write into its two phases: parity/old-data reads
-	// complete before any write is issued.
+	// complete before any write is issued. A failed read phase aborts the
+	// write phase and reports the read error.
 	var reads, writes []rais.SubOp
 	for _, op := range ops {
 		if op.Write {
@@ -222,7 +344,13 @@ func (b *RAISBackend) Write(devOff, bytes int64, extra time.Duration, done func(
 			reads = append(reads, op)
 		}
 	}
-	b.issueExtra(reads, 0, func() { b.issueExtra(writes, extra, done) })
+	b.issueExtra(reads, 0, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		b.issueExtra(writes, extra, done)
+	})
 }
 
 // Trim implements Backend.

@@ -9,6 +9,7 @@ import (
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/fault"
 	"edc/internal/obs"
 	"edc/internal/parallel"
 	"edc/internal/sim"
@@ -85,6 +86,16 @@ type Options struct {
 	// replay — collectors are strict observers and never feed back into
 	// the simulation.
 	Obs *obs.Collector
+	// Faults attaches a deterministic fault plan: every backend device
+	// operation consults a seeded per-device injector, and the pipeline
+	// recovers (retry, re-allocate, degraded read). Nil injects nothing
+	// and the replay is bit-identical to an un-instrumented build.
+	Faults *fault.Plan
+	// SnapshotEvery, when positive, checkpoints the mapping (snapshot +
+	// journal reset) every interval of virtual time, bounding how much
+	// journal a crash recovery replays. Zero disables checkpointing; the
+	// journal then covers the whole run.
+	SnapshotEvery time.Duration
 }
 
 // DefaultOffloadCost models a hardware compression engine in the device
@@ -130,6 +141,11 @@ type Device struct {
 	replayWorkers int
 	played        bool
 	stats         *RunStats
+
+	// Crash-recovery configuration (see recovery.go).
+	faults    *fault.Plan
+	snapEvery time.Duration
+	per       *persister
 }
 
 // NewDevice builds an EDC device over backend be exposing volumeBytes of
@@ -211,6 +227,18 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 	se.now = eng.Now
 	hostCache := cache.New(opts.CacheBytes)
 	stats := newRunStats(opts.Policy.Name(), "", be.Describe())
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		if opts.Faults.Active() {
+			fi, ok := be.(FaultInjectable)
+			if !ok {
+				return nil, fmt.Errorf("core: backend %s does not support fault injection", be.Describe())
+			}
+			fi.InjectFaults(opts.Faults, opts.Obs, stats)
+		}
+	}
 
 	wp := &writePath{
 		eng:         eng,
@@ -236,6 +264,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		eng:         eng,
 		cpu:         cpu,
 		fs:          fs,
+		stats:       stats,
 		se:          se,
 		cost:        opts.Cost,
 		reg:         opts.Registry,
@@ -280,6 +309,8 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		obs:           opts.Obs,
 		replayWorkers: opts.ReplayWorkers,
 		stats:         stats,
+		faults:        opts.Faults,
+		snapEvery:     opts.SnapshotEvery,
 	}, nil
 }
 
@@ -292,14 +323,20 @@ func (d *Device) VolumeBytes() int64 { return d.volBytes }
 // Mapping exposes the mapping table (tests, diagnostics).
 func (d *Device) Mapping() *Mapping { return d.se.mapping }
 
+// ErrReplayed reports a second Play on a single-use Device (or System).
+var ErrReplayed = errors.New("core: device already played a trace")
+
 // Play replays t to completion and returns the collected statistics.
 // The device is single-use: create a fresh Device per run.
 func (d *Device) Play(t *trace.Trace) (*RunStats, error) {
 	if d.played {
-		return nil, errors.New("core: device already played a trace")
+		return nil, ErrReplayed
 	}
 	d.played = true
 	d.stats.Trace = t.Name
+	if err := d.armPersistence(); err != nil {
+		return nil, err
+	}
 	if d.replayWorkers > 1 {
 		d.wp.pool = parallel.NewPool(d.replayWorkers)
 		defer func() {

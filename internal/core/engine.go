@@ -38,19 +38,32 @@ func newStoreEngine(be Backend, volBytes int64, verify bool) *storeEngine {
 		be:    be,
 		alloc: NewAllocator(be.LogicalBytes()),
 	}
-	se.mapping = NewMapping(volBytes, se.alloc, func(e *Extent) {
-		if se.obs != nil {
-			se.obs.SlotFree(se.now(), e.Offset, e.OrigLen, e.SlotLen)
-		}
-		se.be.Trim(e.DevOff, e.SlotLen)
-		if se.payloads != nil {
-			delete(se.payloads, e)
-		}
-	})
+	se.mapping = NewMapping(volBytes, se.alloc, se.freeExtent)
 	if verify {
 		se.payloads = make(map[*Extent][]byte)
 	}
 	return se
+}
+
+// freeExtent is the mapping's slot-release callback: trim the device
+// range, drop any verify-mode payload, and record the event.
+func (se *storeEngine) freeExtent(e *Extent) {
+	if se.obs != nil {
+		se.obs.SlotFree(se.now(), e.Offset, e.OrigLen, e.SlotLen)
+	}
+	se.be.Trim(e.DevOff, e.SlotLen)
+	if se.payloads != nil {
+		delete(se.payloads, e)
+	}
+}
+
+// adoptMapping swaps in a recovered mapping table (crash recovery),
+// rewiring the standard slot-release callback onto it. The mapping must
+// already be built over se's allocator.
+func (se *storeEngine) adoptMapping(m *Mapping) {
+	se.mapping = m
+	m.alloc = se.alloc
+	m.onFree = se.freeExtent
 }
 
 // getBuf returns a recycled buffer (possibly nil) with zero length.
@@ -101,14 +114,32 @@ func (se *storeEngine) payload(ext *Extent) []byte {
 	return se.payloads[ext]
 }
 
+// realloc moves ext to a freshly allocated slot of the same size after
+// a hard write failure. The failed slot is abandoned, not freed — the
+// media there is bad — so its bytes stay accounted as in use for the
+// rest of the run.
+func (se *storeEngine) realloc(ext *Extent) error {
+	devOff, err := se.alloc.Alloc(ext.SlotLen)
+	if err != nil {
+		return err
+	}
+	ext.DevOff = devOff
+	if se.obs != nil {
+		se.obs.SlotAlloc(se.now(), ext.SlotLen)
+	}
+	return nil
+}
+
 // write issues a device write of the extent's slot; done fires when the
-// transfer (plus any device-side codec time in extra) completes.
-func (se *storeEngine) write(devOff, slotLen int64, extra time.Duration, done func()) {
+// transfer (plus any device-side codec time in extra) completes, with
+// the operation outcome (nil, or an injected *fault.Error).
+func (se *storeEngine) write(devOff, slotLen int64, extra time.Duration, done func(err error)) {
 	se.be.Write(devOff, slotLen, extra, done)
 }
 
-// read issues a device read; done fires at transfer completion.
-func (se *storeEngine) read(devOff, bytes int64, extra time.Duration, done func()) {
+// read issues a device read; done fires at transfer completion with the
+// operation outcome.
+func (se *storeEngine) read(devOff, bytes int64, extra time.Duration, done func(err error)) {
 	se.be.Read(devOff, bytes, extra, done)
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"edc/internal/fault"
 	"edc/internal/hdd"
+	"edc/internal/obs"
 	"edc/internal/sim"
 	"edc/internal/ssd"
 )
@@ -16,13 +18,38 @@ import (
 type HDDBackend struct {
 	dev *hdd.HDD
 	st  *sim.Station
+	eng *sim.Engine
+
+	inj    *fault.Injector
+	fobs   *obs.Collector
+	fstats *RunStats
 }
 
 var _ Backend = (*HDDBackend)(nil)
 
 // NewHDDBackend wires the disk to a station on eng.
 func NewHDDBackend(eng *sim.Engine, dev *hdd.HDD) *HDDBackend {
-	return &HDDBackend{dev: dev, st: sim.NewStation(eng, "hdd0")}
+	return &HDDBackend{dev: dev, st: sim.NewStation(eng, "hdd0"), eng: eng}
+}
+
+// InjectFaults implements FaultInjectable.
+func (b *HDDBackend) InjectFaults(p *fault.Plan, col *obs.Collector, st *RunStats) {
+	b.inj = p.Injector(0)
+	b.fobs = col
+	b.fstats = st
+}
+
+// decide consults the injector for one operation (nil injector: clean).
+func (b *HDDBackend) decide(write bool, off, bytes int64) (*fault.Error, time.Duration) {
+	if b.inj == nil {
+		return nil, 0
+	}
+	out := b.inj.Op(b.eng.Now(), write, off/int64(b.PageSize()))
+	if out.Err != nil {
+		b.fstats.Faults++
+		b.fobs.Fault(b.eng.Now(), out.Err.Op, 0, off, bytes, out.Err.Transient)
+	}
+	return out.Err, out.Extra
 }
 
 // LogicalBytes implements Backend.
@@ -32,23 +59,25 @@ func (b *HDDBackend) LogicalBytes() int64 { return b.dev.LogicalBytes() }
 func (b *HDDBackend) PageSize() int { return b.dev.Config().BlockSize }
 
 // Read implements Backend.
-func (b *HDDBackend) Read(devOff, bytes int64, extra time.Duration, done func()) {
+func (b *HDDBackend) Read(devOff, bytes int64, extra time.Duration, done func(err error)) {
 	off, n := b.clamp(devOff, bytes)
 	svc, err := b.dev.ReadTime(off, n)
 	if err != nil {
 		panic(fmt.Sprintf("core: hdd read: %v", err))
 	}
-	b.st.Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) { done() }})
+	ferr, fextra := b.decide(false, off, n)
+	b.st.Submit(sim.Job{Service: svc + extra + fextra, Done: func(_, _ time.Duration) { done(ferr.AsError()) }})
 }
 
 // Write implements Backend.
-func (b *HDDBackend) Write(devOff, bytes int64, extra time.Duration, done func()) {
+func (b *HDDBackend) Write(devOff, bytes int64, extra time.Duration, done func(err error)) {
 	off, n := b.clamp(devOff, bytes)
 	svc, err := b.dev.WriteTime(off, n)
 	if err != nil {
 		panic(fmt.Sprintf("core: hdd write: %v", err))
 	}
-	b.st.Submit(sim.Job{Service: svc + extra, Done: func(_, _ time.Duration) { done() }})
+	ferr, fextra := b.decide(true, off, n)
+	b.st.Submit(sim.Job{Service: svc + extra + fextra, Done: func(_, _ time.Duration) { done(ferr.AsError()) }})
 }
 
 // clamp bounds an access to the disk capacity.

@@ -66,9 +66,9 @@ func TestHDDBackendClamp(t *testing.T) {
 	be := NewHDDBackend(eng, disk)
 	done := 0
 	eng.Schedule(0, func() {
-		be.Read(be.LogicalBytes()-1024, 1<<20, 0, func() { done++ }) // clamped
-		be.Write(-5, 4096, 0, func() { done++ })                     // clamped
-		be.Read(0, 0, 0, func() { done++ })                          // zero bytes
+		be.Read(be.LogicalBytes()-1024, 1<<20, 0, func(error) { done++ }) // clamped
+		be.Write(-5, 4096, 0, func(error) { done++ })                     // clamped
+		be.Read(0, 0, 0, func(error) { done++ })                          // zero bytes
 	})
 	eng.Run()
 	if done != 3 {

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"edc/internal/compress"
+)
+
+// Mapping journal
+//
+// The snapshot (persist.go) captures the whole table at a checkpoint; a
+// production EDC cannot afford one per write. Between checkpoints every
+// completed device write appends one fixed-size record to this
+// append-only journal, making the write's mapping durable at the moment
+// its data is. Crash recovery replays the journal over the last
+// snapshot (RecoverMapping, recovery.go).
+//
+//	record: magic "EJ" | seq u64 | offset u64 | origLen u32 |
+//	        compLen u32 | slotLen u32 | tag u8 | version u32 |
+//	        devOff u64 | CRC32 (IEEE) of the preceding bytes
+//
+// Records are 47 bytes, little-endian, with consecutive sequence
+// numbers. A crash can tear the final append: a short trailing record
+// is expected damage and is dropped; a CRC or sequence violation
+// anywhere else is corruption.
+
+const (
+	jnlMagic      = "EJ"
+	jnlRecordSize = 47
+	jnlCRCOffset  = jnlRecordSize - 4
+)
+
+// ErrBadJournal reports a corrupt journal (failed CRC, bad magic, or a
+// sequence break — anything beyond a torn final record).
+var ErrBadJournal = errors.New("core: bad mapping journal")
+
+// Journal accumulates fixed-size mapping records in an in-memory
+// buffer (the simulated durable log). The zero value is ready to use.
+type Journal struct {
+	buf []byte
+	seq uint64
+	n   int
+}
+
+// Append records that ext's device write completed (its durable point).
+func (j *Journal) Append(e *Extent) {
+	var rec [jnlRecordSize]byte
+	copy(rec[0:2], jnlMagic)
+	binary.LittleEndian.PutUint64(rec[2:], j.seq)
+	binary.LittleEndian.PutUint64(rec[10:], uint64(e.Offset))
+	binary.LittleEndian.PutUint32(rec[18:], uint32(e.OrigLen))
+	binary.LittleEndian.PutUint32(rec[22:], uint32(e.CompLen))
+	binary.LittleEndian.PutUint32(rec[26:], uint32(e.SlotLen))
+	rec[30] = byte(e.Tag)
+	binary.LittleEndian.PutUint32(rec[31:], e.Version)
+	binary.LittleEndian.PutUint64(rec[35:], uint64(e.DevOff))
+	binary.LittleEndian.PutUint32(rec[jnlCRCOffset:], crc32.ChecksumIEEE(rec[:jnlCRCOffset]))
+	j.buf = append(j.buf, rec[:]...)
+	j.seq++
+	j.n++
+}
+
+// Bytes returns the journal contents (not a copy: snapshot it before
+// mutating the journal further).
+func (j *Journal) Bytes() []byte { return j.buf }
+
+// Records returns the number of appended records since the last Reset.
+func (j *Journal) Records() int { return j.n }
+
+// Reset empties the journal after a checkpoint folded its records into
+// the snapshot. Sequence numbering continues, so a recovery spanning a
+// checkpoint boundary cannot silently mix epochs.
+func (j *Journal) Reset() {
+	j.buf = j.buf[:0]
+	j.n = 0
+}
+
+// DecodeJournal parses a journal image into its extents, in append
+// order. A short final record (torn tail: the crash interrupted the
+// last append) is dropped silently; any other malformation is
+// ErrBadJournal.
+func DecodeJournal(data []byte) ([]*Extent, error) {
+	var out []*Extent
+	var wantSeq uint64
+	for i := 0; len(data) >= jnlRecordSize; i++ {
+		rec := data[:jnlRecordSize]
+		data = data[jnlRecordSize:]
+		if string(rec[0:2]) != jnlMagic {
+			return nil, fmt.Errorf("%w: record %d magic", ErrBadJournal, i)
+		}
+		if crc32.ChecksumIEEE(rec[:jnlCRCOffset]) != binary.LittleEndian.Uint32(rec[jnlCRCOffset:]) {
+			return nil, fmt.Errorf("%w: record %d checksum", ErrBadJournal, i)
+		}
+		seq := binary.LittleEndian.Uint64(rec[2:])
+		if i == 0 {
+			wantSeq = seq
+		}
+		if seq != wantSeq {
+			return nil, fmt.Errorf("%w: record %d sequence %d, want %d", ErrBadJournal, i, seq, wantSeq)
+		}
+		wantSeq++
+		e := &Extent{
+			Offset:  int64(binary.LittleEndian.Uint64(rec[10:])),
+			OrigLen: int64(binary.LittleEndian.Uint32(rec[18:])),
+			CompLen: int64(binary.LittleEndian.Uint32(rec[22:])),
+			SlotLen: int64(binary.LittleEndian.Uint32(rec[26:])),
+			Tag:     compress.Tag(rec[30]),
+			Version: binary.LittleEndian.Uint32(rec[31:]),
+			DevOff:  int64(binary.LittleEndian.Uint64(rec[35:])),
+		}
+		if e.OrigLen <= 0 || e.OrigLen%BlockSize != 0 || e.Offset < 0 || e.Offset%BlockSize != 0 ||
+			e.SlotLen <= 0 || e.CompLen <= 0 || e.Tag > compress.MaxTag {
+			return nil, fmt.Errorf("%w: record %d invalid extent", ErrBadJournal, i)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// CheckJournal validates a journal image for edcfsck: the number of
+// intact records, whether the tail was torn, and any corruption found.
+func CheckJournal(data []byte) (records int, torn bool, err error) {
+	exts, err := DecodeJournal(data)
+	if err != nil {
+		return 0, false, err
+	}
+	return len(exts), len(data)%jnlRecordSize != 0, nil
+}
+
+// ReplayJournal applies a journal image onto m in append order
+// (overwrites unmap the blocks they cover, exactly as the live write
+// path did) and returns the number of records applied.
+func ReplayJournal(m *Mapping, data []byte) (int, error) {
+	exts, err := DecodeJournal(data)
+	if err != nil {
+		return 0, err
+	}
+	for i, e := range exts {
+		if err := m.Insert(e); err != nil {
+			return i, fmt.Errorf("core: journal replay record %d: %w", i, err)
+		}
+	}
+	return len(exts), nil
+}

@@ -2,12 +2,14 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/fault"
 	"edc/internal/obs"
 	"edc/internal/sim"
 )
@@ -18,14 +20,15 @@ import (
 // and the mapping go through the store engine; completions return to the
 // frontend via the complete/drop callbacks.
 type readPath struct {
-	eng  *sim.Engine
-	cpu  sim.Server
-	fs   *failState
-	se   *storeEngine
-	cost CostModel
-	reg  *compress.Registry
-	data *datagen.Generator
-	obs  *obs.Collector
+	eng   *sim.Engine
+	cpu   sim.Server
+	fs    *failState
+	stats *RunStats
+	se    *storeEngine
+	cost  CostModel
+	reg   *compress.Registry
+	data  *datagen.Generator
+	obs   *obs.Collector
 
 	hostCache   *cache.Cache
 	verify      bool
@@ -76,9 +79,9 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 		switch {
 		case seg.Ext == nil:
 			// Hole: the device still transfers zero pages.
-			rp.se.read(0, seg.Bytes, 0, complete)
+			rp.issueRead(0, seg.Bytes, 0, off, seg.Bytes, 0, complete)
 		case seg.Ext.Tag == compress.TagNone:
-			rp.se.read(seg.Ext.DevOff, seg.Bytes, 0, complete)
+			rp.issueRead(seg.Ext.DevOff, seg.Bytes, 0, seg.Ext.Offset, seg.Bytes, 0, complete)
 		default:
 			ext := seg.Ext
 			if rp.obs != nil {
@@ -94,7 +97,7 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 			if rp.offload {
 				// The device's codec engine decompresses in-line.
 				extra := time.Duration(float64(ext.OrigLen) / rp.offloadCost.DecompressBps * float64(time.Second))
-				rp.se.read(ext.DevOff, ext.CompLen, extra, func() {
+				rp.issueRead(ext.DevOff, ext.CompLen, extra, ext.Offset, ext.OrigLen, 0, func() {
 					if rp.verify {
 						rp.verifyExtent(ext, payload)
 					}
@@ -102,7 +105,7 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 				})
 				break
 			}
-			rp.se.read(ext.DevOff, ext.CompLen, 0, func() {
+			rp.issueRead(ext.DevOff, ext.CompLen, 0, ext.Offset, ext.OrigLen, 0, func() {
 				svc := rp.cost.DecompressTime(ext.Tag, ext.OrigLen)
 				rp.cpu.Submit(sim.Job{Service: svc, Done: func(_, _ time.Duration) {
 					if rp.verify {
@@ -113,6 +116,32 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 			})
 		}
 	}
+}
+
+// issueRead submits one device read and reacts to the outcome: a
+// transient fault retries after a virtual-time backoff; a hard fault
+// that survived the backend's own redundancy (RAIS5 reconstructs
+// internally and reports success) means the data is gone — the read is
+// served anyway so the replay continues, and the loss is counted in
+// UnrecoveredReads. off/size locate the logical range for the event
+// stream.
+func (rp *readPath) issueRead(devOff, bytes int64, extra time.Duration, off, size int64, attempt int, done func()) {
+	rp.se.read(devOff, bytes, extra, func(err error) {
+		switch {
+		case err == nil:
+			done()
+		case errors.Is(err, fault.ErrTransient) && attempt < maxRetries:
+			rp.stats.FaultRetries++
+			rp.obs.Retry(rp.eng.Now(), "read", off, size, attempt+1)
+			rp.eng.ScheduleAfter(retryBackoff<<attempt, func() {
+				rp.issueRead(devOff, bytes, extra, off, size, attempt+1, done)
+			})
+		default:
+			rp.stats.UnrecoveredReads++
+			rp.obs.Recover(rp.eng.Now(), obs.RecoverReadAbandon, off, size, 0)
+			done()
+		}
+	})
 }
 
 // tagName resolves a codec tag to its registry name for the event

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"edc/internal/compress"
+	"edc/internal/obs"
+	"edc/internal/parallel"
+	"edc/internal/sim"
+	"edc/internal/trace"
+)
+
+// Crash recovery
+//
+// A power cut stops the replay mid-flight: requests in the pipeline are
+// lost, but every write whose device I/O completed is durable — its
+// mapping record is in the journal (journal.go), and older state is in
+// the last snapshot (persist.go). Recovery rebuilds the mapping by
+// replaying the journal over the snapshot, rebuilds the allocator from
+// the surviving extents, and resumes the replay from the cut.
+//
+// The simulated "disk" for the metadata is a pair of in-memory byte
+// images owned by the persister; edcfsck -kind snapshot/journal checks
+// the same images a recovery consumes.
+
+// persister owns a device's crash-consistency state: the latest mapping
+// snapshot, the journal of writes completed since, and the checkpoint
+// schedule that periodically folds the journal into a fresh snapshot.
+type persister struct {
+	dev      *Device
+	snapshot []byte
+	jnl      *Journal
+}
+
+// armPersistence turns on snapshotting + journaling for d when the run
+// needs them (a checkpoint interval or a planned power cut). Called at
+// Play/PlayUntil start, so the initial snapshot captures the mapping as
+// it stands — empty on a fresh device, recovered state after a crash.
+func (d *Device) armPersistence() error {
+	if d.per != nil {
+		return nil
+	}
+	if d.snapEvery <= 0 && (d.faults == nil || d.faults.PowerCutAt <= 0) {
+		return nil
+	}
+	p := &persister{dev: d, jnl: &Journal{}}
+	var buf bytes.Buffer
+	if err := d.se.mapping.SaveSnapshot(&buf); err != nil {
+		return err
+	}
+	p.snapshot = buf.Bytes()
+	d.per = p
+	d.wp.jnl = p.jnl
+	if d.snapEvery > 0 {
+		p.armCheckpoint(d.snapEvery)
+	}
+	return nil
+}
+
+// armCheckpoint schedules the next checkpoint, re-arming itself only
+// while further events are pending so the event loop can drain.
+func (p *persister) armCheckpoint(every time.Duration) {
+	p.dev.eng.ScheduleAfter(every, func() {
+		if p.dev.fs.failed() {
+			return
+		}
+		if err := p.checkpoint(); err != nil {
+			p.dev.fs.fail(err)
+			return
+		}
+		if p.dev.eng.Pending() > 0 {
+			p.armCheckpoint(every)
+		}
+	})
+}
+
+// checkpoint folds the journal into the previous snapshot and resets
+// the journal. The fold runs the recovery path on a shadow mapping —
+// never the live one, whose in-flight writes are not yet durable — so a
+// checkpoint is exactly as trustworthy as a recovery from it.
+func (p *persister) checkpoint() error {
+	m, _, err := recoverShadow(p.snapshot, p.jnl.Bytes(), p.dev.se.alloc.Capacity())
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	p.snapshot = buf.Bytes()
+	p.jnl.Reset()
+	return nil
+}
+
+// recoverShadow rebuilds a mapping from a snapshot image plus a journal
+// image over a scratch allocator of the given capacity. The scratch
+// allocator absorbs the replay's frees and is discarded; callers
+// rebuild their real allocator from the surviving extents (liveRanges).
+func recoverShadow(snapshot, journal []byte, capacity int64) (*Mapping, int, error) {
+	scratch := NewAllocator(capacity)
+	m, err := LoadSnapshot(bytes.NewReader(snapshot), scratch, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	records, err := ReplayJournal(m, journal)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, records, nil
+}
+
+// RecoverMapping rebuilds a mapping from snapshot + journal images onto
+// alloc (rebuilt to hold exactly the surviving extents' slots). It
+// returns the mapping and the number of journal records applied; this
+// is the function edcfsck and the recovery tests exercise directly.
+func RecoverMapping(snapshot, journal []byte, alloc *Allocator) (*Mapping, int, error) {
+	m, records, err := recoverShadow(snapshot, journal, alloc.Capacity())
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := alloc.Rebuild(liveRanges(m)); err != nil {
+		return nil, 0, err
+	}
+	m.alloc = alloc
+	return m, records, nil
+}
+
+// liveRanges collects the device ranges of m's live extents, sorted by
+// offset (the reserved set for Allocator.Rebuild). Slots abandoned to
+// bad media by write re-allocation are not live and so return to the
+// free pool — the simulated device has no persistent bad-block list.
+func liveRanges(m *Mapping) []Range {
+	seen := make(map[*Extent]bool, m.extents)
+	rs := make([]Range, 0, m.extents)
+	for _, e := range m.table {
+		if e == nil || seen[e] {
+			continue
+		}
+		seen[e] = true
+		rs = append(rs, Range{Off: e.DevOff, Len: e.SlotLen})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Off < rs[j].Off })
+	return rs
+}
+
+// CrashState is everything that survives a power cut: the persisted
+// metadata images and the accounting of what was lost.
+type CrashState struct {
+	// Snapshot is the last checkpointed mapping snapshot.
+	Snapshot []byte
+	// Journal is the journal image at the cut (possibly mid-append in a
+	// real system; here appends are atomic, so only whole records).
+	Journal []byte
+	// CutAt is the virtual time power was lost.
+	CutAt time.Duration
+	// Lost counts host requests in flight (admitted or queued) at the
+	// cut; they never complete and are not in the response histograms.
+	Lost int64
+}
+
+// PlayUntil replays t until virtual time cut, then simulates a power
+// cut: the event loop stops, in-flight requests are lost, and the
+// returned CrashState carries the persisted metadata a RecoverDevice
+// resumes from. The partial RunStats covers completed requests only.
+func (d *Device) PlayUntil(t *trace.Trace, cut time.Duration) (*RunStats, *CrashState, error) {
+	if d.played {
+		return nil, nil, ErrReplayed
+	}
+	if cut <= 0 {
+		return nil, nil, errors.New("core: power cut time must be positive")
+	}
+	d.played = true
+	d.stats.Trace = t.Name
+	if err := d.armPersistence(); err != nil {
+		return nil, nil, err
+	}
+	if d.per == nil {
+		// No checkpoint interval and no planned cut in the fault plan:
+		// journal from time zero so recovery still has a durable log.
+		d.per = &persister{dev: d, jnl: &Journal{}}
+		var buf bytes.Buffer
+		if err := d.se.mapping.SaveSnapshot(&buf); err != nil {
+			return nil, nil, err
+		}
+		d.per.snapshot = buf.Bytes()
+		d.wp.jnl = d.per.jnl
+	}
+	if d.replayWorkers > 1 {
+		d.wp.pool = parallel.NewPool(d.replayWorkers)
+		defer func() {
+			d.wp.pool.Close()
+			d.wp.pool = nil
+		}()
+	}
+	d.fe.start(t)
+	d.eng.RunUntil(cut)
+	lost := d.fe.inFlight + int64(len(d.fe.deferred))
+	d.stats.CrashLost = lost
+	d.finalize()
+	cs := &CrashState{
+		Snapshot: append([]byte(nil), d.per.snapshot...),
+		Journal:  append([]byte(nil), d.per.jnl.Bytes()...),
+		CutAt:    cut,
+		Lost:     lost,
+	}
+	return d.stats, cs, d.fs.err
+}
+
+// RecoverDevice builds a fresh device over be and restores the mapping
+// state from cs, as a restarted host would: snapshot + journal replay,
+// allocator rebuild, version-counter resume, and (in verify mode)
+// payload regeneration for surviving extents. The caller then Plays the
+// remainder of the trace on the returned device.
+func RecoverDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options, cs *CrashState) (*Device, error) {
+	d, err := NewDevice(eng, be, volumeBytes, opts)
+	if err != nil {
+		return nil, err
+	}
+	m, records, err := RecoverMapping(cs.Snapshot, cs.Journal, d.se.alloc)
+	if err != nil {
+		return nil, err
+	}
+	d.se.adoptMapping(m)
+
+	// Resume the run version counter above every surviving extent, so
+	// regenerated content for post-recovery writes never collides with
+	// pre-crash versions of the same blocks.
+	seen := make(map[*Extent]bool, m.extents)
+	var maxVer uint32
+	for _, e := range m.table {
+		if e == nil || seen[e] {
+			continue
+		}
+		seen[e] = true
+		if e.Version >= maxVer {
+			maxVer = e.Version + 1
+		}
+		if d.se.payloads != nil {
+			// Verify mode: regenerate the stored payload (content is a
+			// pure function of offset/length/version, so the bytes match
+			// what the pre-crash device stored).
+			content := d.wp.data.AppendBlock(nil, e.Offset, int(e.OrigLen), e.Version)
+			if e.Tag == compress.TagNone {
+				d.se.payloads[e] = content
+			} else {
+				codec, err := d.rp.reg.ByTag(e.Tag)
+				if err != nil {
+					return nil, err
+				}
+				d.se.payloads[e] = compress.AppendCompress(codec, nil, content)
+			}
+		}
+	}
+	d.wp.version = maxVer
+	d.stats.Recoveries = 1
+	d.obs.Recover(eng.Now(), obs.RecoverCrash, 0, m.LiveBlocks()*BlockSize, records)
+	return d, nil
+}

@@ -211,7 +211,7 @@ func (s *ShardedDevice) Play(t *trace.Trace) (*RunStats, error) {
 	}
 	pool.Close()
 	s.setup.Obs.Absorb(kids)
-	merged := mergeRunStats(parts)
+	merged := MergeRunStats(parts)
 	merged.Obs = s.setup.Obs.Report()
 	merged.Backend = fmt.Sprintf("%d-shard [%s]", n, parts[0].Backend)
 	if merged.Err == nil {

@@ -60,6 +60,16 @@ type RunStats struct {
 	SDMerged int64
 	SDRuns   int64
 
+	// Fault injection and recovery (all zero without a fault plan):
+	Faults           int64         // injected device errors observed
+	FaultRetries     int64         // virtual-time retries issued
+	DegradedReads    int64         // RAIS5 reads served by parity reconstruction
+	DegradedReadTime time.Duration // virtual time spent reconstructing
+	WriteReallocs    int64         // writes moved to a fresh slot after hard failure
+	UnrecoveredReads int64         // hard read failures with no redundancy to recover from
+	Recoveries       int64         // crash recoveries performed (power cut)
+	CrashLost        int64         // requests in flight and lost at the power cut
+
 	// Infrastructure:
 	CPU     sim.Stats
 	Cache   cache.Stats
@@ -88,13 +98,14 @@ func newRunStats(scheme, traceName, backend string) *RunStats {
 	}
 }
 
-// mergeRunStats folds per-shard results into one global RunStats. Parts
-// are processed in slice (shard) order, so the merge is deterministic:
-// counters and histograms sum, per-device slices concatenate, Duration is
-// the longest shard's virtual time (shards run concurrently in real time
-// and each simulates the full trace timeline), and the first shard error
-// wins.
-func mergeRunStats(parts []*RunStats) *RunStats {
+// MergeRunStats folds per-part results into one global RunStats. The
+// sharded replay merges per-shard stats; the facade merges the pre- and
+// post-power-cut phases of a crash-recovery run. Parts are processed in
+// slice order, so the merge is deterministic: counters and histograms
+// sum, per-device slices concatenate, Duration is the longest part's
+// virtual time (shards run concurrently in real time and each simulates
+// the full trace timeline), and the first error wins.
+func MergeRunStats(parts []*RunStats) *RunStats {
 	out := newRunStats(parts[0].Scheme, parts[0].Trace, parts[0].Backend)
 	for _, p := range parts {
 		if p == nil {
@@ -124,6 +135,14 @@ func mergeRunStats(parts []*RunStats) *RunStats {
 		out.Oversize += p.Oversize
 		out.SDMerged += p.SDMerged
 		out.SDRuns += p.SDRuns
+		out.Faults += p.Faults
+		out.FaultRetries += p.FaultRetries
+		out.DegradedReads += p.DegradedReads
+		out.DegradedReadTime += p.DegradedReadTime
+		out.WriteReallocs += p.WriteReallocs
+		out.UnrecoveredReads += p.UnrecoveredReads
+		out.Recoveries += p.Recoveries
+		out.CrashLost += p.CrashLost
 		out.CPU.Jobs += p.CPU.Jobs
 		out.CPU.BusyTime += p.CPU.BusyTime
 		out.CPU.WaitTime += p.CPU.WaitTime
@@ -273,6 +292,14 @@ func (rs *RunStats) Format() string {
 		fmt.Fprintf(&b, "  codec %-5s runs=%d bytes=%d\n", tagLabel(tag), rs.RunsByTag[tag], rs.BytesByTag[tag])
 	}
 	fmt.Fprintf(&b, "sd: runs=%d merged-writes=%d\n", rs.SDRuns, rs.SDMerged)
+	// The faults line only appears when a fault plan fired, so no-plan
+	// reports stay byte-identical to an un-instrumented build.
+	if rs.Faults > 0 || rs.Recoveries > 0 {
+		fmt.Fprintf(&b, "faults: injected=%d retries=%d degraded-reads=%d (%v) reallocs=%d unrecovered=%d recoveries=%d lost=%d\n",
+			rs.Faults, rs.FaultRetries, rs.DegradedReads,
+			rs.DegradedReadTime.Round(time.Microsecond),
+			rs.WriteReallocs, rs.UnrecoveredReads, rs.Recoveries, rs.CrashLost)
+	}
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d\n", rs.Cache.Hits, rs.Cache.Misses)
 	fmt.Fprintf(&b, "endurance: erases=%d flash-pages=%d\n", rs.TotalErases(), rs.TotalFlashWrites())
 	fmt.Fprintf(&b, "composite=%.3f duration=%v\n", rs.Composite(), rs.Duration.Round(time.Millisecond))
@@ -330,6 +357,16 @@ type Report struct {
 	SDRuns   int64 `json:"sd_runs"`
 	SDMerged int64 `json:"sd_merged"`
 
+	// Fault injection and recovery (omitted without a fault plan).
+	Faults             int64 `json:"faults,omitempty"`
+	FaultRetries       int64 `json:"fault_retries,omitempty"`
+	DegradedReads      int64 `json:"degraded_reads,omitempty"`
+	DegradedReadTimeUS int64 `json:"degraded_read_time_us,omitempty"`
+	WriteReallocs      int64 `json:"write_reallocs,omitempty"`
+	UnrecoveredReads   int64 `json:"unrecovered_reads,omitempty"`
+	Recoveries         int64 `json:"recoveries,omitempty"`
+	CrashLost          int64 `json:"crash_lost,omitempty"`
+
 	// Cache behaviour.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -366,6 +403,12 @@ func (rs *RunStats) Report() *Report {
 		WriteThrough: rs.WriteThrough, WriteThroughRate: rs.WriteThroughRate(),
 		Oversize: rs.Oversize, OversizeRate: rs.OversizeRate(),
 		SDRuns: rs.SDRuns, SDMerged: rs.SDMerged,
+		Faults: rs.Faults, FaultRetries: rs.FaultRetries,
+		DegradedReads:      rs.DegradedReads,
+		DegradedReadTimeUS: rs.DegradedReadTime.Microseconds(),
+		WriteReallocs:      rs.WriteReallocs,
+		UnrecoveredReads:   rs.UnrecoveredReads,
+		Recoveries:         rs.Recoveries, CrashLost: rs.CrashLost,
 		CacheHits: rs.Cache.Hits, CacheMisses: rs.Cache.Misses,
 		Erases: rs.TotalErases(), FlashPages: rs.TotalFlashWrites(),
 		Composite: rs.Composite(), DurationUS: rs.Duration.Microseconds(),

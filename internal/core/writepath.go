@@ -1,15 +1,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/fault"
 	"edc/internal/obs"
 	"edc/internal/parallel"
 	"edc/internal/sim"
+)
+
+// Recovery bounds for injected device-write failures: a transient fault
+// is retried up to maxRetries times with exponential virtual-time
+// backoff (retryBackoff << attempt); a hard fault (or exhausted
+// retries) re-allocates the run to a fresh slot up to maxReallocs
+// times before the replay aborts.
+const (
+	maxRetries   = 3
+	maxReallocs  = 2
+	retryBackoff = 200 * time.Microsecond
 )
 
 // writePath is the write stage of the request pipeline: SD merge →
@@ -42,6 +55,10 @@ type writePath struct {
 	flushWait time.Duration
 	flushGen  int64
 	version   uint32
+
+	// jnl, when non-nil, records each durable extent at write completion
+	// (the crash-recovery journal).
+	jnl *Journal
 
 	// Real-CPU pipeline: codec work dispatched at processRun time runs
 	// on pool workers while the event loop advances virtual time; store
@@ -267,11 +284,44 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 		extra = time.Duration(float64(run.Size) / wp.offloadCost.CompressBps * float64(time.Second))
 	}
 	wp.hostCache.InsertRange(run.Offset, run.Size)
-	writes := run.Writes
-	wp.se.write(ext.DevOff, slotLen, extra, func() {
-		now := wp.eng.Now()
-		for _, w := range writes {
-			wp.complete(now - w.Arrival)
+	wp.issueWrite(ext, run.Writes, extra, 0, 0)
+}
+
+// issueWrite submits the device write for ext's slot and reacts to the
+// outcome: success journals the extent (when a journal is attached) and
+// completes the merged host writes; a transient fault retries after a
+// virtual-time backoff; a hard fault (or exhausted retries) moves the
+// run to a fresh slot and starts over. Only when every recovery avenue
+// is spent does the replay abort.
+func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, extra time.Duration, attempt, reallocs int) {
+	wp.se.write(ext.DevOff, ext.SlotLen, extra, func(err error) {
+		switch {
+		case err == nil:
+			if wp.jnl != nil {
+				wp.jnl.Append(ext)
+			}
+			now := wp.eng.Now()
+			for _, w := range writes {
+				wp.complete(now - w.Arrival)
+			}
+		case errors.Is(err, fault.ErrTransient) && attempt < maxRetries:
+			wp.stats.FaultRetries++
+			wp.obs.Retry(wp.eng.Now(), "write", ext.Offset, ext.OrigLen, attempt+1)
+			wp.eng.ScheduleAfter(retryBackoff<<attempt, func() {
+				wp.issueWrite(ext, writes, extra, attempt+1, reallocs)
+			})
+		case reallocs < maxReallocs:
+			if rerr := wp.se.realloc(ext); rerr != nil {
+				wp.fs.fail(fmt.Errorf("re-allocating run at %d after %v: %w", ext.Offset, err, rerr))
+				wp.drop(len(writes))
+				return
+			}
+			wp.stats.WriteReallocs++
+			wp.obs.Recover(wp.eng.Now(), obs.RecoverRealloc, ext.Offset, ext.OrigLen, 0)
+			wp.issueWrite(ext, writes, extra, 0, reallocs+1)
+		default:
+			wp.fs.fail(fmt.Errorf("writing run at %d: %w", ext.Offset, err))
+			wp.drop(len(writes))
 		}
 	})
 }

@@ -1,0 +1,334 @@
+// Package fault is the deterministic fault-injection layer of the EDC
+// simulator: a seeded, virtual-time fault Plan that every storage
+// backend consults on every device operation.
+//
+// The paper assumes a well-behaved flash device; a production EDC does
+// not get one. This package lets a replay inject the failure modes a
+// deployed system must survive — transient and hard read/write errors,
+// latency spikes, whole-device stall windows, and a power cut at a
+// chosen virtual time — while keeping the two properties the repository
+// is built on:
+//
+//   - Determinism: every decision is a pure function of the plan seed,
+//     the device index, and the (deterministic) order of operations on
+//     that device's event loop. Two replays of the same trace under the
+//     same plan produce byte-identical results, including under LBA
+//     sharding.
+//   - Zero cost when disabled: with no plan attached, no injector
+//     exists and the pipeline is bit-identical to an un-instrumented
+//     build.
+//
+// The recovery behaviours the plan exercises (bounded retry with
+// virtual-time backoff, RAIS5 degraded reads, write re-allocation, and
+// journal-based crash recovery) live in internal/core; this package
+// only decides *what goes wrong, and when*.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel error classes, matched through errors.Is on a *Error.
+var (
+	// ErrTransient classifies an injected error that a bounded retry may
+	// clear (the device succeeded on a later attempt).
+	ErrTransient = errors.New("fault: transient device error")
+	// ErrHard classifies an injected error that no retry clears (failed
+	// media: the slot or device stays bad for the whole replay).
+	ErrHard = errors.New("fault: hard device error")
+)
+
+// Error is one injected device-operation failure. It satisfies
+// errors.As, and errors.Is against ErrTransient / ErrHard.
+type Error struct {
+	// Op is the failed operation: "read" or "write".
+	Op string
+	// Dev is the member-device index (0 on single-device backends).
+	Dev int
+	// LBA is the device logical page the operation addressed.
+	LBA int64
+	// Transient distinguishes retryable faults from hard media errors.
+	Transient bool
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	kind := "hard"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("fault: %s %s error on dev %d lba %d", kind, e.Op, e.Dev, e.LBA)
+}
+
+// AsError converts e to the error interface, mapping a nil *Error to a
+// nil error — callers threading a possibly-nil fault through a done
+// callback avoid the typed-nil interface pitfall.
+func (e *Error) AsError() error {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+// Unwrap maps the fault to its sentinel class for errors.Is.
+func (e *Error) Unwrap() error {
+	if e.Transient {
+		return ErrTransient
+	}
+	return ErrHard
+}
+
+// Stall is a whole-device outage window: every operation issued to Dev
+// during [At, At+For) is delayed until the window closes (no error is
+// reported — the device just stops answering).
+type Stall struct {
+	// Dev is the member-device index the stall applies to.
+	Dev int `json:"dev"`
+	// At is the virtual time the device stops answering.
+	At time.Duration `json:"at"`
+	// For is how long the outage lasts.
+	For time.Duration `json:"for"`
+}
+
+// Plan is a seeded, virtual-time fault schedule. The zero value injects
+// nothing. Probabilities are per operation; each device operation rolls
+// independently against them in a fixed order (latency spike first,
+// then error class), so the decision stream for a device is a pure
+// function of (Seed, device index, operation order).
+type Plan struct {
+	// Seed selects the deterministic decision stream. Two replays with
+	// equal seeds see identical faults.
+	Seed int64 `json:"seed"`
+
+	// ReadTransient / ReadHard are per-read error probabilities in
+	// [0, 1]; their sum must not exceed 1.
+	ReadTransient float64 `json:"read_transient,omitempty"`
+	ReadHard      float64 `json:"read_hard,omitempty"`
+	// WriteTransient / WriteHard are the write-side equivalents.
+	WriteTransient float64 `json:"write_transient,omitempty"`
+	WriteHard      float64 `json:"write_hard,omitempty"`
+
+	// SpikeRate is the per-operation probability of a latency spike of
+	// SpikeLatency added device-side service time.
+	SpikeRate    float64       `json:"spike_rate,omitempty"`
+	SpikeLatency time.Duration `json:"spike_latency,omitempty"`
+
+	// Stalls lists whole-device outage windows.
+	Stalls []Stall `json:"stalls,omitempty"`
+
+	// PowerCutAt, when positive, cuts power to the whole system at that
+	// virtual time: the replay stops mid-flight and must recover from
+	// the last mapping snapshot plus the journal before resuming.
+	PowerCutAt time.Duration `json:"power_cut_at,omitempty"`
+}
+
+// Validate checks the plan's internal consistency.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"read_transient", p.ReadTransient},
+		{"read_hard", p.ReadHard},
+		{"write_transient", p.WriteTransient},
+		{"write_hard", p.WriteHard},
+		{"spike_rate", p.SpikeRate},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s=%g outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.ReadTransient+p.ReadHard > 1 {
+		return fmt.Errorf("fault: read error probabilities sum to %g > 1", p.ReadTransient+p.ReadHard)
+	}
+	if p.WriteTransient+p.WriteHard > 1 {
+		return fmt.Errorf("fault: write error probabilities sum to %g > 1", p.WriteTransient+p.WriteHard)
+	}
+	if p.SpikeRate > 0 && p.SpikeLatency <= 0 {
+		return fmt.Errorf("fault: spike_rate=%g needs a positive spike_latency", p.SpikeRate)
+	}
+	if p.SpikeLatency < 0 {
+		return errors.New("fault: spike_latency must be >= 0")
+	}
+	for i, s := range p.Stalls {
+		if s.Dev < 0 || s.At < 0 || s.For <= 0 {
+			return fmt.Errorf("fault: stall %d invalid (dev=%d at=%v for=%v)", i, s.Dev, s.At, s.For)
+		}
+	}
+	if p.PowerCutAt < 0 {
+		return errors.New("fault: power_cut_at must be >= 0")
+	}
+	return nil
+}
+
+// Active reports whether the plan can affect device operations (the
+// power cut alone does not need per-operation injectors).
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.ReadTransient > 0 || p.ReadHard > 0 ||
+		p.WriteTransient > 0 || p.WriteHard > 0 ||
+		p.SpikeRate > 0 || len(p.Stalls) > 0
+}
+
+// Outcome is one per-operation decision: an optional injected error and
+// extra device-side latency (spike and/or stall-window remainder).
+type Outcome struct {
+	// Err is the injected failure, nil on success.
+	Err *Error
+	// Extra is added device service time.
+	Extra time.Duration
+}
+
+// Injector is the per-device decision stream of a Plan. One injector
+// serves exactly one member device and must only be used from that
+// device's event-loop goroutine (backends submit operations in
+// deterministic order, which is what makes the stream reproducible).
+type Injector struct {
+	plan  *Plan
+	dev   int
+	state uint64
+}
+
+// Injector returns the decision stream for member device dev.
+func (p *Plan) Injector(dev int) *Injector {
+	// Seed the per-device stream by folding the device index into the
+	// plan seed through one splitmix64 step, so member devices of an
+	// array see decorrelated streams from one plan seed.
+	s := mix(uint64(p.Seed) + 0x9e3779b97f4a7c15*uint64(dev+1))
+	return &Injector{plan: p, dev: dev, state: s}
+}
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll returns the next uniform float64 in [0, 1).
+func (in *Injector) roll() float64 {
+	in.state += 0x9e3779b97f4a7c15
+	return float64(mix(in.state)>>11) / (1 << 53)
+}
+
+// Op decides the fate of one device operation issued at virtual time
+// now: write selects the write-side probabilities, lba is recorded in
+// any injected error. Every call consumes exactly two rolls (spike,
+// error) so the stream advances identically whatever the outcome.
+func (in *Injector) Op(now time.Duration, write bool, lba int64) Outcome {
+	var out Outcome
+	if in.roll() < in.plan.SpikeRate {
+		out.Extra += in.plan.SpikeLatency
+	}
+	hard, transient := in.plan.ReadHard, in.plan.ReadTransient
+	op := "read"
+	if write {
+		hard, transient = in.plan.WriteHard, in.plan.WriteTransient
+		op = "write"
+	}
+	r := in.roll()
+	switch {
+	case r < hard:
+		out.Err = &Error{Op: op, Dev: in.dev, LBA: lba, Transient: false}
+	case r < hard+transient:
+		out.Err = &Error{Op: op, Dev: in.dev, LBA: lba, Transient: true}
+	}
+	// Stall windows are schedule-driven, not random: an operation issued
+	// inside a window waits out its remainder.
+	for _, s := range in.plan.Stalls {
+		if s.Dev == in.dev && now >= s.At && now < s.At+s.For {
+			out.Extra += s.At + s.For - now
+		}
+	}
+	return out
+}
+
+// durationJSON parses a JSON duration that is either a number
+// (nanoseconds) or a Go duration string ("150ms").
+func durationJSON(raw json.RawMessage) (time.Duration, error) {
+	if len(raw) == 0 {
+		return 0, nil
+	}
+	var n int64
+	if err := json.Unmarshal(raw, &n); err == nil {
+		return time.Duration(n), nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return 0, fmt.Errorf("fault: duration %s: want number or string", raw)
+	}
+	return time.ParseDuration(s)
+}
+
+// UnmarshalJSON accepts durations either as nanosecond numbers or as Go
+// duration strings ("250ms"), so hand-written plans stay readable.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	type stallAux struct {
+		Dev int             `json:"dev"`
+		At  json.RawMessage `json:"at"`
+		For json.RawMessage `json:"for"`
+	}
+	var aux struct {
+		Seed           int64           `json:"seed"`
+		ReadTransient  float64         `json:"read_transient"`
+		ReadHard       float64         `json:"read_hard"`
+		WriteTransient float64         `json:"write_transient"`
+		WriteHard      float64         `json:"write_hard"`
+		SpikeRate      float64         `json:"spike_rate"`
+		SpikeLatency   json.RawMessage `json:"spike_latency"`
+		Stalls         []stallAux      `json:"stalls"`
+		PowerCutAt     json.RawMessage `json:"power_cut_at"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	*p = Plan{
+		Seed:           aux.Seed,
+		ReadTransient:  aux.ReadTransient,
+		ReadHard:       aux.ReadHard,
+		WriteTransient: aux.WriteTransient,
+		WriteHard:      aux.WriteHard,
+		SpikeRate:      aux.SpikeRate,
+	}
+	var err error
+	if p.SpikeLatency, err = durationJSON(aux.SpikeLatency); err != nil {
+		return err
+	}
+	if p.PowerCutAt, err = durationJSON(aux.PowerCutAt); err != nil {
+		return err
+	}
+	for _, s := range aux.Stalls {
+		at, err := durationJSON(s.At)
+		if err != nil {
+			return err
+		}
+		dur, err := durationJSON(s.For)
+		if err != nil {
+			return err
+		}
+		p.Stalls = append(p.Stalls, Stall{Dev: s.Dev, At: at, For: dur})
+	}
+	return nil
+}
+
+// ParsePlan decodes a JSON plan (the edcbench -faults argument) and
+// validates it.
+func ParsePlan(s string) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal([]byte(s), &p); err != nil {
+		return nil, fmt.Errorf("fault: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterminism(t *testing.T) {
+	p := &Plan{Seed: 42, ReadTransient: 0.1, ReadHard: 0.02,
+		WriteTransient: 0.05, WriteHard: 0.01, SpikeRate: 0.2, SpikeLatency: time.Millisecond}
+	a, b := p.Injector(3), p.Injector(3)
+	for i := 0; i < 10000; i++ {
+		now := time.Duration(i) * time.Microsecond
+		oa := a.Op(now, i%2 == 0, int64(i))
+		ob := b.Op(now, i%2 == 0, int64(i))
+		if oa.Extra != ob.Extra {
+			t.Fatalf("op %d: extra %v != %v", i, oa.Extra, ob.Extra)
+		}
+		if (oa.Err == nil) != (ob.Err == nil) {
+			t.Fatalf("op %d: error mismatch", i)
+		}
+		if oa.Err != nil && *oa.Err != *ob.Err {
+			t.Fatalf("op %d: %v != %v", i, oa.Err, ob.Err)
+		}
+	}
+}
+
+func TestInjectorDevicesDecorrelated(t *testing.T) {
+	p := &Plan{Seed: 7, ReadTransient: 0.5}
+	a, b := p.Injector(0), p.Injector(1)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		oa := a.Op(0, false, 0)
+		ob := b.Op(0, false, 0)
+		if (oa.Err == nil) == (ob.Err == nil) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("device streams identical; expected decorrelated decisions")
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	p := &Plan{Seed: 1, WriteTransient: 0.2, WriteHard: 0.05}
+	in := p.Injector(0)
+	const n = 200000
+	var transient, hard int
+	for i := 0; i < n; i++ {
+		out := in.Op(0, true, 0)
+		if out.Err == nil {
+			continue
+		}
+		if out.Err.Transient {
+			transient++
+		} else {
+			hard++
+		}
+	}
+	if got := float64(transient) / n; math.Abs(got-0.2) > 0.01 {
+		t.Errorf("transient rate %.4f, want ~0.2", got)
+	}
+	if got := float64(hard) / n; math.Abs(got-0.05) > 0.005 {
+		t.Errorf("hard rate %.4f, want ~0.05", got)
+	}
+}
+
+func TestErrorClasses(t *testing.T) {
+	te := &Error{Op: "read", Dev: 2, LBA: 99, Transient: true}
+	he := &Error{Op: "write", Dev: 0, LBA: 1}
+	if !errors.Is(te, ErrTransient) || errors.Is(te, ErrHard) {
+		t.Errorf("transient error classifies wrong: %v", te)
+	}
+	if !errors.Is(he, ErrHard) || errors.Is(he, ErrTransient) {
+		t.Errorf("hard error classifies wrong: %v", he)
+	}
+	var fe *Error
+	if !errors.As(error(te), &fe) || fe.Dev != 2 || fe.LBA != 99 {
+		t.Errorf("errors.As lost fields: %+v", fe)
+	}
+}
+
+func TestStallWindow(t *testing.T) {
+	p := &Plan{Stalls: []Stall{{Dev: 1, At: 100 * time.Millisecond, For: 50 * time.Millisecond}}}
+	in := p.Injector(1)
+	if out := in.Op(99*time.Millisecond, false, 0); out.Extra != 0 {
+		t.Errorf("before window: extra %v", out.Extra)
+	}
+	if out := in.Op(120*time.Millisecond, false, 0); out.Extra != 30*time.Millisecond {
+		t.Errorf("inside window: extra %v, want 30ms", out.Extra)
+	}
+	if out := in.Op(150*time.Millisecond, false, 0); out.Extra != 0 {
+		t.Errorf("after window: extra %v", out.Extra)
+	}
+	other := p.Injector(0)
+	if out := other.Op(120*time.Millisecond, false, 0); out.Extra != 0 {
+		t.Errorf("other device stalled: extra %v", out.Extra)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []*Plan{
+		nil,
+		{},
+		{Seed: 9, ReadTransient: 0.5, ReadHard: 0.5},
+		{SpikeRate: 0.1, SpikeLatency: time.Millisecond},
+		{PowerCutAt: time.Second},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %d: unexpected error %v", i, err)
+		}
+	}
+	bad := []*Plan{
+		{ReadTransient: -0.1},
+		{WriteHard: 1.5},
+		{ReadTransient: 0.7, ReadHard: 0.7},
+		{SpikeRate: 0.1},
+		{Stalls: []Stall{{Dev: -1, For: time.Second}}},
+		{Stalls: []Stall{{Dev: 0, At: 0, For: 0}}},
+		{PowerCutAt: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d: validated", i)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	if (&Plan{}).Active() {
+		t.Error("zero plan active")
+	}
+	if (&Plan{PowerCutAt: time.Second}).Active() {
+		t.Error("power-cut-only plan should not need injectors")
+	}
+	if !(&Plan{ReadHard: 0.01}).Active() {
+		t.Error("error plan inactive")
+	}
+	if !(&Plan{Stalls: []Stall{{For: time.Second}}}).Active() {
+		t.Error("stall plan inactive")
+	}
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Error("nil plan active")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan(`{"seed":7,"read_transient":0.01,"write_hard":0.002,
+		"spike_rate":0.05,"spike_latency":"2ms",
+		"stalls":[{"dev":1,"at":"100ms","for":"20ms"}],
+		"power_cut_at":"1.5s"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.ReadTransient != 0.01 || p.WriteHard != 0.002 {
+		t.Errorf("probabilities lost: %+v", p)
+	}
+	if p.SpikeLatency != 2*time.Millisecond || p.PowerCutAt != 1500*time.Millisecond {
+		t.Errorf("durations lost: %+v", p)
+	}
+	if len(p.Stalls) != 1 || p.Stalls[0] != (Stall{Dev: 1, At: 100 * time.Millisecond, For: 20 * time.Millisecond}) {
+		t.Errorf("stalls lost: %+v", p.Stalls)
+	}
+	// Numeric durations are nanoseconds.
+	p2, err := ParsePlan(`{"spike_rate":0.1,"spike_latency":1000000}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.SpikeLatency != time.Millisecond {
+		t.Errorf("numeric duration: %v", p2.SpikeLatency)
+	}
+	if _, err := ParsePlan(`{"read_transient":2}`); err == nil {
+		t.Error("invalid plan parsed")
+	}
+	if _, err := ParsePlan(`{"spike_latency":"xyz"}`); err == nil {
+		t.Error("bad duration parsed")
+	}
+}

@@ -288,6 +288,57 @@ func (c *Collector) Decompress(now time.Duration, off, orig int64, codec string,
 	c.emit(Event{TUS: now.Microseconds(), Type: EvDecompress, Off: off, Size: orig, Codec: codec, Comp: comp})
 }
 
+// Fault records one injected device fault on an operation against
+// [off, off+size) of member device dev.
+func (c *Collector) Fault(now time.Duration, opName string, dev int, off, size int64, transient bool) {
+	if c == nil {
+		return
+	}
+	kind := "hard"
+	if transient {
+		kind = "transient"
+	}
+	c.counters[fmt.Sprintf("edc_faults_total{op=%q,kind=%q}", opName, kind)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvFault, Op: opName, Dev: dev,
+		Off: off, Size: size, Reason: kind})
+}
+
+// Retry records a path re-issuing an operation after a transient fault;
+// attempt is the retry ordinal (1 = first retry).
+func (c *Collector) Retry(now time.Duration, opName string, off, size int64, attempt int) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_retries_total{op=%q}", opName)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvRetry, Op: opName,
+		Off: off, Size: size, Attempt: attempt})
+}
+
+// DegradedRead records a RAIS5 stripe reconstruction: the read of
+// [off, off+size) on member dev failed hard and was rebuilt from the
+// surviving devices.
+func (c *Collector) DegradedRead(now time.Duration, dev int, off, size int64) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_degraded_reads_total"]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvDegradedRead, Dev: dev, Off: off, Size: size})
+}
+
+// Recover records one recovery decision: reason "realloc" (hard write
+// failure moved the run to a fresh slot at [off, off+size)),
+// "read_abandon" (a read gave up after retries and served lost data),
+// or "crash" (journal recovery rebuilt the mapping; size carries the
+// recovered live bytes and records the journal records applied).
+func (c *Collector) Recover(now time.Duration, reason string, off, size int64, records int) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_recoveries_total{reason=%q}", reason)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvRecover, Reason: reason,
+		Off: off, Size: size, Records: records})
+}
+
 // slotClassPct maps a slot length to its quantized class percentage.
 // Non-quantized slots (the exact-fit ablation) round up to the nearest
 // percent.
@@ -357,6 +408,10 @@ var counterHelp = map[string]string{
 	"edc_slot_free_bytes_total":  "slot bytes freed by dead extents",
 	"edc_cache_lookups_total":    "host-cache read lookups by result",
 	"edc_decompress_total":       "read segments requiring decompression, by codec",
+	"edc_faults_total":           "injected device faults by operation and kind",
+	"edc_retries_total":          "operations re-issued after transient faults",
+	"edc_degraded_reads_total":   "RAIS5 reads reconstructed from surviving members",
+	"edc_recoveries_total":       "recovery decisions by reason",
 }
 
 // WritePrometheus renders the counters in the Prometheus text

@@ -67,6 +67,20 @@ const (
 	// EvDecompress: a read covers a compressed extent and must
 	// decompress it.
 	EvDecompress EventType = "decompress"
+	// EvFault: an injected device fault hit an operation (Reason is
+	// "transient" or "hard"; Dev names the member device).
+	EvFault EventType = "fault"
+	// EvRetry: a path re-issued an operation after a transient fault
+	// (Attempt counts retries so far).
+	EvRetry EventType = "retry"
+	// EvDegradedRead: a RAIS5 read reconstructed a failed member's data
+	// from the surviving devices' stripe units.
+	EvDegradedRead EventType = "degraded_read"
+	// EvRecover: a recovery decision (Reason "realloc" for a write
+	// re-allocated to a fresh slot, "read_abandon" for an unrecoverable
+	// read served as lost data, "crash" for journal-based crash
+	// recovery, with Records journal records applied).
+	EvRecover EventType = "recover"
 )
 
 // SD flush reasons recorded in Event.Reason.
@@ -81,6 +95,18 @@ const (
 	FlushTimeout = "timeout"
 	// FlushDrain: end-of-trace drain forced the run out.
 	FlushDrain = "drain"
+)
+
+// Recovery reasons recorded in Event.Reason on recover events.
+const (
+	// RecoverRealloc: a write moved to a fresh slot after a hard fault.
+	RecoverRealloc = "realloc"
+	// RecoverReadAbandon: a hard read failure with no redundancy was
+	// served as lost data.
+	RecoverReadAbandon = "read_abandon"
+	// RecoverCrash: the mapping was rebuilt from snapshot + journal
+	// after a power cut.
+	RecoverCrash = "crash"
 )
 
 // Event is one pipeline decision. Every event carries the virtual time
@@ -131,6 +157,13 @@ type Event struct {
 	// Waste is Slot - Comp: the internal fragmentation the quantized
 	// class accepts to avoid relocation (Fig. 5).
 	Waste int64 `json:"waste,omitempty"`
+	// Dev is the member device a fault or degraded read concerns.
+	Dev int `json:"dev,omitempty"`
+	// Attempt is the retry ordinal on retry events (1 = first retry).
+	Attempt int `json:"attempt,omitempty"`
+	// Records is the number of journal records applied on recover
+	// events.
+	Records int `json:"records,omitempty"`
 }
 
 // Tracer consumes pipeline decision events. Implementations must not
