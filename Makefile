@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmtcheck doclint race raceall bench check cover faultcheck clean
+.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson check cover faultcheck clean
 
 all: check
 
@@ -46,6 +46,11 @@ faultcheck:
 # Codec + generator microbenchmarks with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/compress ./internal/datagen
+
+# Machine-readable performance snapshot: fig8/fig10 replay tables plus
+# the codec microbenchmarks, written to BENCH_5.json at the repo root.
+perfjson:
+	sh scripts/perfjson.sh BENCH_5.json
 
 # Coverage for the EDC block layer (the staged pipeline), with a
 # per-function summary and the total.

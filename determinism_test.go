@@ -3,6 +3,7 @@ package edc
 import (
 	"reflect"
 	"testing"
+	"time"
 )
 
 // TestReplayWorkersDeterminism checks the pipeline's core contract: the
@@ -50,5 +51,55 @@ func TestReplayWorkersDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestReadPathWorkersDeterminism checks the same contract on the read
+// side with verification enabled: every read decompresses its extent's
+// payload snapshot and compares it with the regenerated original, and
+// with workers > 1 that whole check runs on pool goroutines between the
+// read's submission and completion events. Results must still match the
+// sequential replay field-by-field — alone, combined with LBA sharding,
+// and under an active fault plan (whose retries reorder nothing). Run
+// under -race this exercises the event loop handing freelist buffers
+// and payload snapshots to the verify workers.
+func TestReadPathWorkersDeterminism(t *testing.T) {
+	tr := smallTrace(t, 1500)
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"plain", nil},
+		{"sharded", []Option{WithShards(4)}},
+		{"faults", []Option{WithFaults(&FaultPlan{
+			Seed: 77, ReadTransient: 0.02, SpikeRate: 0.01, SpikeLatency: 2 * time.Millisecond,
+		})}},
+		{"sharded-faults", []Option{WithShards(4), WithFaults(&FaultPlan{
+			Seed: 77, ReadTransient: 0.02, SpikeRate: 0.01, SpikeLatency: 2 * time.Millisecond,
+		})}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runWith := func(workers int) *Results {
+				opts := append([]Option{
+					WithScheme(SchemeEDC),
+					WithSSDConfig(smallSSD()),
+					WithVerify(),
+					WithReplayWorkers(workers),
+				}, tc.opts...)
+				res, err := Replay(tr, testVolume, opts...)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			seq := runWith(1)
+			par := runWith(4)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("verify-mode results differ between workers=1 and workers=4:\nseq: %+v\npar: %+v",
+					seq, par)
+			}
+		})
 	}
 }

@@ -117,6 +117,21 @@ func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
 }
 
+// Reset re-points the reader at data, discarding any buffered bits. It
+// lets callers run the bit stream through a stack- or pool-resident
+// zero-value Reader, avoiding the NewReader allocation on hot decode
+// paths:
+//
+//	var r bitio.Reader
+//	r.Reset(src)
+//	... reads ...
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.acc = 0
+	r.nAcc = 0
+}
+
 // fill loads bytes into the accumulator until it holds at least n bits or
 // input is exhausted.
 func (r *Reader) fill(n uint) {

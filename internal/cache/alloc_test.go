@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"testing"
+
+	"edc/internal/race"
+)
+
+// TestCacheAllocs pins the steady-state allocation behaviour of the
+// intrusive LRU: once the index map has grown to capacity, hits,
+// refreshes, and insert-with-evict cycles must not allocate.
+func TestCacheAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race detector perturbs allocation counts")
+	}
+	const blocks = 256
+	c := New(blocks * BlockSize)
+	for b := int64(0); b < blocks; b++ {
+		c.Insert(b)
+	}
+
+	t.Run("hit", func(t *testing.T) {
+		b := int64(0)
+		allocs := testing.AllocsPerRun(100, func() {
+			if !c.Contains(b) {
+				t.Fatal("expected hit")
+			}
+			b = (b + 1) % blocks
+		})
+		if allocs > 0 {
+			t.Errorf("Contains hit: %v allocs/op, want 0", allocs)
+		}
+	})
+	t.Run("insert-evict", func(t *testing.T) {
+		next := int64(blocks)
+		allocs := testing.AllocsPerRun(100, func() {
+			c.Insert(next) // full cache: every insert evicts the LRU block
+			next++
+		})
+		if allocs > 0 {
+			t.Errorf("Insert with eviction: %v allocs/op, want 0", allocs)
+		}
+	})
+	t.Run("refresh", func(t *testing.T) {
+		allocs := testing.AllocsPerRun(100, func() {
+			c.Insert(next(c)) // refresh the current LRU block to the front
+		})
+		if allocs > 0 {
+			t.Errorf("Insert refresh: %v allocs/op, want 0", allocs)
+		}
+	})
+}
+
+// next returns the least recently used block (the refresh target).
+func next(c *Cache) int64 {
+	return c.entries[c.entries[0].prev].block
+}

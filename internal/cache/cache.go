@@ -6,21 +6,34 @@
 // extent would otherwise require.
 package cache
 
-import (
-	"container/list"
-)
-
 // BlockSize is the cache line granularity (matches the EDC block size).
 const BlockSize = 4096
+
+// entry is one node of the intrusive recency ring: the links are array
+// indices into Cache.entries rather than pointers, so the whole LRU
+// lives in one preallocated slice and insert/touch/evict never allocate.
+type entry struct {
+	block      int64
+	prev, next int32
+}
 
 // Cache is an LRU set of logical block numbers. It tracks presence, not
 // contents: the simulator's payloads are synthesized deterministically,
 // so only hit/miss behaviour and capacity pressure need modeling.
 // Not safe for concurrent use (the simulation is single-threaded).
+//
+// The recency order is kept in an index-based doubly linked ring over a
+// fixed entries array (entries[0] is the sentinel: its next is the most
+// recent block, its prev the least recent). Nodes released by
+// Invalidate are chained through their next links onto a free list.
+// After the block index map has grown to capacity, no operation
+// allocates.
 type Cache struct {
 	capBlocks int
-	lru       *list.List // front = most recent; values are int64 blocks
-	index     map[int64]*list.Element
+	entries   []entry // entries[0] is the ring sentinel
+	free      int32   // head of the free chain (through next); 0 = empty
+	length    int
+	index     map[int64]int32
 
 	hits       int64
 	misses     int64
@@ -39,11 +52,43 @@ func New(capacityBytes int64) *Cache {
 	if blocks <= 0 {
 		return nil
 	}
-	return &Cache{
+	c := &Cache{
 		capBlocks: blocks,
-		lru:       list.New(),
-		index:     make(map[int64]*list.Element, blocks),
+		entries:   make([]entry, blocks+1),
+		index:     make(map[int64]int32, blocks),
 	}
+	// Chain every node (indices 1..blocks) onto the free list; the last
+	// node's zero-valued next terminates it at the sentinel index.
+	for i := 1; i < blocks; i++ {
+		c.entries[i].next = int32(i + 1)
+	}
+	c.free = 1
+	return c
+}
+
+// unlink removes node i from the recency ring.
+func (c *Cache) unlink(i int32) {
+	p, n := c.entries[i].prev, c.entries[i].next
+	c.entries[p].next = n
+	c.entries[n].prev = p
+}
+
+// pushFront links node i in as the most recent entry.
+func (c *Cache) pushFront(i int32) {
+	h := c.entries[0].next
+	c.entries[i].prev = 0
+	c.entries[i].next = h
+	c.entries[h].prev = i
+	c.entries[0].next = i
+}
+
+// moveToFront refreshes node i's recency.
+func (c *Cache) moveToFront(i int32) {
+	if c.entries[0].next == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
 }
 
 // CapacityBlocks returns the block capacity (0 for a nil cache).
@@ -59,7 +104,7 @@ func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	return c.lru.Len()
+	return c.length
 }
 
 // Contains reports whether block is cached, counting and refreshing it
@@ -68,8 +113,8 @@ func (c *Cache) Contains(block int64) bool {
 	if c == nil {
 		return false
 	}
-	if el, ok := c.index[block]; ok {
-		c.lru.MoveToFront(el)
+	if i, ok := c.index[block]; ok {
+		c.moveToFront(i)
 		c.hits++
 		return true
 	}
@@ -91,20 +136,26 @@ func (c *Cache) Insert(block int64) {
 	if c == nil {
 		return
 	}
-	if el, ok := c.index[block]; ok {
-		c.lru.MoveToFront(el)
+	if i, ok := c.index[block]; ok {
+		c.moveToFront(i)
 		return
 	}
 	c.insertions++
-	if c.lru.Len() >= c.capBlocks {
-		oldest := c.lru.Back()
-		if oldest != nil {
-			delete(c.index, oldest.Value.(int64))
-			c.lru.Remove(oldest)
-			c.evictions++
-		}
+	if c.length >= c.capBlocks {
+		oldest := c.entries[0].prev // never the sentinel: length >= 1 here
+		delete(c.index, c.entries[oldest].block)
+		c.unlink(oldest)
+		c.entries[oldest].next = c.free
+		c.free = oldest
+		c.length--
+		c.evictions++
 	}
-	c.index[block] = c.lru.PushFront(block)
+	i := c.free
+	c.free = c.entries[i].next
+	c.entries[i].block = block
+	c.pushFront(i)
+	c.index[block] = i
+	c.length++
 }
 
 // InsertRange caches every block of the byte range [off, off+size).
@@ -140,9 +191,12 @@ func (c *Cache) Invalidate(block int64) {
 	if c == nil {
 		return
 	}
-	if el, ok := c.index[block]; ok {
+	if i, ok := c.index[block]; ok {
 		delete(c.index, block)
-		c.lru.Remove(el)
+		c.unlink(i)
+		c.entries[i].next = c.free
+		c.free = i
+		c.length--
 	}
 }
 

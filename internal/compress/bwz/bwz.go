@@ -57,9 +57,31 @@ type scratch struct {
 	mtfd               []byte   // move-to-front output
 	syms               []uint16 // RLE symbol stream
 	freqs              [numSyms]int64
+
+	// Entropy-coding scratch, reused across blocks and Compress calls.
+	builder huffman.Builder
+	lengths []uint8
+	enc     huffman.Encoder
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+// decScratch is the per-decompression workspace: the bit reader, the
+// Huffman decoder (owning its lookup table), the RLE/MTF intermediate
+// buffers, and the LF-mapping array for the inverse BWT. Pooling it
+// strips every per-call allocation from Decompress except the output
+// itself; a sync.Pool keeps the codec safe for concurrent use by
+// parallel replay workers.
+type decScratch struct {
+	r       bitio.Reader
+	lengths []uint8
+	dec     huffman.Decoder
+	syms    []uint16
+	mtfd    []byte
+	lf      []int32
+}
+
+var decPool = sync.Pool{New: func() interface{} { return new(decScratch) }}
 
 // grow32 returns a len-n int32 slice reusing b's storage when possible.
 // Contents are unspecified; callers fully overwrite (or zero) it.
@@ -187,15 +209,35 @@ func bwt(s []byte, st *scratch) ([]byte, int) {
 
 // unbwt inverts bwt.
 func unbwt(l []byte, primary int) ([]byte, error) {
-	n := len(l)
-	if n == 0 {
+	if len(l) == 0 {
 		if primary != 0 {
 			return nil, compress.ErrCorrupt
 		}
 		return []byte{}, nil
 	}
+	out := make([]byte, len(l))
+	st := decPool.Get().(*decScratch)
+	err := unbwtInto(out, l, primary, st)
+	decPool.Put(st)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// unbwtInto inverts bwt, writing the original bytes into out (which
+// must have length len(l) and must not alias l). The LF-mapping array
+// lives in st so repeated inversions allocate nothing.
+func unbwtInto(out, l []byte, primary int, st *decScratch) error {
+	n := len(l)
+	if n == 0 {
+		if primary != 0 {
+			return compress.ErrCorrupt
+		}
+		return nil
+	}
 	if primary < 1 || primary > n {
-		return nil, compress.ErrCorrupt
+		return compress.ErrCorrupt
 	}
 	var count [256]int
 	for _, c := range l {
@@ -211,7 +253,8 @@ func unbwt(l []byte, primary int) ([]byte, error) {
 	}
 	// lf[j] maps conceptual row j (sentinel inserted at row `primary`) to
 	// the row beginning with that row's last character.
-	lf := make([]int32, n+1)
+	st.lf = grow32(st.lf, n+1)
+	lf := st.lf
 	var occ [256]int
 	for j := 0; j <= n; j++ {
 		if j == primary {
@@ -226,11 +269,10 @@ func unbwt(l []byte, primary int) ([]byte, error) {
 		lf[j] = int32(c0[c] + occ[c])
 		occ[c]++
 	}
-	out := make([]byte, n)
 	j := 0 // start at the sentinel rotation, whose last char is s[n-1]
 	for k := n - 1; k >= 0; k-- {
 		if j == primary {
-			return nil, compress.ErrCorrupt
+			return compress.ErrCorrupt
 		}
 		jj := j
 		if j > primary {
@@ -240,9 +282,9 @@ func unbwt(l []byte, primary int) ([]byte, error) {
 		j = int(lf[j])
 	}
 	if j != primary {
-		return nil, compress.ErrCorrupt
+		return compress.ErrCorrupt
 	}
-	return out, nil
+	return nil
 }
 
 // mtf applies the move-to-front transform (output length equals input
@@ -270,18 +312,26 @@ func mtf(src []byte, st *scratch) []byte {
 
 // unmtf inverts mtf.
 func unmtf(src []byte) []byte {
+	out := make([]byte, len(src))
+	copy(out, src)
+	unmtfInPlace(out)
+	return out
+}
+
+// unmtfInPlace inverts mtf in place: each output byte depends only on
+// the input byte at the same position and the alphabet state, so the
+// buffer can be rewritten as it is scanned.
+func unmtfInPlace(b []byte) {
 	var alpha [256]byte
 	for i := range alpha {
 		alpha[i] = byte(i)
 	}
-	out := make([]byte, len(src))
-	for i, j := range src {
+	for i, j := range b {
 		c := alpha[j]
-		out[i] = c
+		b[i] = c
 		copy(alpha[1:int(j)+1], alpha[:j])
 		alpha[0] = c
 	}
-	return out
 }
 
 // rleEncode maps MTF output to the RUNA/RUNB symbol stream. The
@@ -320,7 +370,14 @@ func rleEncode(mtfd []byte, st *scratch) []uint16 {
 
 // rleDecode inverts rleEncode given the expected MTF length.
 func rleDecode(syms []uint16, n int) ([]byte, error) {
-	out := make([]byte, 0, n)
+	return rleDecodeInto(make([]byte, 0, n), syms, n)
+}
+
+// rleDecodeInto inverts rleEncode, appending exactly n bytes to dst
+// (normally a reused scratch buffer passed as buf[:0]).
+func rleDecodeInto(dst []byte, syms []uint16, n int) ([]byte, error) {
+	base := len(dst)
+	out := dst
 	i := 0
 	for i < len(syms) {
 		s := syms[i]
@@ -336,7 +393,7 @@ func rleDecode(syms []uint16, n int) ([]byte, error) {
 				shift++
 				i++
 			}
-			if len(out)+run > n {
+			if len(out)-base+run > n {
 				return nil, compress.ErrCorrupt
 			}
 			for k := 0; k < run; k++ {
@@ -344,13 +401,13 @@ func rleDecode(syms []uint16, n int) ([]byte, error) {
 			}
 			continue
 		}
-		if s < 2 || s > 256 || len(out)+1 > n {
+		if s < 2 || s > 256 || len(out)-base+1 > n {
 			return nil, compress.ErrCorrupt
 		}
 		out = append(out, byte(s-1))
 		i++
 	}
-	if len(out) != n {
+	if len(out)-base != n {
 		return nil, compress.ErrSizeMismatch
 	}
 	return out, nil
@@ -369,14 +426,15 @@ func compressBlock(w *bitio.Writer, block []byte, st *scratch) {
 	for _, s := range syms {
 		freqs[s]++
 	}
-	lengths, err := huffman.BuildLengths(freqs, huffman.MaxBits)
+	lengths, err := st.builder.Build(st.lengths, freqs, huffman.MaxBits)
 	if err != nil {
 		panic("bwz: " + err.Error())
 	}
-	enc, err := huffman.NewEncoderFromLengths(lengths)
-	if err != nil {
+	st.lengths = lengths
+	if err := st.enc.Reset(lengths); err != nil {
 		panic("bwz: " + err.Error())
 	}
+	enc := &st.enc
 	w.WriteBits(uint64(primary), 24)
 	huffman.WriteLengths(w, lengths)
 	for _, s := range syms {
@@ -385,39 +443,47 @@ func compressBlock(w *bitio.Writer, block []byte, st *scratch) {
 	_ = enc.Encode(w, symEOB)
 }
 
-// decompressBlock decodes one block of blockLen original bytes from r.
-func decompressBlock(r *bitio.Reader, blockLen int) ([]byte, error) {
+// decompressBlockInto decodes one block of len(out) original bytes from
+// r directly into out, using st for every intermediate buffer.
+func decompressBlockInto(r *bitio.Reader, out []byte, st *decScratch) error {
+	blockLen := len(out)
 	p64, err := r.ReadBits(24)
 	if err != nil {
-		return nil, compress.ErrCorrupt
+		return compress.ErrCorrupt
 	}
-	lengths, err := huffman.ReadLengths(r, numSyms)
+	lengths, err := huffman.ReadLengthsInto(r, st.lengths, numSyms)
 	if err != nil {
-		return nil, compress.ErrCorrupt
+		return compress.ErrCorrupt
 	}
-	dec, err := huffman.NewDecoderFromLengths(lengths)
-	if err != nil {
-		return nil, compress.ErrCorrupt
+	st.lengths = lengths
+	if err := st.dec.Reset(lengths); err != nil {
+		return compress.ErrCorrupt
 	}
-	syms := make([]uint16, 0, blockLen/2+8)
+	if cap(st.syms) < blockLen/2+8 {
+		st.syms = make([]uint16, 0, blockLen/2+8)
+	}
+	syms := st.syms[:0]
 	for {
-		s, err := dec.Decode(r)
+		s, err := st.dec.Decode(r)
 		if err != nil {
-			return nil, compress.ErrCorrupt
+			return compress.ErrCorrupt
 		}
 		if s == symEOB {
 			break
 		}
 		if len(syms) > 3*blockLen+16 {
-			return nil, compress.ErrCorrupt
+			return compress.ErrCorrupt
 		}
 		syms = append(syms, uint16(s))
 	}
-	mtfd, err := rleDecode(syms, blockLen)
+	st.syms = syms
+	mtfd, err := rleDecodeInto(st.mtfd[:0], syms, blockLen)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return unbwt(unmtf(mtfd), int(p64))
+	st.mtfd = mtfd
+	unmtfInPlace(mtfd)
+	return unbwtInto(out, mtfd, int(p64), st)
 }
 
 // Compress implements compress.Codec.
@@ -448,27 +514,49 @@ func (*Codec) AppendCompress(dst, src []byte) []byte {
 }
 
 // Decompress implements compress.Codec.
-func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
-	r := bitio.NewReader(src)
-	out := make([]byte, 0, origLen)
+func (c *Codec) Decompress(src []byte, origLen int) ([]byte, error) {
+	out, err := c.DecompressAppend(make([]byte, 0, origLen), src, origLen)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressAppend implements compress.DecompressAppender: it appends
+// the decompressed form of src to dst (growing it at most once) and
+// returns the extended slice. Each BWT block is inverted directly into
+// its final position; all intermediate state comes from the pooled
+// decScratch, so a steady-state call with a pre-sized dst allocates
+// nothing.
+func (*Codec) DecompressAppend(dst, src []byte, origLen int) ([]byte, error) {
+	base := len(dst)
+	out := dst
+	if cap(out) < base+origLen {
+		grown := make([]byte, base+origLen)
+		copy(grown, out)
+		out = grown
+	} else {
+		out = out[:base+origLen]
+	}
+	st := decPool.Get().(*decScratch)
+	defer decPool.Put(st)
+	r := &st.r
+	r.Reset(src)
+	pos := base
 	remaining := origLen
 	for {
 		blockLen := remaining
 		if blockLen > MaxBlock {
 			blockLen = MaxBlock
 		}
-		block, err := decompressBlock(r, blockLen)
-		if err != nil {
-			return nil, err
+		if err := decompressBlockInto(r, out[pos:pos+blockLen], st); err != nil {
+			return dst, err
 		}
-		out = append(out, block...)
+		pos += blockLen
 		remaining -= blockLen
 		if remaining == 0 {
 			break
 		}
-	}
-	if len(out) != origLen {
-		return nil, compress.ErrSizeMismatch
 	}
 	return out, nil
 }

@@ -94,6 +94,36 @@ func BenchmarkAppendCompress(b *testing.B) {
 	}
 }
 
+// BenchmarkDecompressAppend measures the recycled-buffer read path used
+// by verify-mode replay: steady-state it should run at zero allocs/op.
+func BenchmarkDecompressAppend(b *testing.B) {
+	for _, c := range benchCodecs(b) {
+		da, ok := c.(compress.DecompressAppender)
+		if !ok {
+			continue
+		}
+		for _, p := range benchProfiles() {
+			gen := datagen.New(p, 7)
+			for _, sz := range benchSizes {
+				src := gen.Block(0, sz.n, 0)
+				comp := c.Compress(src)
+				b.Run(fmt.Sprintf("%s/%s/%s", c.Name(), p.Name, sz.name), func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(int64(sz.n))
+					var buf []byte
+					for i := 0; i < b.N; i++ {
+						var err error
+						buf, err = da.DecompressAppend(buf[:0], comp, sz.n)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkDecompress covers the read path.
 func BenchmarkDecompress(b *testing.B) {
 	for _, c := range benchCodecs(b) {

@@ -103,6 +103,27 @@ func RunRoundTrip(t *testing.T, c compress.Codec) {
 					t.Fatalf("%s: AppendCompress after prefix corrupted output", c.Name())
 				}
 			}
+			if da, ok := c.(compress.DecompressAppender); ok {
+				// DecompressAppend must produce Decompress's exact bytes,
+				// both from scratch and after an existing prefix (back
+				// references must never reach into the prefix).
+				dc, err := da.DecompressAppend(nil, comp, len(src))
+				if err != nil {
+					t.Fatalf("%s: DecompressAppend(nil): %v", c.Name(), err)
+				}
+				if !bytes.Equal(dc, src) {
+					t.Fatalf("%s: DecompressAppend(nil) differs from source (len %d vs %d)",
+						c.Name(), len(dc), len(src))
+				}
+				pre := []byte{0xbe, 0xef}
+				dc, err = da.DecompressAppend(append([]byte(nil), pre...), comp, len(src))
+				if err != nil {
+					t.Fatalf("%s: DecompressAppend after prefix: %v", c.Name(), err)
+				}
+				if !bytes.Equal(dc[:2], pre) || !bytes.Equal(dc[2:], src) {
+					t.Fatalf("%s: DecompressAppend after prefix corrupted output", c.Name())
+				}
+			}
 		})
 	}
 }

@@ -75,6 +75,31 @@ func AppendCompress(c Codec, dst, src []byte) []byte {
 	return append(dst, c.Compress(src)...)
 }
 
+// DecompressAppender is the read-side twin of Appender: DecompressAppend
+// appends the decompressed form of src to dst (usually a pooled buffer
+// passed as buf[:0]) and returns the extended slice, which may be a
+// reallocation of dst. Appended bytes are identical to Decompress, and
+// the same stream validation applies. All codecs in this repository
+// implement it with pooled decode scratch, so a steady-state
+// decompression allocates nothing beyond (at most) one growth of dst.
+type DecompressAppender interface {
+	DecompressAppend(dst, src []byte, origLen int) ([]byte, error)
+}
+
+// DecompressAppend decompresses src with c, appending to dst when c
+// implements DecompressAppender and falling back to Decompress (plus a
+// copy into dst) otherwise. On error dst is returned unextended.
+func DecompressAppend(c Codec, dst, src []byte, origLen int) ([]byte, error) {
+	if da, ok := c.(DecompressAppender); ok {
+		return da.DecompressAppend(dst, src, origLen)
+	}
+	out, err := c.Decompress(src, origLen)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
+}
+
 // none is the write-through pseudo-codec (tag 0).
 type none struct{}
 
@@ -93,6 +118,12 @@ func (none) Decompress(src []byte, origLen int) ([]byte, error) {
 	out := make([]byte, len(src))
 	copy(out, src)
 	return out, nil
+}
+func (none) DecompressAppend(dst, src []byte, origLen int) ([]byte, error) {
+	if len(src) != origLen {
+		return dst, ErrSizeMismatch
+	}
+	return append(dst, src...), nil
 }
 
 // None is the shared write-through codec instance.

@@ -126,9 +126,34 @@ type parseState struct {
 	tokens   []token
 	litFreq  [numLitLen]int64
 	distFreq [numDist]int64
+
+	// Entropy-coding scratch: the code-length builder, the length
+	// vectors, and the canonical encoders are all reused across
+	// compressions, so the entropy stage allocates nothing in steady
+	// state.
+	builder  huffman.Builder
+	litLens  []uint8
+	distLens []uint8
+	litEnc   huffman.Encoder
+	distEnc  huffman.Encoder
 }
 
 var statePool = sync.Pool{New: func() interface{} { return new(parseState) }}
+
+// decState is the per-decompression scratch: the bit reader, the parsed
+// code-length vectors, and the two canonical decoders (each owning its
+// lookup table). Pooling it strips every per-call allocation from
+// Decompress except the output itself; a sync.Pool keeps the codec safe
+// for concurrent use by parallel replay workers.
+type decState struct {
+	r        bitio.Reader
+	litLens  []uint8
+	distLens []uint8
+	litDec   huffman.Decoder
+	distDec  huffman.Decoder
+}
+
+var decPool = sync.Pool{New: func() interface{} { return new(decState) }}
 
 // parse runs hash-chain LZ77 with one-token lazy evaluation, reusing the
 // state's scratch buffers. The returned token slice aliases st.tokens.
@@ -280,18 +305,20 @@ func appendHuffman(dst, src []byte) []byte {
 		ds, _, _ := distToCode(int(t.dist))
 		distFreq[ds]++
 	}
-	litLens, err := huffman.BuildLengths(litFreq, huffman.MaxBits)
+	litLens, err := st.builder.Build(st.litLens, litFreq, huffman.MaxBits)
 	if err != nil {
 		panic("gz: " + err.Error()) // unreachable: valid freqs by construction
 	}
-	distLens, err := huffman.BuildLengths(distFreq, huffman.MaxBits)
+	st.litLens = litLens
+	distLens, err := st.builder.Build(st.distLens, distFreq, huffman.MaxBits)
 	if err != nil {
 		panic("gz: " + err.Error())
 	}
-	litEnc, err := huffman.NewEncoderFromLengths(litLens)
-	if err != nil {
+	st.distLens = distLens
+	if err := st.litEnc.Reset(litLens); err != nil {
 		panic("gz: " + err.Error())
 	}
+	litEnc := &st.litEnc
 	var distEnc *huffman.Encoder
 	hasDist := false
 	for _, l := range distLens {
@@ -301,10 +328,10 @@ func appendHuffman(dst, src []byte) []byte {
 		}
 	}
 	if hasDist {
-		distEnc, err = huffman.NewEncoderFromLengths(distLens)
-		if err != nil {
+		if err := st.distEnc.Reset(distLens); err != nil {
 			panic("gz: " + err.Error())
 		}
+		distEnc = &st.distEnc
 	}
 
 	var w bitio.Writer
@@ -333,37 +360,52 @@ func appendHuffman(dst, src []byte) []byte {
 }
 
 // Decompress implements compress.Codec.
-func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
+func (c *Codec) Decompress(src []byte, origLen int) ([]byte, error) {
+	out, err := c.DecompressAppend(make([]byte, 0, origLen), src, origLen)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressAppend implements compress.DecompressAppender: it appends
+// the decompressed form of src to dst (growing it as needed) and returns
+// the extended slice. Combined with the pooled decode scratch this makes
+// the read hot path allocation-free in steady state.
+func (*Codec) DecompressAppend(dst, src []byte, origLen int) ([]byte, error) {
 	if len(src) == 0 {
-		return nil, compress.ErrCorrupt
+		return dst, compress.ErrCorrupt
 	}
 	if src[0] == storedMagic {
 		if len(src)-1 != origLen {
-			return nil, compress.ErrSizeMismatch
+			return dst, compress.ErrSizeMismatch
 		}
-		out := make([]byte, origLen)
-		copy(out, src[1:])
-		return out, nil
+		return append(dst, src[1:]...), nil
 	}
 	if src[0] != compressedMagic {
-		return nil, compress.ErrCorrupt
+		return dst, compress.ErrCorrupt
 	}
-	r := bitio.NewReader(src)
+	st := decPool.Get().(*decState)
+	defer decPool.Put(st)
+	r := &st.r
+	r.Reset(src)
 	if _, err := r.ReadBits(8); err != nil {
-		return nil, compress.ErrCorrupt
+		return dst, compress.ErrCorrupt
 	}
-	litLens, err := huffman.ReadLengths(r, numLitLen)
+	litLens, err := huffman.ReadLengthsInto(r, st.litLens, numLitLen)
 	if err != nil {
-		return nil, compress.ErrCorrupt
+		return dst, compress.ErrCorrupt
 	}
-	distLens, err := huffman.ReadLengths(r, numDist)
+	st.litLens = litLens
+	distLens, err := huffman.ReadLengthsInto(r, st.distLens, numDist)
 	if err != nil {
-		return nil, compress.ErrCorrupt
+		return dst, compress.ErrCorrupt
 	}
-	litDec, err := huffman.NewDecoderFromLengths(litLens)
-	if err != nil {
-		return nil, compress.ErrCorrupt
+	st.distLens = distLens
+	if err := st.litDec.Reset(litLens); err != nil {
+		return dst, compress.ErrCorrupt
 	}
+	litDec := &st.litDec
 	var distDec *huffman.Decoder
 	hasDist := false
 	for _, l := range distLens {
@@ -373,59 +415,60 @@ func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
 		}
 	}
 	if hasDist {
-		distDec, err = huffman.NewDecoderFromLengths(distLens)
-		if err != nil {
-			return nil, compress.ErrCorrupt
+		if err := st.distDec.Reset(distLens); err != nil {
+			return dst, compress.ErrCorrupt
 		}
+		distDec = &st.distDec
 	}
-	out := make([]byte, 0, origLen)
+	base := len(dst)
+	out := dst
 	for {
 		sym, err := litDec.Decode(r)
 		if err != nil {
-			return nil, compress.ErrCorrupt
+			return dst, compress.ErrCorrupt
 		}
 		switch {
 		case sym < 256:
-			if len(out)+1 > origLen {
-				return nil, compress.ErrCorrupt
+			if len(out)-base+1 > origLen {
+				return dst, compress.ErrCorrupt
 			}
 			out = append(out, byte(sym))
 		case sym == eob:
-			if len(out) != origLen {
-				return nil, compress.ErrSizeMismatch
+			if len(out)-base != origLen {
+				return dst, compress.ErrSizeMismatch
 			}
 			return out, nil
 		default:
 			li := sym - 257
 			if li >= len(lengthCodes) {
-				return nil, compress.ErrCorrupt
+				return dst, compress.ErrCorrupt
 			}
 			length := lengthCodes[li].base
 			if eb := lengthCodes[li].extra; eb > 0 {
 				v, err := r.ReadBits(eb)
 				if err != nil {
-					return nil, compress.ErrCorrupt
+					return dst, compress.ErrCorrupt
 				}
 				length += int(v)
 			}
 			if distDec == nil {
-				return nil, compress.ErrCorrupt
+				return dst, compress.ErrCorrupt
 			}
 			ds, err := distDec.Decode(r)
 			if err != nil || ds >= numDist {
-				return nil, compress.ErrCorrupt
+				return dst, compress.ErrCorrupt
 			}
 			dist := distCodes[ds].base
 			if eb := distCodes[ds].extra; eb > 0 {
 				v, err := r.ReadBits(eb)
 				if err != nil {
-					return nil, compress.ErrCorrupt
+					return dst, compress.ErrCorrupt
 				}
 				dist += int(v)
 			}
 			ref := len(out) - dist
-			if ref < 0 || len(out)+length > origLen {
-				return nil, compress.ErrCorrupt
+			if ref < base || len(out)-base+length > origLen {
+				return dst, compress.ErrCorrupt
 			}
 			for k := 0; k < length; k++ {
 				out = append(out, out[ref+k])

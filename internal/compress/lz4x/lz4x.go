@@ -141,11 +141,23 @@ func (*Codec) AppendCompress(dst, src []byte) []byte {
 }
 
 // Decompress implements compress.Codec.
-func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
-	out := make([]byte, 0, origLen)
+func (c *Codec) Decompress(src []byte, origLen int) ([]byte, error) {
+	out, err := c.DecompressAppend(make([]byte, 0, origLen), src, origLen)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressAppend implements compress.DecompressAppender: it appends
+// the decompressed form of src to dst (growing it as needed) and returns
+// the extended slice. Match offsets are resolved relative to the bytes
+// appended by this call, so a dst prefix never leaks into the output.
+func (*Codec) DecompressAppend(dst, src []byte, origLen int) ([]byte, error) {
+	base := len(dst)
+	out := dst
 	i := 0
-	readLen := func(base int) (int, bool) {
-		n := base
+	readLen := func(n int) (int, bool) {
 		for {
 			if i >= len(src) {
 				return 0, false
@@ -166,11 +178,11 @@ func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
 			var ok bool
 			litLen, ok = readLen(15)
 			if !ok {
-				return nil, compress.ErrCorrupt
+				return dst, compress.ErrCorrupt
 			}
 		}
-		if i+litLen > len(src) || len(out)+litLen > origLen {
-			return nil, compress.ErrCorrupt
+		if i+litLen > len(src) || len(out)-base+litLen > origLen {
+			return dst, compress.ErrCorrupt
 		}
 		out = append(out, src[i:i+litLen]...)
 		i += litLen
@@ -178,7 +190,7 @@ func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
 			break // final sequence carries no match
 		}
 		if i+2 > len(src) {
-			return nil, compress.ErrCorrupt
+			return dst, compress.ErrCorrupt
 		}
 		offset := int(src[i]) | int(src[i+1])<<8
 		i += 2
@@ -187,20 +199,20 @@ func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
 			var ok bool
 			mlen, ok = readLen(15)
 			if !ok {
-				return nil, compress.ErrCorrupt
+				return dst, compress.ErrCorrupt
 			}
 		}
 		mlen += minMatch
 		ref := len(out) - offset
-		if offset == 0 || ref < 0 || len(out)+mlen > origLen {
-			return nil, compress.ErrCorrupt
+		if offset == 0 || ref < base || len(out)-base+mlen > origLen {
+			return dst, compress.ErrCorrupt
 		}
 		for k := 0; k < mlen; k++ {
 			out = append(out, out[ref+k])
 		}
 	}
-	if len(out) != origLen {
-		return nil, compress.ErrSizeMismatch
+	if len(out)-base != origLen {
+		return dst, compress.ErrSizeMismatch
 	}
 	return out, nil
 }

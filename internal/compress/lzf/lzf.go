@@ -120,16 +120,29 @@ func (*Codec) AppendCompress(dst, src []byte) []byte {
 }
 
 // Decompress implements compress.Codec.
-func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
-	out := make([]byte, 0, origLen)
+func (c *Codec) Decompress(src []byte, origLen int) ([]byte, error) {
+	out, err := c.DecompressAppend(make([]byte, 0, origLen), src, origLen)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressAppend implements compress.DecompressAppender: it appends
+// the decompressed form of src to dst (growing it as needed) and returns
+// the extended slice. Back references are resolved relative to the bytes
+// appended by this call, so a dst prefix never leaks into the output.
+func (*Codec) DecompressAppend(dst, src []byte, origLen int) ([]byte, error) {
+	base := len(dst)
+	out := dst
 	i := 0
 	for i < len(src) {
 		ctrl := int(src[i])
 		i++
 		if ctrl < 0x20 {
 			n := ctrl + 1
-			if i+n > len(src) || len(out)+n > origLen {
-				return nil, compress.ErrCorrupt
+			if i+n > len(src) || len(out)-base+n > origLen {
+				return dst, compress.ErrCorrupt
 			}
 			out = append(out, src[i:i+n]...)
 			i += n
@@ -138,28 +151,28 @@ func (*Codec) Decompress(src []byte, origLen int) ([]byte, error) {
 		l := ctrl >> 5
 		if l == 7 {
 			if i >= len(src) {
-				return nil, compress.ErrCorrupt
+				return dst, compress.ErrCorrupt
 			}
 			l += int(src[i])
 			i++
 		}
 		mlen := l + 2
 		if i >= len(src) {
-			return nil, compress.ErrCorrupt
+			return dst, compress.ErrCorrupt
 		}
 		off := (ctrl&0x1f)<<8 | int(src[i])
 		i++
 		ref := len(out) - off - 1
-		if ref < 0 || len(out)+mlen > origLen {
-			return nil, compress.ErrCorrupt
+		if ref < base || len(out)-base+mlen > origLen {
+			return dst, compress.ErrCorrupt
 		}
 		// Byte-by-byte copy: overlapping references are legal.
 		for k := 0; k < mlen; k++ {
 			out = append(out, out[ref+k])
 		}
 	}
-	if len(out) != origLen {
-		return nil, compress.ErrSizeMismatch
+	if len(out)-base != origLen {
+		return dst, compress.ErrSizeMismatch
 	}
 	return out, nil
 }

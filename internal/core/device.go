@@ -338,10 +338,13 @@ func (d *Device) Play(t *trace.Trace) (*RunStats, error) {
 		return nil, err
 	}
 	if d.replayWorkers > 1 {
-		d.wp.pool = parallel.NewPool(d.replayWorkers)
+		pool := parallel.NewPool(d.replayWorkers)
+		d.wp.pool = pool
+		d.rp.pool = pool
 		defer func() {
-			d.wp.pool.Close()
+			pool.Close()
 			d.wp.pool = nil
+			d.rp.pool = nil
 		}()
 	}
 	d.fe.start(t)

@@ -11,6 +11,7 @@ import (
 	"edc/internal/datagen"
 	"edc/internal/fault"
 	"edc/internal/obs"
+	"edc/internal/parallel"
 	"edc/internal/sim"
 )
 
@@ -34,6 +35,13 @@ type readPath struct {
 	verify      bool
 	offload     bool
 	offloadCost CodecCost
+
+	// Real-CPU pipeline: verify-mode decompression dispatched at read
+	// submission runs on pool workers while the event loop advances
+	// virtual time; the completion event joins on the future, exactly as
+	// the write path joins codec futures at store time. The pool exists
+	// only while Play runs.
+	pool *parallel.Pool
 
 	// complete finishes one host read; drop releases a read without
 	// observing it on a failed run.
@@ -89,18 +97,42 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 			}
 			// Snapshot the payload now: an overwrite may free the extent
 			// while this read is in flight (the host still gets the data
-			// captured at submission time).
+			// captured at submission time). With a worker pool, the whole
+			// verification (decompress + regenerate + compare) is pure CPU
+			// work over that immutable snapshot, so it is dispatched here
+			// and joined at the completion event — the freelist buffers are
+			// taken and returned on the event-loop goroutine only.
+			var vfut *parallel.Future[verifyResult]
 			var payload []byte
 			if rp.verify {
 				payload = rp.se.payload(ext)
+				if rp.pool != nil {
+					p, got, want := payload, rp.se.getBuf(), rp.se.getBuf()
+					vfut = parallel.Go(rp.pool, func() verifyResult {
+						return rp.verifyExtentWork(ext, p, got, want)
+					})
+				}
+			}
+			finishVerify := func() {
+				if !rp.verify {
+					return
+				}
+				if vfut != nil {
+					res := vfut.Wait()
+					rp.se.putBuf(res.got)
+					rp.se.putBuf(res.want)
+					if res.err != nil {
+						rp.fs.fail(res.err)
+					}
+					return
+				}
+				rp.verifyExtent(ext, payload)
 			}
 			if rp.offload {
 				// The device's codec engine decompresses in-line.
 				extra := time.Duration(float64(ext.OrigLen) / rp.offloadCost.DecompressBps * float64(time.Second))
 				rp.issueRead(ext.DevOff, ext.CompLen, extra, ext.Offset, ext.OrigLen, 0, func() {
-					if rp.verify {
-						rp.verifyExtent(ext, payload)
-					}
+					finishVerify()
 					complete()
 				})
 				break
@@ -108,9 +140,7 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 			rp.issueRead(ext.DevOff, ext.CompLen, 0, ext.Offset, ext.OrigLen, 0, func() {
 				svc := rp.cost.DecompressTime(ext.Tag, ext.OrigLen)
 				rp.cpu.Submit(sim.Job{Service: svc, Done: func(_, _ time.Duration) {
-					if rp.verify {
-						rp.verifyExtent(ext, payload)
-					}
+					finishVerify()
 					complete()
 				}})
 			})
@@ -154,26 +184,47 @@ func tagName(reg *compress.Registry, tag compress.Tag) string {
 }
 
 // verifyExtent decompresses the payload snapshot taken at read submission
-// and compares it with the regenerated original content.
+// and compares it with the regenerated original content (the inline,
+// no-pool path; buffers come from and return to the freelist here).
 func (rp *readPath) verifyExtent(ext *Extent, payload []byte) {
+	res := rp.verifyExtentWork(ext, payload, rp.se.getBuf(), rp.se.getBuf())
+	rp.se.putBuf(res.got)
+	rp.se.putBuf(res.want)
+	if res.err != nil {
+		rp.fs.fail(res.err)
+	}
+}
+
+// verifyResult carries a completed verification back to the event loop:
+// the two scratch buffers to recycle and the failure, if any.
+type verifyResult struct {
+	got, want []byte
+	err       error
+}
+
+// verifyExtentWork decompresses the payload snapshot into got, regenerates
+// the original content into want, and compares the two. It reads only
+// immutable state (the snapshot, the extent's placement-time fields, the
+// concurrency-safe generator), so it may run on a pool worker; the caller
+// owns recycling the returned buffers.
+func (rp *readPath) verifyExtentWork(ext *Extent, payload, got, want []byte) verifyResult {
 	if payload == nil {
-		rp.fs.fail(fmt.Errorf("core: verify: extent at %d has no payload", ext.Offset))
-		return
+		return verifyResult{got: got, want: want,
+			err: fmt.Errorf("core: verify: extent at %d has no payload", ext.Offset)}
 	}
 	codec, err := rp.reg.ByTag(ext.Tag)
 	if err != nil {
-		rp.fs.fail(err)
-		return
+		return verifyResult{got: got, want: want, err: err}
 	}
-	got, err := codec.Decompress(payload, int(ext.OrigLen))
+	got, err = compress.DecompressAppend(codec, got, payload, int(ext.OrigLen))
 	if err != nil {
-		rp.fs.fail(fmt.Errorf("core: verify: decompress extent at %d: %w", ext.Offset, err))
-		return
+		return verifyResult{got: got, want: want,
+			err: fmt.Errorf("core: verify: decompress extent at %d: %w", ext.Offset, err)}
 	}
-	want := rp.data.AppendBlock(rp.se.getBuf(), ext.Offset, int(ext.OrigLen), ext.Version)
-	equal := bytes.Equal(got, want)
-	rp.se.putBuf(want)
-	if !equal {
-		rp.fs.fail(fmt.Errorf("core: verify: content mismatch for extent at %d", ext.Offset))
+	want = rp.data.AppendBlock(want, ext.Offset, int(ext.OrigLen), ext.Version)
+	if !bytes.Equal(got, want) {
+		return verifyResult{got: got, want: want,
+			err: fmt.Errorf("core: verify: content mismatch for extent at %d", ext.Offset)}
 	}
+	return verifyResult{got: got, want: want}
 }

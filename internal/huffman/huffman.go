@@ -55,12 +55,38 @@ type node struct {
 // BuildLengths computes length-limited code lengths (<= maxBits) for the
 // given symbol frequencies. Symbols with zero frequency get length 0.
 // If only one symbol has nonzero frequency it is assigned length 1 so the
-// code remains decodable.
+// code remains decodable. Hot paths that build many codes should hold a
+// Builder and call its Build method instead, which reuses the tree
+// scratch across calls.
 func BuildLengths(freqs []int64, maxBits int) ([]uint8, error) {
+	var b Builder
+	return b.Build(nil, freqs, maxBits)
+}
+
+// Builder computes code lengths like BuildLengths but keeps the tree
+// construction scratch (the node arena and the index heap) between
+// calls, so steady-state builds allocate only when the caller passes a
+// too-small dst. The zero value is ready to use. Not safe for
+// concurrent use; pool Builders alongside the codec scratch instead.
+type Builder struct {
+	nodes []node
+	hp    []int32
+}
+
+// Build computes length-limited code lengths (<= maxBits) for freqs into
+// dst, growing it as needed (dst may be nil), and returns the slice.
+// The result is identical to BuildLengths for the same inputs.
+func (b *Builder) Build(dst []uint8, freqs []int64, maxBits int) ([]uint8, error) {
 	if maxBits <= 0 || maxBits > MaxBits {
 		return nil, fmt.Errorf("huffman: maxBits %d out of range", maxBits)
 	}
-	lengths := make([]uint8, len(freqs))
+	if cap(dst) < len(freqs) {
+		dst = make([]uint8, len(freqs))
+	}
+	lengths := dst[:len(freqs)]
+	for i := range lengths {
+		lengths[i] = 0
+	}
 	n := 0
 	for _, f := range freqs {
 		if f > 0 {
@@ -78,8 +104,14 @@ func BuildLengths(freqs []int64, maxBits int) ([]uint8, error) {
 		}
 		return lengths, nil
 	}
-	nodes := make([]node, 0, 2*n-1)
-	hp := make([]int32, 0, n)
+	if cap(b.nodes) < 2*n-1 {
+		b.nodes = make([]node, 0, 2*n-1)
+	}
+	if cap(b.hp) < n {
+		b.hp = make([]int32, 0, n)
+	}
+	nodes := b.nodes[:0]
+	hp := b.hp[:0]
 	seq := int32(0)
 	for sym, f := range freqs {
 		if f > 0 {
@@ -137,14 +169,16 @@ func BuildLengths(freqs []int64, maxBits int) ([]uint8, error) {
 		}
 	}
 	for len(hp) > 1 {
-		a := pop()
-		b := pop()
-		nodes = append(nodes, node{freq: nodes[a].freq + nodes[b].freq, symbol: -1, left: a, right: b, seq: seq})
+		x := pop()
+		y := pop()
+		nodes = append(nodes, node{freq: nodes[x].freq + nodes[y].freq, symbol: -1, left: x, right: y, seq: seq})
 		push(int32(len(nodes) - 1))
 		seq++
 	}
 	assignDepths(nodes, hp[0], 0, lengths)
 	limitLengths(lengths, maxBits)
+	b.nodes = nodes[:0]
+	b.hp = hp[:0]
 	return lengths, nil
 }
 
@@ -178,7 +212,7 @@ func limitLengths(lengths []uint8, maxBits int) {
 	// Count codes per length, clamping overlong codes (zlib-style repair:
 	// each overflowing leaf is provisionally counted at maxBits, then leaf
 	// pairs are rebalanced by moving an interior leaf one level down).
-	counts := make([]int, maxBits+2)
+	var counts [MaxBits + 2]int
 	over := 0
 	for i, l := range lengths {
 		if l == 0 {
@@ -279,18 +313,35 @@ func reverseBits(v uint16, n uint8) uint16 {
 
 // NewEncoderFromLengths builds an Encoder from canonical code lengths.
 func NewEncoderFromLengths(lengths []uint8) (*Encoder, error) {
-	codes, err := canonicalCodes(lengths)
-	if err != nil {
+	e := new(Encoder)
+	if err := e.Reset(lengths); err != nil {
 		return nil, err
 	}
-	return &Encoder{codes: codes}, nil
+	return e, nil
+}
+
+// Reset rebuilds the encoder for a new canonical code, reusing the code
+// table storage. A pooled zero-value Encoder plus Reset makes repeated
+// encodings allocation-free in steady state. On error the encoder is
+// left unusable until a successful Reset.
+func (e *Encoder) Reset(lengths []uint8) error {
+	codes, err := canonicalCodesInto(e.codes, lengths)
+	e.codes = codes
+	return err
 }
 
 // canonicalCodes assigns canonical code values given lengths and verifies
 // the Kraft inequality holds with equality (complete code) or that the
 // code is empty/degenerate (single symbol).
 func canonicalCodes(lengths []uint8) ([]Code, error) {
-	counts := make([]int, MaxBits+1)
+	return canonicalCodesInto(nil, lengths)
+}
+
+// canonicalCodesInto is canonicalCodes writing into dst (grown as
+// needed; dst may be nil). All bookkeeping lives in fixed-size stack
+// arrays so reuse with an adequately sized dst allocates nothing.
+func canonicalCodesInto(dst []Code, lengths []uint8) ([]Code, error) {
+	var counts [MaxBits + 1]int
 	nonzero := 0
 	for _, l := range lengths {
 		if l == 0 {
@@ -302,12 +353,18 @@ func canonicalCodes(lengths []uint8) ([]Code, error) {
 		counts[l]++
 		nonzero++
 	}
-	codes := make([]Code, len(lengths))
+	if cap(dst) < len(lengths) {
+		dst = make([]Code, len(lengths))
+	}
+	codes := dst[:len(lengths)]
+	for i := range codes {
+		codes[i] = Code{}
+	}
 	if nonzero == 0 {
 		return codes, nil
 	}
 	// first code value for each length
-	firsts := make([]uint16, MaxBits+2)
+	var firsts [MaxBits + 2]uint16
 	code := uint16(0)
 	for l := 1; l <= MaxBits; l++ {
 		code = (code + uint16(counts[l-1])) << 1
@@ -326,8 +383,8 @@ func canonicalCodes(lengths []uint8) ([]Code, error) {
 	if k < 1<<MaxBits && !(nonzero == 1 && counts[1] == 1) {
 		return nil, ErrInvalidLengths
 	}
-	next := make([]uint16, MaxBits+1)
-	copy(next, firsts[:MaxBits+1])
+	var next [MaxBits + 1]uint16
+	copy(next[:], firsts[:MaxBits+1])
 	for sym, l := range lengths {
 		if l == 0 {
 			continue
@@ -368,6 +425,8 @@ type Decoder struct {
 	maxLen    uint8
 	// slow-path canonical data
 	lengths []uint8
+	// codes is Reset's scratch for the canonical code assignment.
+	codes []Code
 }
 
 type tableEntry struct {
@@ -378,26 +437,55 @@ type tableEntry struct {
 // NewDecoderFromLengths builds a Decoder for the canonical code described
 // by lengths.
 func NewDecoderFromLengths(lengths []uint8) (*Decoder, error) {
-	codes, err := canonicalCodes(lengths)
-	if err != nil {
+	d := new(Decoder)
+	if err := d.Reset(lengths); err != nil {
 		return nil, err
 	}
+	return d, nil
+}
+
+// Reset rebuilds the decoder for a new canonical code, reusing the
+// lookup table, the length copy, and the code scratch. A pooled
+// zero-value Decoder plus Reset makes repeated decodings allocation-free
+// in steady state. On error the decoder is left unusable until a
+// successful Reset.
+func (d *Decoder) Reset(lengths []uint8) error {
+	codes, err := canonicalCodesInto(d.codes, lengths)
+	if err != nil {
+		d.maxLen = 0
+		d.table = d.table[:0]
+		return err
+	}
+	d.codes = codes
+	if cap(d.lengths) < len(lengths) {
+		d.lengths = make([]uint8, len(lengths))
+	}
+	d.lengths = d.lengths[:len(lengths)]
+	copy(d.lengths, lengths)
 	var maxLen uint8
 	for _, l := range lengths {
 		if l > maxLen {
 			maxLen = l
 		}
 	}
-	d := &Decoder{maxLen: maxLen, lengths: append([]uint8(nil), lengths...)}
+	d.maxLen = maxLen
+	d.tableBits = 0
+	d.table = d.table[:0]
 	if maxLen == 0 {
-		return d, nil
+		return nil
 	}
 	tb := uint(maxLen)
 	if tb > 11 {
 		tb = 11
 	}
 	d.tableBits = tb
-	d.table = make([]tableEntry, 1<<tb)
+	if cap(d.table) < 1<<tb {
+		d.table = make([]tableEntry, 1<<tb)
+	}
+	d.table = d.table[:1<<tb]
+	for i := range d.table {
+		d.table[i] = tableEntry{}
+	}
 	for sym, c := range codes {
 		if c.Len == 0 || uint(c.Len) > tb {
 			continue
@@ -408,7 +496,7 @@ func NewDecoderFromLengths(lengths []uint8) (*Decoder, error) {
 			d.table[i] = tableEntry{sym: uint16(sym), len: c.Len}
 		}
 	}
-	return d, nil
+	return nil
 }
 
 // Decode reads one symbol from r.
@@ -431,7 +519,7 @@ func (d *Decoder) Decode(r *bitio.Reader) (int, error) {
 // than the lookup table and reads near the end of input.
 func (d *Decoder) decodeSlow(r *bitio.Reader) (int, error) {
 	// Reconstruct canonical firsts/counts each call; this path is rare.
-	counts := make([]int, MaxBits+1)
+	var counts [MaxBits + 1]int
 	for _, l := range d.lengths {
 		if l > 0 {
 			counts[l]++
@@ -499,7 +587,20 @@ func WriteLengths(w *bitio.Writer, lengths []uint8) {
 
 // ReadLengths parses a vector of n code lengths written by WriteLengths.
 func ReadLengths(r *bitio.Reader, n int) ([]uint8, error) {
-	lengths := make([]uint8, n)
+	return ReadLengthsInto(r, nil, n)
+}
+
+// ReadLengthsInto parses n code lengths into dst, growing it as needed
+// (dst may be nil), and returns the slice. Hot decode paths pass a
+// pooled buffer so steady-state parses allocate nothing.
+func ReadLengthsInto(r *bitio.Reader, dst []uint8, n int) ([]uint8, error) {
+	if cap(dst) < n {
+		dst = make([]uint8, n)
+	}
+	lengths := dst[:n]
+	for i := range lengths {
+		lengths[i] = 0
+	}
 	for i := 0; i < n; {
 		v, err := r.ReadBits(4)
 		if err != nil {

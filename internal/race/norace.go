@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package race reports whether the binary was built with the race
+// detector. Allocation-regression tests consult it: the detector's
+// instrumentation perturbs allocation counts (notably, sync.Pool puts
+// are deliberately dropped at random under race), so AllocsPerRun
+// assertions only hold in non-race builds.
+package race
+
+// Enabled is true when the race detector is active.
+const Enabled = false

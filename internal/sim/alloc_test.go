@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"edc/internal/race"
+)
+
+// TestScheduleAllocs pins the event loop's steady-state allocation
+// behaviour: once the heap slice has reached its high-water mark, a
+// Schedule/Step cycle must not allocate (the container/heap version
+// boxed one interface value per push and one per pop).
+func TestScheduleAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race detector perturbs allocation counts")
+	}
+	e := NewEngine()
+	fn := func() {}
+	// Reach the high-water mark, then drain so capacity is retained.
+	for i := 0; i < 64; i++ {
+		e.Schedule(e.Now()+time.Duration(i), fn)
+	}
+	e.Run()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		at := e.Now()
+		for i := 0; i < 64; i++ {
+			e.Schedule(at+time.Duration(i), fn)
+		}
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("Schedule/Run cycle: %v allocs/op, want 0", allocs)
+	}
+}

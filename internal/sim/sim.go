@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -33,26 +32,76 @@ type event struct {
 	fn  func()
 }
 
+// before is the event total order: time, then class, then FIFO sequence.
+// seq is unique per engine, so the order has no ties and the pop
+// sequence is independent of the heap's internal shape.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a hand-rolled 4-ary min-heap over a plain event slice.
+// Compared with container/heap it avoids interface boxing on every
+// Push/Pop (which allocated one escape per scheduled event) and halves
+// the sift depth; the backing array is retained across pops, so a
+// steady-state Schedule/Step cycle allocates nothing once the heap has
+// reached its high-water mark.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push inserts ev, sifting it up toward the root at index 0.
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s[i].before(&s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
 	}
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// pop removes and returns the minimum event (the root).
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the closure reference so the GC can reclaim it
+	s = s[:n]
+	*h = s
+	// Sift the displaced element down: pick the smallest of up to four
+	// children, swap while it precedes the parent.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for k := c + 1; k < end; k++ {
+			if s[k].before(&s[min]) {
+				min = k
+			}
+		}
+		if !s[min].before(&s[i]) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Now returns the current virtual time.
@@ -78,7 +127,7 @@ func (e *Engine) schedule(at time.Duration, pri int8, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
 	}
-	heap.Push(&e.events, event{at: at, pri: pri, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, pri: pri, seq: e.seq, fn: fn})
 	e.seq++
 }
 
@@ -93,10 +142,10 @@ func (e *Engine) ScheduleAfter(d time.Duration, fn func()) {
 // Step executes the next event, advancing the clock. It reports whether
 // an event was executed.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.ran++
 	ev.fn()
@@ -111,7 +160,7 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with time <= t, then sets the clock to t.
 func (e *Engine) RunUntil(t time.Duration) {
-	for e.events.Len() > 0 && e.events[0].at <= t {
+	for len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -120,7 +169,7 @@ func (e *Engine) RunUntil(t time.Duration) {
 }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return len(e.events) }
 
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() int64 { return e.ran }

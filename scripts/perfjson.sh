@@ -1,0 +1,55 @@
+#!/bin/sh
+# perfjson.sh — capture one machine-readable performance snapshot.
+#
+# Combines the fig8/fig10 replay tables (edcbench -format json) with the
+# codec microbenchmarks (go test -bench, parsed into JSON) into a single
+# file, BENCH_5.json by default. Invoked by `make perfjson`; the numbers
+# are whatever this machine produces, so snapshots from different hosts
+# are comparable only in shape, not in magnitude.
+set -eu
+
+out=${1:-BENCH_5.json}
+requests=${REQUESTS:-4000}
+benchtime=${BENCHTIME:-10x}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/edcbench" ./cmd/edcbench
+"$tmp/edcbench" -experiment fig8 -format json -requests "$requests" >"$tmp/fig8.json"
+"$tmp/edcbench" -experiment fig10 -format json -requests "$requests" >"$tmp/fig10.json"
+go test -run '^$' -bench 'Compress|Decompress' -benchmem \
+	-benchtime "$benchtime" ./internal/compress >"$tmp/bench.txt"
+
+# Convert `go test -bench` lines into a JSON array. A line looks like:
+#   BenchmarkDecompress/gz/media/4KiB-8  100  8869 ns/op  461.86 MB/s  4096 B/op  1 allocs/op
+awk '
+BEGIN { printf "[" }
+/^Benchmark/ {
+	ns = 0; mbs = 0; bop = 0; aop = 0
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "MB/s") mbs = $i
+		else if ($(i + 1) == "B/op") bop = $i
+		else if ($(i + 1) == "allocs/op") aop = $i
+	}
+	printf "%s\n  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"mb_per_s\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+		sep, $1, $2, ns, mbs, bop, aop
+	sep = ","
+}
+END { printf "\n]\n" }
+' "$tmp/bench.txt" >"$tmp/bench.json"
+
+{
+	printf '{\n'
+	printf '  "requests": %s,\n' "$requests"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "fig8": '
+	cat "$tmp/fig8.json"
+	printf ',\n  "fig10": '
+	cat "$tmp/fig10.json"
+	printf ',\n  "codec_benchmarks": '
+	cat "$tmp/bench.json"
+	printf '}\n'
+} >"$out"
+
+echo "wrote $out"
