@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson check cover faultcheck clean
+.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson servecheck corescale check cover faultcheck clean
 
 all: check
 
@@ -47,10 +47,24 @@ faultcheck:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/compress ./internal/datagen
 
-# Machine-readable performance snapshot: fig8/fig10 replay tables plus
-# the codec microbenchmarks, written to BENCH_5.json at the repo root.
+# Machine-readable performance snapshot: fig8/fig10 replay tables, the
+# codec microbenchmarks, and an open-loop serve run, written to
+# $(PERFJSON_OUT) at the repo root (override to snapshot elsewhere).
+PERFJSON_OUT ?= BENCH_6.json
 perfjson:
-	sh scripts/perfjson.sh BENCH_5.json
+	sh scripts/perfjson.sh $(PERFJSON_OUT)
+
+# Serve-mode smoke: a short multi-step open-loop spec pushed through the
+# race detector on several cores — the concurrency gate for the live
+# serving path. CI's serve-smoke job runs exactly this target.
+servecheck:
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -serve \
+		-spec specs/serve-smoke.spec -clients 8 -shards 2 -volume 64
+
+# Core-scaling sweep: the same serve workload at GOMAXPROCS 1/2/4,
+# reporting wall-clock ops/sec (virtual-time results do not change).
+corescale:
+	sh scripts/corescale.sh
 
 # Coverage for the EDC block layer (the staged pipeline), with a
 # per-function summary and the total.

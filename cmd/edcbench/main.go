@@ -45,6 +45,12 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
+		serve   = flag.Bool("serve", false, "run an open-loop serve workload (requires -spec) instead of an experiment")
+		spec    = flag.String("spec", "", "with -serve: workload spec — a file path, or inline DSL with ';' separating steps (e.g. \"d=2s qps=500 rw=0.5; qps=2000\")")
+		clients = flag.Int("clients", 0, "with -serve: client goroutines offering load (default 8)")
+		mailbox = flag.Int("mailbox", 0, "with -serve: per-shard submission mailbox bound (default 256)")
+		batch   = flag.Int("batch", 0, "with -serve: submissions drained per event-loop wakeup (default 64)")
+
 		replayWl    = flag.String("replay", "", "run one instrumented replay of the named workload (fin1, fin2, usr0, prxy0) instead of an experiment")
 		scheme      = flag.String("scheme", "EDC", "compression scheme for -replay (Native, Lzf, Lz4, Gzip, Bzip2, EDC, EDC+)")
 		traceOut    = flag.String("trace-out", "", "with -replay: write one JSONL decision event per line to this file (\"-\" = stdout)")
@@ -63,6 +69,28 @@ func main() {
 			os.Exit(1)
 		}
 		plan = p
+	}
+
+	if *serve {
+		err := runServe(serveConfig{
+			spec:      *spec,
+			clients:   *clients,
+			scheme:    *scheme,
+			volumeMiB: *volumeMiB,
+			seed:      *seed,
+			workers:   *workers,
+			shards:    *shards,
+			mailbox:   *mailbox,
+			batch:     *batch,
+			faults:    plan,
+			format:    *format,
+			jsonOut:   *jsonOut,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *replayWl != "" {

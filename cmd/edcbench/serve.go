@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"edc"
+	"edc/internal/bench"
+	"edc/internal/workload"
+)
+
+// serveConfig carries the -serve mode flags.
+type serveConfig struct {
+	spec      string
+	clients   int
+	scheme    string
+	volumeMiB int
+	seed      int64
+	workers   int
+	shards    int
+	mailbox   int
+	batch     int
+	faults    *edc.FaultPlan
+	format    string
+	jsonOut   bool
+}
+
+// loadSpec resolves the -spec value: an existing file is read whole;
+// anything else is treated as inline DSL with ';' standing in for
+// newlines so a multi-step spec fits on one command line.
+func loadSpec(v string) (workload.Spec, error) {
+	if v == "" {
+		return nil, fmt.Errorf("-serve requires -spec (a spec file or inline DSL)")
+	}
+	src := v
+	if b, err := os.ReadFile(v); err == nil {
+		src = string(b)
+	} else {
+		src = strings.ReplaceAll(v, ";", "\n")
+	}
+	return workload.ParseSpec(src)
+}
+
+// runServe performs one open-loop serve run and prints the per-step
+// table (or, with -json, the full machine-readable ServeResult).
+func runServe(sc serveConfig) error {
+	spec, err := loadSpec(sc.spec)
+	if err != nil {
+		return err
+	}
+	sr, err := bench.RunServe(bench.ServeParams{
+		Params: bench.Params{
+			VolumeMiB: sc.volumeMiB,
+			Seed:      sc.seed,
+			Workers:   sc.workers,
+			Shards:    sc.shards,
+			Faults:    sc.faults,
+		},
+		Spec:    spec,
+		Clients: sc.clients,
+		Scheme:  sc.scheme,
+		Mailbox: sc.mailbox,
+		Batch:   sc.batch,
+	})
+	if err != nil {
+		return err
+	}
+	if sc.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sr)
+	}
+	return bench.WriteTables(os.Stdout, []*bench.Table{bench.ServeTable(sr)}, sc.format)
+}

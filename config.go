@@ -95,6 +95,14 @@ type Config struct {
 	// given width (0 disables).
 	TimeSeriesEvery time.Duration
 
+	// ServeMailbox bounds each shard's serve-mode submission mailbox:
+	// when a shard's event loop falls behind, submitters block on the
+	// full mailbox instead of growing an unbounded queue (0 → 256).
+	ServeMailbox int
+	// ServeBatch caps how many submissions one serve-mode event-loop
+	// wakeup drains before running the engine (0 → 64).
+	ServeBatch int
+
 	// Faults attaches a deterministic fault plan; nil injects nothing
 	// and the replay is bit-identical to a plan-free run.
 	Faults *FaultPlan
@@ -183,6 +191,10 @@ func (c *Config) Validate() error {
 	}
 	if c.SnapshotEvery < 0 {
 		return fmt.Errorf("edc: negative snapshot interval %v", c.SnapshotEvery)
+	}
+	if c.ServeMailbox < 0 || c.ServeBatch < 0 {
+		return fmt.Errorf("edc: negative serve queue bounds mailbox=%d batch=%d",
+			c.ServeMailbox, c.ServeBatch)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -312,6 +324,14 @@ func WithTimeSeries(d time.Duration) Option {
 		}
 		c.TimeSeriesEvery = d
 	}
+}
+
+// WithServeQueue bounds serve mode's per-shard submission queue: mailbox
+// is the channel capacity submitters block on when full (backpressure),
+// batch caps how many submissions one event-loop wakeup drains before
+// running the virtual-time engine. Zero keeps the defaults (256 / 64).
+func WithServeQueue(mailbox, batch int) Option {
+	return func(c *Config) { c.ServeMailbox, c.ServeBatch = mailbox, batch }
 }
 
 // WithFaults attaches a deterministic fault plan: every device

@@ -169,6 +169,7 @@ type System struct {
 	eng     *sim.Engine
 	dev     *core.Device
 	sharded *core.ShardedDevice
+	srv     *core.Server
 
 	// Power-cut orchestration state: rebuilding the post-crash device
 	// needs the full configuration.

@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edc"
+	"edc/internal/metrics"
+	"edc/internal/workload"
+)
+
+// ServeParams sizes one open-loop serve run: Clients goroutines each
+// drive a seeded workload.Stream against a live System, so the offered
+// rate is the spec's QPS regardless of how fast the simulated device
+// completes work. Params supplies the shared knobs (volume, seed,
+// shards, workers, faults); Requests is ignored — the spec's durations
+// bound the run.
+type ServeParams struct {
+	Params
+	// Spec is the multi-step open-loop workload to offer.
+	Spec workload.Spec
+	// Clients is the number of submitting goroutines (default 8).
+	Clients int
+	// Scheme is the compression scheme (default EDC).
+	Scheme string
+	// Mailbox and Batch bound the per-shard submission queues
+	// (0: the core defaults).
+	Mailbox int
+	Batch   int
+}
+
+func (p ServeParams) clients() int {
+	if p.Clients <= 0 {
+		return 8
+	}
+	return p.Clients
+}
+
+func (p ServeParams) scheme() string {
+	if p.Scheme == "" {
+		return string(edc.SchemeEDC)
+	}
+	return p.Scheme
+}
+
+// StepStats reports one spec step's open-loop outcome: offered vs
+// achieved throughput plus the virtual-latency distribution. Achieved
+// QPS is ops divided by the virtual span from the step's start to its
+// last completion — under overload it falls below OfferedQPS while the
+// percentiles grow with queueing delay, the open-loop saturation
+// signature.
+type StepStats struct {
+	// Index is the zero-based step number.
+	Index int `json:"index"`
+	// Step echoes the generating spec step.
+	Step workload.Step `json:"step"`
+	// Ops, Reads, and Writes count completed operations.
+	Ops    int64 `json:"ops"`
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	// OfferedQPS is the spec's configured arrival rate.
+	OfferedQPS float64 `json:"offered_qps"`
+	// AchievedQPS is completions per second of virtual time.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Mean, P50, P99, and P999 summarize open-loop virtual latency.
+	Mean time.Duration `json:"mean_ns"`
+	P50  time.Duration `json:"p50_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	P999 time.Duration `json:"p999_ns"`
+}
+
+// ServeResult is one serve run's full outcome: per-step open-loop
+// stats, the merged pipeline Results, and the wall-clock throughput of
+// the harness itself (the core-scaling metric — virtual-time results
+// are scheduling-independent, wall time is what extra cores buy).
+type ServeResult struct {
+	// Clients and Shards echo the run shape.
+	Clients int `json:"clients"`
+	Shards  int `json:"shards"`
+	// SpecText is the spec rendered one step per line.
+	SpecText string `json:"spec"`
+	// Steps holds one entry per spec step.
+	Steps []StepStats `json:"steps"`
+	// Stalls counts submissions that blocked on a full mailbox.
+	Stalls int64 `json:"stalls"`
+	// WallTime is the harness wall-clock duration (generation through
+	// StopServe); OpsPerSecWall is total completions divided by it.
+	WallTime      time.Duration `json:"wall_ns"`
+	OpsPerSecWall float64       `json:"ops_per_sec_wall"`
+	// Result is the merged pipeline Results, as a replay would return.
+	Result *edc.Results `json:"result"`
+}
+
+// stepAccum accumulates one step's completions across all clients.
+type stepAccum struct {
+	lat     *metrics.StripedLatency
+	ops     atomic.Int64
+	reads   atomic.Int64
+	writes  atomic.Int64
+	lastEnd atomic.Int64 // max virtual completion (ns), CAS-maxed
+}
+
+// noteEnd CAS-maxes the step's last virtual completion stamp.
+func (a *stepAccum) noteEnd(ns int64) {
+	for {
+		cur := a.lastEnd.Load()
+		if ns <= cur || a.lastEnd.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// RunServe builds a System from p, switches it into serve mode, and
+// drives it with p.Clients() open-loop generator goroutines until the
+// spec is exhausted. Virtual-time results (counts, latencies, achieved
+// QPS) are deterministic for a fixed (spec, seed, clients, shards);
+// WallTime and Stalls vary with the machine.
+func RunServe(p ServeParams) (*ServeResult, error) {
+	vol := p.volume()
+	if err := p.Spec.Validate(vol); err != nil {
+		return nil, err
+	}
+	clients := p.clients()
+	opts := []edc.Option{
+		edc.WithScheme(edc.Scheme(p.scheme())),
+		edc.WithSSDConfig(singleSSDConfig()),
+		edc.WithServeQueue(p.Mailbox, p.Batch),
+	}
+	if p.Workers != 0 {
+		opts = append(opts, edc.WithReplayWorkers(p.Workers))
+	}
+	if p.Shards > 1 {
+		opts = append(opts, edc.WithShards(p.Shards))
+	}
+	if p.Faults != nil {
+		opts = append(opts, edc.WithFaults(p.Faults))
+	}
+	sys, err := edc.NewSystem(vol, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Serve(); err != nil {
+		return nil, err
+	}
+
+	accums := make([]*stepAccum, len(p.Spec))
+	for i := range accums {
+		accums[i] = &stepAccum{lat: metrics.NewStripedLatency(clients)}
+	}
+
+	start := time.Now()
+	ctx := context.Background()
+
+	// Each client goroutine generates its seeded stream into a bounded
+	// channel; the sequencer merges the streams by arrival stamp and
+	// submits in global stamp order (so no shard's virtual clock ever
+	// runs ahead of an arrival still to come — the latency clamp then
+	// measures genuine queueing, not cross-client submission skew).
+	// Completions are awaited concurrently: submission never blocks on
+	// earlier operations finishing, which keeps the load open-loop.
+	type workerOp struct {
+		op workload.Op
+		ok bool
+	}
+	feeds := make([]chan workerOp, clients)
+	for w := 0; w < clients; w++ {
+		stream, err := workload.NewStream(p.Spec, vol, 2000+p.Seed, w, clients)
+		if err != nil {
+			sys.StopServe()
+			return nil, err
+		}
+		ch := make(chan workerOp, 64)
+		feeds[w] = ch
+		go func(stream *workload.Stream, ch chan workerOp) {
+			for {
+				op, ok := stream.Next()
+				ch <- workerOp{op, ok}
+				if !ok {
+					return
+				}
+			}
+		}(stream, ch)
+	}
+	heads := make([]workerOp, clients)
+	for w, ch := range feeds {
+		heads[w] = <-ch
+	}
+	var (
+		wg      sync.WaitGroup
+		failed  atomic.Bool
+		errOnce sync.Mutex
+		runErr  error
+	)
+	fail := func(err error) {
+		errOnce.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errOnce.Unlock()
+		failed.Store(true)
+	}
+	for !failed.Load() {
+		// Pop the earliest unsubmitted arrival (ties to the lowest worker,
+		// keeping the merge deterministic for a fixed seed).
+		w := -1
+		for i, h := range heads {
+			if h.ok && (w < 0 || h.op.At < heads[w].op.At) {
+				w = i
+			}
+		}
+		if w < 0 {
+			break
+		}
+		op := heads[w].op
+		heads[w] = <-feeds[w]
+		await, err := sys.SubmitAt(ctx, op.At, op.Off, op.Size, op.Write)
+		if err != nil {
+			fail(fmt.Errorf("client %d: %w", w, err))
+			break
+		}
+		wg.Add(1)
+		go func(w int, op workload.Op, await edc.Await) {
+			defer wg.Done()
+			lat, err := await(ctx)
+			if err != nil {
+				fail(fmt.Errorf("client %d: %w", w, err))
+				return
+			}
+			a := accums[op.Step]
+			a.lat.Observe(w, lat)
+			a.ops.Add(1)
+			if op.Write {
+				a.writes.Add(1)
+			} else {
+				a.reads.Add(1)
+			}
+			a.noteEnd(int64(op.At + lat))
+		}(w, op, await)
+	}
+	wg.Wait()
+	for w, h := range heads {
+		// Drain abandoned generators so their goroutines exit.
+		for h.ok {
+			h = <-feeds[w]
+		}
+	}
+	if runErr != nil {
+		sys.StopServe()
+		return nil, runErr
+	}
+	stalls := sys.ServeStalls()
+	res, err := sys.StopServe()
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	shards := p.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	out := &ServeResult{
+		Clients:  clients,
+		Shards:   shards,
+		SpecText: FormatSpec(p.Spec),
+		Stalls:   stalls,
+		WallTime: wall,
+		Result:   res,
+	}
+	var total int64
+	var base time.Duration
+	for i, st := range p.Spec {
+		a := accums[i]
+		h := a.lat.Merge()
+		ss := StepStats{
+			Index:      i,
+			Step:       st,
+			Ops:        a.ops.Load(),
+			Reads:      a.reads.Load(),
+			Writes:     a.writes.Load(),
+			OfferedQPS: st.QPS,
+			Mean:       h.Mean(),
+			P50:        h.Percentile(50),
+			P99:        h.Percentile(99),
+			P999:       h.Percentile(99.9),
+		}
+		if span := time.Duration(a.lastEnd.Load()) - base; span > 0 && ss.Ops > 0 {
+			ss.AchievedQPS = float64(ss.Ops) / span.Seconds()
+		}
+		total += ss.Ops
+		out.Steps = append(out.Steps, ss)
+		base += st.D
+	}
+	if wall > 0 {
+		out.OpsPerSecWall = float64(total) / wall.Seconds()
+	}
+	return out, nil
+}
+
+// FormatSpec renders a Spec back into the DSL, one step per line.
+func FormatSpec(s workload.Spec) string {
+	var b []byte
+	for i, st := range s {
+		if i > 0 {
+			b = append(b, '\n')
+		}
+		b = fmt.Appendf(b, "d=%v rw=%g qps=%g ad=%s rkd=%s wkd=%s bs=%d",
+			st.D, st.RW, st.QPS, st.AD, st.RKD, st.WKD, st.BS)
+	}
+	return string(b)
+}
+
+// ServeTable renders a ServeResult as the standard table shape so the
+// CLI shares the text/CSV/JSON writers with the experiment suite.
+func ServeTable(sr *ServeResult) *Table {
+	t := &Table{
+		ID: "serve",
+		Title: fmt.Sprintf("open-loop serve: %d clients, %d shard(s), scheme %s",
+			sr.Clients, sr.Shards, sr.Result.Scheme),
+		Header: []string{"step", "dur", "offered qps", "achieved qps", "ops", "read%", "mean", "p50", "p99", "p999"},
+	}
+	for _, ss := range sr.Steps {
+		readPct := 0.0
+		if ss.Ops > 0 {
+			readPct = 100 * float64(ss.Reads) / float64(ss.Ops)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", ss.Index+1),
+			ss.Step.D.String(),
+			f1(ss.OfferedQPS),
+			f1(ss.AchievedQPS),
+			fmt.Sprintf("%d", ss.Ops),
+			f1(readPct),
+			ss.Mean.Round(time.Microsecond).String(),
+			ss.P50.Round(time.Microsecond).String(),
+			ss.P99.Round(time.Microsecond).String(),
+			ss.P999.Round(time.Microsecond).String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("wall %v, %s ops/sec wall, %d submit stall(s); latency is open-loop virtual time",
+			sr.WallTime.Round(time.Millisecond), f1(sr.OpsPerSecWall), sr.Stalls))
+	return t
+}

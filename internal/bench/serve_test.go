@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"edc/internal/workload"
+)
+
+// serveTestSpec is a short two-step spec: a light step then a 4x rate
+// step, mixed read/write, zipfian reads.
+func serveTestSpec(t *testing.T) workload.Spec {
+	t.Helper()
+	spec, err := workload.ParseSpec("d=200ms qps=500 rw=0.5 rkd=zipfian-0.99\nqps=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestRunServe drives a short open-loop run and checks the per-step
+// accounting against the merged pipeline Results.
+func TestRunServe(t *testing.T) {
+	sr, err := RunServe(ServeParams{
+		Params:  Params{VolumeMiB: 64},
+		Spec:    serveTestSpec(t),
+		Clients: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Steps) != 2 {
+		t.Fatalf("steps=%d, want 2", len(sr.Steps))
+	}
+	var total, reads, writes int64
+	for i, ss := range sr.Steps {
+		if ss.Ops <= 0 {
+			t.Fatalf("step %d: no ops", i)
+		}
+		if ss.Reads+ss.Writes != ss.Ops {
+			t.Fatalf("step %d: reads %d + writes %d != ops %d", i, ss.Reads, ss.Writes, ss.Ops)
+		}
+		if ss.AchievedQPS <= 0 {
+			t.Fatalf("step %d: achieved qps %g", i, ss.AchievedQPS)
+		}
+		if ss.Mean <= 0 || ss.P99 < ss.P50 {
+			t.Fatalf("step %d: implausible latency mean=%v p50=%v p99=%v", i, ss.Mean, ss.P50, ss.P99)
+		}
+		total += ss.Ops
+		reads += ss.Reads
+		writes += ss.Writes
+	}
+	// Step 2 offers 4x step 1's rate over the same duration.
+	if lo, hi := 3*sr.Steps[0].Ops, 5*sr.Steps[0].Ops; sr.Steps[1].Ops < lo || sr.Steps[1].Ops > hi {
+		t.Fatalf("step ops %d vs %d: want roughly 4x", sr.Steps[0].Ops, sr.Steps[1].Ops)
+	}
+	if sr.Result.Requests != total {
+		t.Fatalf("pipeline requests=%d, driver counted %d", sr.Result.Requests, total)
+	}
+	if sr.Result.Reads != reads || sr.Result.Writes != writes {
+		t.Fatalf("pipeline reads/writes=%d/%d, driver counted %d/%d",
+			sr.Result.Reads, sr.Result.Writes, reads, writes)
+	}
+	if sr.WallTime <= 0 || sr.OpsPerSecWall <= 0 {
+		t.Fatalf("wall accounting: %v, %g ops/sec", sr.WallTime, sr.OpsPerSecWall)
+	}
+	tbl := ServeTable(sr)
+	if len(tbl.Rows) != 2 || len(tbl.Header) != len(tbl.Rows[0]) {
+		t.Fatalf("serve table shape: %d rows, %d header cols", len(tbl.Rows), len(tbl.Header))
+	}
+	if !strings.Contains(sr.SpecText, "rkd=zipfian-0.99") {
+		t.Fatalf("spec text %q lost the zipfian choice", sr.SpecText)
+	}
+}
+
+// TestRunServeDeterministicCounts checks the seeded run's virtual-time
+// outcome (op counts per step and per direction) is reproducible across
+// runs — the generator streams are pure functions of (seed, worker).
+func TestRunServeDeterministicCounts(t *testing.T) {
+	p := ServeParams{
+		Params:  Params{VolumeMiB: 64, Seed: 3, Shards: 2},
+		Spec:    serveTestSpec(t),
+		Clients: 3,
+	}
+	a, err := RunServe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Steps {
+		x, y := a.Steps[i], b.Steps[i]
+		if x.Ops != y.Ops || x.Reads != y.Reads || x.Writes != y.Writes {
+			t.Fatalf("step %d: counts differ across runs: %+v vs %+v", i, x, y)
+		}
+	}
+	if a.Result.OrigBytes != b.Result.OrigBytes {
+		t.Fatalf("OrigBytes differ: %d vs %d", a.Result.OrigBytes, b.Result.OrigBytes)
+	}
+}

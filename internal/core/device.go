@@ -289,7 +289,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 	fe.onWrite = wp.admitWrite
 	fe.onRead = func(issue time.Duration, off, size int64) {
 		wp.noteRead() // a read breaks write contiguity (Fig. 7)
-		rp.read(issue, off, size)
+		rp.read(issue, off, size, nil)
 	}
 	wp.complete = func(resp time.Duration) { fe.finish(resp, true) }
 	wp.drop = fe.drop

@@ -49,9 +49,21 @@ type readPath struct {
 	drop     func(n int)
 }
 
+// finishRead completes one host read: the optional per-operation done
+// callback (serve mode) fires before the pipeline-wide complete callback,
+// mirroring PendingWrite.Done on the write path.
+func (rp *readPath) finishRead(done func(time.Duration), resp time.Duration) {
+	if done != nil {
+		done(resp)
+	}
+	rp.complete(resp)
+}
+
 // read plans and issues one host read. Fully cached reads are served
-// from DRAM, skipping the device and any decompression.
-func (rp *readPath) read(arrival time.Duration, off, size int64) {
+// from DRAM, skipping the device and any decompression. done, if
+// non-nil, fires once at completion with the response time (serve mode;
+// replay passes nil).
+func (rp *readPath) read(arrival time.Duration, off, size int64, done func(time.Duration)) {
 	// ContainsRange mutates the cache (LRU touch + hit/miss counters), so
 	// the single existing call's result feeds both the trace and the
 	// branch — calling it again for observability would perturb the run.
@@ -61,7 +73,7 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 	}
 	if hit {
 		rp.eng.ScheduleAfter(CacheHitLatency, func() {
-			rp.complete(rp.eng.Now() - arrival)
+			rp.finishRead(done, rp.eng.Now()-arrival)
 		})
 		return
 	}
@@ -73,14 +85,14 @@ func (rp *readPath) read(arrival time.Duration, off, size int64) {
 	}
 	remaining := len(plan)
 	if remaining == 0 {
-		rp.complete(rp.eng.Now() - arrival)
+		rp.finishRead(done, rp.eng.Now()-arrival)
 		return
 	}
 	complete := func() {
 		remaining--
 		if remaining == 0 {
 			rp.hostCache.InsertRange(off, size)
-			rp.complete(rp.eng.Now() - arrival)
+			rp.finishRead(done, rp.eng.Now()-arrival)
 		}
 	}
 	for _, seg := range plan {

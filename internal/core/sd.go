@@ -9,6 +9,12 @@ type PendingWrite struct {
 	Arrival time.Duration // virtual arrival time of the host write
 	Offset  int64         // logical byte offset
 	Size    int64         // length in bytes
+
+	// Done, if non-nil, fires once at write completion with the response
+	// time measured from Arrival, before the pipeline-wide complete
+	// callback. Replay leaves it nil; serve mode uses it to route each
+	// submitted operation's completion back to its waiting client.
+	Done func(resp time.Duration)
 }
 
 // Run is a maximal merged sequence of contiguous writes, compressed as a

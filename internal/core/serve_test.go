@@ -1,0 +1,440 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"edc/internal/datagen"
+	"edc/internal/fault"
+	"edc/internal/sim"
+	"edc/internal/ssd"
+)
+
+// newTestServer builds an n-shard live server over small private SSDs.
+func newTestServer(t *testing.T, n int, vol int64, mailbox, batch int) *Server {
+	t.Helper()
+	reg := defaultTestRegistry(t)
+	sv, err := NewServer(ServeSetup{
+		Shards:      n,
+		VolumeBytes: vol,
+		Backend: func(eng *sim.Engine) (Backend, error) {
+			cfg := ssd.DefaultConfig()
+			cfg.Blocks = 512
+			d, err := ssd.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewSingleSSD(eng, d), nil
+		},
+		Options: func(int) (Options, error) {
+			return Options{
+				Registry:    reg,
+				Data:        datagen.New(datagen.Enterprise(), 11),
+				VerifyReads: true,
+			}, nil
+		},
+		Mailbox: mailbox,
+		Batch:   batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
+
+// TestServeBasic drives a single-shard server from one client and checks
+// the merged statistics account for every operation.
+func TestServeBasic(t *testing.T) {
+	sv := newTestServer(t, 1, 1<<20, 0, 0)
+	ctx := context.Background()
+	const ops = 32
+	for i := 0; i < ops; i++ {
+		off := int64(i%64) * BlockSize
+		if i%2 == 0 {
+			if lat, err := sv.Write(ctx, off, BlockSize); err != nil || lat <= 0 {
+				t.Fatalf("write %d: lat=%v err=%v", i, lat, err)
+			}
+		} else {
+			if lat, err := sv.Read(ctx, off, BlockSize); err != nil || lat <= 0 {
+				t.Fatalf("read %d: lat=%v err=%v", i, lat, err)
+			}
+		}
+	}
+	st, err := sv.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if st.Requests != ops || st.Reads != ops/2 || st.Writes != ops/2 {
+		t.Fatalf("requests=%d reads=%d writes=%d, want %d/%d/%d",
+			st.Requests, st.Reads, st.Writes, ops, ops/2, ops/2)
+	}
+	if st.OrigBytes != int64(ops/2)*BlockSize {
+		t.Fatalf("OrigBytes=%d, want %d", st.OrigBytes, int64(ops/2)*BlockSize)
+	}
+	if got := st.Resp.Count(); got != ops {
+		t.Fatalf("latency observations=%d, want %d", got, ops)
+	}
+	if st.Trace != "serve" {
+		t.Fatalf("Trace=%q, want serve", st.Trace)
+	}
+}
+
+// TestServeConcurrentClients hammers a sharded server from many client
+// goroutines (run under -race) and checks completion accounting.
+func TestServeConcurrentClients(t *testing.T) {
+	const (
+		clients = 8
+		perC    = 40
+		vol     = int64(4 << 20)
+	)
+	sv := newTestServer(t, 4, vol, 8, 4)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blocks := vol / BlockSize
+			for i := 0; i < perC; i++ {
+				// In-shard, block-aligned single-block ops keep the
+				// request count exact (no boundary splitting).
+				off := (int64(c*perC+i) * 7919 % blocks) * BlockSize
+				at := time.Duration(i) * 50 * time.Microsecond
+				var err error
+				if i%3 == 0 {
+					_, err = sv.ReadAt(ctx, at, off, BlockSize)
+				} else {
+					_, err = sv.WriteAt(ctx, at, off, BlockSize)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := sv.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if st.Requests != clients*perC {
+		t.Fatalf("requests=%d, want %d", st.Requests, clients*perC)
+	}
+	if st.Resp.Count() != clients*perC {
+		t.Fatalf("latency observations=%d, want %d", st.Resp.Count(), clients*perC)
+	}
+	if st.SubmitStalls != sv.Stalls() {
+		t.Fatalf("merged stalls=%d, server reports %d", st.SubmitStalls, sv.Stalls())
+	}
+}
+
+// TestServeDeterministicCounts runs the same concurrent workload twice
+// and checks the interleaving-independent invariants: request counts and
+// total written bytes are identical even though goroutine scheduling is
+// not.
+func TestServeDeterministicCounts(t *testing.T) {
+	run := func() *RunStats {
+		const clients, perC = 4, 25
+		vol := int64(2 << 20)
+		sv := newTestServer(t, 2, vol, 4, 2)
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				blocks := vol / BlockSize
+				for i := 0; i < perC; i++ {
+					off := (int64(c*perC+i) * 104729 % blocks) * BlockSize
+					if (c+i)%4 == 0 {
+						sv.ReadAt(ctx, time.Duration(i)*time.Millisecond, off, BlockSize)
+					} else {
+						sv.WriteAt(ctx, time.Duration(i)*time.Millisecond, off, BlockSize)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		st, err := sv.Stop()
+		if err != nil {
+			t.Fatalf("Stop: %v", err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Requests != b.Requests || a.Reads != b.Reads || a.Writes != b.Writes {
+		t.Fatalf("request counts differ: %d/%d/%d vs %d/%d/%d",
+			a.Requests, a.Reads, a.Writes, b.Requests, b.Reads, b.Writes)
+	}
+	if a.OrigBytes != b.OrigBytes {
+		t.Fatalf("OrigBytes differ: %d vs %d", a.OrigBytes, b.OrigBytes)
+	}
+}
+
+// TestServeShardSpanning submits one operation straddling a shard
+// boundary and checks it fans out to both shards and joins into a single
+// completion.
+func TestServeShardSpanning(t *testing.T) {
+	vol := int64(1 << 20)
+	sv := newTestServer(t, 2, vol, 0, 0)
+	bound := vol / 2 // two equal shards
+	ctx := context.Background()
+	lat, err := sv.Write(ctx, bound-BlockSize, 2*BlockSize)
+	if err != nil || lat <= 0 {
+		t.Fatalf("spanning write: lat=%v err=%v", lat, err)
+	}
+	if lat2, err := sv.Read(ctx, bound-BlockSize, 2*BlockSize); err != nil || lat2 <= 0 {
+		t.Fatalf("spanning read: lat=%v err=%v", lat2, err)
+	}
+	st, err := sv.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	// Each spanning call becomes one sub-operation per shard.
+	if st.Requests != 4 || st.Reads != 2 || st.Writes != 2 {
+		t.Fatalf("requests=%d reads=%d writes=%d, want 4/2/2", st.Requests, st.Reads, st.Writes)
+	}
+}
+
+// TestServeOpenLoopLatency checks the intended-arrival semantics: an
+// operation stamped far in the future is admitted at its stamp and
+// measures only its own response time, while a stamp in the virtual past
+// is clamped to now and accrues the ingress wait.
+func TestServeOpenLoopLatency(t *testing.T) {
+	sv := newTestServer(t, 1, 1<<20, 0, 0)
+	ctx := context.Background()
+	// Advance the virtual clock well past zero.
+	for i := 0; i < 200; i++ {
+		if _, err := sv.Write(ctx, int64(i%32)*BlockSize, BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stamp 0 is now deep in the virtual past: the latency includes the
+	// whole clamp-to-now wait.
+	past, err := sv.WriteAt(ctx, 0, 0, BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A far-future stamp advances the clock instead: latency is response
+	// time only.
+	future, err := sv.WriteAt(ctx, time.Hour, 0, BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if past <= future {
+		t.Fatalf("past-stamped latency %v should exceed future-stamped %v", past, future)
+	}
+	if future >= time.Hour {
+		t.Fatalf("future-stamped latency %v should not include the stamp", future)
+	}
+	if _, err := sv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeSubmitAtOrdered pins the stamp-ordered pipelining contract:
+// a sequencer that mails operations in global stamp order through
+// SubmitAt — without waiting for earlier completions — must see
+// latencies bounded by genuine service and queueing time, never
+// inflated by the virtual clock racing ahead of stamps still to come.
+func TestServeSubmitAtOrdered(t *testing.T) {
+	sv := newTestServer(t, 1, 1<<20, 0, 0)
+	ctx := context.Background()
+	const ops = 200
+	awaits := make([]Await, 0, ops)
+	for i := 0; i < ops; i++ {
+		// 2 ms spacing: far below device capacity, so with in-order
+		// admission every wait is ~zero and latency is pure response
+		// time (well under one spacing).
+		at := time.Duration(i) * 2 * time.Millisecond
+		aw, err := sv.SubmitAt(ctx, at, int64(i%64)*BlockSize, BlockSize, i%2 == 0)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		awaits = append(awaits, aw)
+	}
+	for i, aw := range awaits {
+		lat, err := aw(ctx)
+		if err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+		if lat <= 0 || lat >= 2*time.Millisecond {
+			t.Fatalf("op %d: latency %v outside (0, 2ms): clock ran ahead of unsubmitted stamps", i, lat)
+		}
+	}
+	st, err := sv.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != ops {
+		t.Fatalf("requests=%d, want %d", st.Requests, ops)
+	}
+}
+
+// TestServeStopped checks submissions and second Stops after Stop fail
+// with ErrServeStopped.
+func TestServeStopped(t *testing.T) {
+	sv := newTestServer(t, 1, 1<<20, 0, 0)
+	ctx := context.Background()
+	if _, err := sv.Write(ctx, 0, BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Write(ctx, 0, BlockSize); !errors.Is(err, ErrServeStopped) {
+		t.Fatalf("Write after Stop: %v, want ErrServeStopped", err)
+	}
+	if _, err := sv.Read(ctx, 0, BlockSize); !errors.Is(err, ErrServeStopped) {
+		t.Fatalf("Read after Stop: %v, want ErrServeStopped", err)
+	}
+	if _, err := sv.Stop(); !errors.Is(err, ErrServeStopped) {
+		t.Fatalf("second Stop: %v, want ErrServeStopped", err)
+	}
+}
+
+// TestServeBackpressure runs many concurrent clients against a
+// one-deep mailbox: every operation must still complete (submitters
+// block instead of losing work) and the stall counter must be coherent.
+func TestServeBackpressure(t *testing.T) {
+	const clients, perC = 8, 25
+	sv := newTestServer(t, 1, 1<<20, 1, 1)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perC; i++ {
+				off := int64((c*perC+i)%128) * BlockSize
+				if _, err := sv.Write(ctx, off, BlockSize); err != nil {
+					t.Errorf("client %d write %d: %v", c, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, err := sv.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if st.Requests != clients*perC {
+		t.Fatalf("requests=%d, want %d", st.Requests, clients*perC)
+	}
+	if st.SubmitStalls < 0 || st.SubmitStalls != sv.Stalls() {
+		t.Fatalf("stall accounting broken: merged=%d server=%d", st.SubmitStalls, sv.Stalls())
+	}
+}
+
+// TestServeContextCancel checks a canceled context unblocks the waiting
+// submitter even though the operation itself may still complete
+// server-side.
+func TestServeContextCancel(t *testing.T) {
+	sv := newTestServer(t, 1, 1<<20, 0, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sv.Write(ctx, 0, BlockSize); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Write with canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := sv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeFailurePropagation injects unrecoverable write faults and
+// checks the fatal pipeline error reaches both the failing client and
+// Stop instead of stranding submitters forever.
+func TestServeFailurePropagation(t *testing.T) {
+	reg := defaultTestRegistry(t)
+	sv, err := NewServer(ServeSetup{
+		Shards:      1,
+		VolumeBytes: 1 << 20,
+		Backend: func(eng *sim.Engine) (Backend, error) {
+			cfg := ssd.DefaultConfig()
+			cfg.Blocks = 64
+			d, err := ssd.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewSingleSSD(eng, d), nil
+		},
+		Options: func(int) (Options, error) {
+			// Every device write hard-fails: retries and re-allocations
+			// exhaust, then the pipeline aborts.
+			return Options{
+				Registry: reg,
+				Faults:   &fault.Plan{Seed: 7, WriteHard: 1.0},
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var opErr error
+	for i := 0; i < 64; i++ {
+		if _, opErr = sv.Write(ctx, int64(i)*BlockSize, BlockSize); opErr != nil {
+			break
+		}
+	}
+	if opErr == nil {
+		t.Fatal("writes never failed under a 100% hard-fault plan")
+	}
+	if errors.Is(opErr, ErrServeStopped) || errors.Is(opErr, context.Canceled) {
+		t.Fatalf("unexpected error class: %v", opErr)
+	}
+	if _, err := sv.Stop(); err == nil {
+		t.Fatal("Stop reported no error after pipeline failure")
+	}
+}
+
+// TestNewServerValidation covers the setup error paths.
+func TestNewServerValidation(t *testing.T) {
+	bf := func(eng *sim.Engine) (Backend, error) {
+		t.Fatal("backend factory must not run for invalid setups")
+		return nil, nil
+	}
+	of := func(int) (Options, error) { return Options{}, nil }
+	for _, tc := range []ServeSetup{
+		{Shards: 2, VolumeBytes: 1 << 20, Backend: nil, Options: of},
+		{Shards: 2, VolumeBytes: 1 << 20, Backend: bf, Options: nil},
+		{Shards: 2, VolumeBytes: BlockSize - 1, Backend: bf, Options: of},
+		{Shards: 9, VolumeBytes: 8 * BlockSize, Backend: bf, Options: of},
+	} {
+		if _, err := NewServer(tc); err == nil {
+			t.Errorf("NewServer(%+v) accepted invalid setup", tc)
+		}
+	}
+	// A disabled flush timeout would strand buffered runs forever.
+	_, err := NewServer(ServeSetup{
+		Shards: 1, VolumeBytes: 1 << 20,
+		Backend: func(eng *sim.Engine) (Backend, error) {
+			cfg := ssd.DefaultConfig()
+			cfg.Blocks = 64
+			d, err := ssd.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewSingleSSD(eng, d), nil
+		},
+		Options: func(int) (Options, error) {
+			return Options{FlushTimeout: -1}, nil
+		},
+	})
+	if err == nil {
+		t.Error("NewServer accepted a disabled flush timeout")
+	}
+}

@@ -105,16 +105,7 @@ func (s *ShardedDevice) VolumeBytes() int64 { return s.vol }
 
 // shardFor returns the shard index serving byte offset off.
 func (s *ShardedDevice) shardFor(off int64) int {
-	lo, hi := 0, len(s.bounds)-2
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if s.bounds[mid] <= off {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return lo
+	return shardIndex(s.bounds, off)
 }
 
 // split routes t across the shards: each request is aligned against the

@@ -60,6 +60,10 @@ type RunStats struct {
 	SDMerged int64
 	SDRuns   int64
 
+	// SubmitStalls counts serve-mode submissions that found their shard
+	// mailbox full and had to block (backpressure events; zero in replay).
+	SubmitStalls int64
+
 	// Fault injection and recovery (all zero without a fault plan):
 	Faults           int64         // injected device errors observed
 	FaultRetries     int64         // virtual-time retries issued
@@ -135,6 +139,7 @@ func MergeRunStats(parts []*RunStats) *RunStats {
 		out.Oversize += p.Oversize
 		out.SDMerged += p.SDMerged
 		out.SDRuns += p.SDRuns
+		out.SubmitStalls += p.SubmitStalls
 		out.Faults += p.Faults
 		out.FaultRetries += p.FaultRetries
 		out.DegradedReads += p.DegradedReads
@@ -292,6 +297,11 @@ func (rs *RunStats) Format() string {
 		fmt.Fprintf(&b, "  codec %-5s runs=%d bytes=%d\n", tagLabel(tag), rs.RunsByTag[tag], rs.BytesByTag[tag])
 	}
 	fmt.Fprintf(&b, "sd: runs=%d merged-writes=%d\n", rs.SDRuns, rs.SDMerged)
+	// The stalls line only appears in serve mode, so replay reports stay
+	// byte-identical to pre-serve builds.
+	if rs.SubmitStalls > 0 {
+		fmt.Fprintf(&b, "serve: submit-stalls=%d\n", rs.SubmitStalls)
+	}
 	// The faults line only appears when a fault plan fired, so no-plan
 	// reports stay byte-identical to an un-instrumented build.
 	if rs.Faults > 0 || rs.Recoveries > 0 {
@@ -357,6 +367,9 @@ type Report struct {
 	SDRuns   int64 `json:"sd_runs"`
 	SDMerged int64 `json:"sd_merged"`
 
+	// Serve-mode backpressure (omitted in replay).
+	SubmitStalls int64 `json:"submit_stalls,omitempty"`
+
 	// Fault injection and recovery (omitted without a fault plan).
 	Faults             int64 `json:"faults,omitempty"`
 	FaultRetries       int64 `json:"fault_retries,omitempty"`
@@ -403,7 +416,8 @@ func (rs *RunStats) Report() *Report {
 		WriteThrough: rs.WriteThrough, WriteThroughRate: rs.WriteThroughRate(),
 		Oversize: rs.Oversize, OversizeRate: rs.OversizeRate(),
 		SDRuns: rs.SDRuns, SDMerged: rs.SDMerged,
-		Faults: rs.Faults, FaultRetries: rs.FaultRetries,
+		SubmitStalls: rs.SubmitStalls,
+		Faults:       rs.Faults, FaultRetries: rs.FaultRetries,
 		DegradedReads:      rs.DegradedReads,
 		DegradedReadTimeUS: rs.DegradedReadTime.Microseconds(),
 		WriteReallocs:      rs.WriteReallocs,

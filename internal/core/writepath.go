@@ -302,6 +302,9 @@ func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, extra time.D
 			}
 			now := wp.eng.Now()
 			for _, w := range writes {
+				if w.Done != nil {
+					w.Done(now - w.Arrival)
+				}
 				wp.complete(now - w.Arrival)
 			}
 		case errors.Is(err, fault.ErrTransient) && attempt < maxRetries:

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// A striped recorder must merge to exactly the histogram a single
+// recorder would have produced from the union of the observations.
+func TestStripedMergeEqualsUnion(t *testing.T) {
+	s := NewStripedLatency(4)
+	want := NewLatencyHist()
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(1+i*7) * time.Microsecond
+		s.Observe(i, d)
+		want.Observe(d)
+	}
+	got := s.Merge()
+	if got.Count() != want.Count() {
+		t.Fatalf("count: got %d want %d", got.Count(), want.Count())
+	}
+	if got.Mean() != want.Mean() {
+		t.Fatalf("mean: got %v want %v", got.Mean(), want.Mean())
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		if got.Percentile(p) != want.Percentile(p) {
+			t.Fatalf("p%.1f: got %v want %v", p, got.Percentile(p), want.Percentile(p))
+		}
+	}
+	if s.Count() != want.Count() {
+		t.Fatalf("striped count: got %d want %d", s.Count(), want.Count())
+	}
+}
+
+// Concurrent observers on distinct stripes plus a concurrent merger must
+// be race-free and lose no observations (run under -race).
+func TestStripedConcurrentObserve(t *testing.T) {
+	const workers = 8
+	const perWorker = 2000
+	s := NewStripedLatency(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Observe(w, time.Duration(w*1000+i)*time.Microsecond)
+			}
+		}(w)
+	}
+	// Merge-on-read while writers are active: result is a valid snapshot.
+	for i := 0; i < 10; i++ {
+		if h := s.Merge(); h.Count() > workers*perWorker {
+			t.Fatalf("snapshot overcounted: %d", h.Count())
+		}
+	}
+	wg.Wait()
+	if got := s.Merge().Count(); got != workers*perWorker {
+		t.Fatalf("final count: got %d want %d", got, workers*perWorker)
+	}
+}
+
+func TestStripedStripeClamping(t *testing.T) {
+	s := NewStripedLatency(0)
+	if s.Stripes() != 1 {
+		t.Fatalf("stripes: got %d want 1", s.Stripes())
+	}
+	s.Observe(17, time.Millisecond) // modulo stripe count, must not panic
+	if s.Count() != 1 {
+		t.Fatalf("count: got %d want 1", s.Count())
+	}
+}

@@ -1,0 +1,307 @@
+package workload
+
+// Open-loop serving workloads: where the MMPP Profile above synthesizes
+// whole traces for deterministic replay, the Spec/Stream machinery below
+// generates operations on the fly for serve mode — each client worker
+// owns a seeded Stream producing (intended arrival, offset, size,
+// direction) tuples at its share of the offered rate, so the aggregate
+// arrival process hits the configured QPS regardless of how fast the
+// system under test completes operations (the defining property of an
+// open-loop benchmark).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalKind selects a step's interarrival process.
+type ArrivalKind int
+
+// Arrival processes: Poisson (exponential interarrivals, the memoryless
+// default matching classic open-loop load generators) and uniform
+// (deterministic equal spacing, workers phase-staggered so the aggregate
+// stays smooth).
+const (
+	ArrivalPoisson ArrivalKind = iota
+	ArrivalUniform
+)
+
+// String names the arrival kind as the spec DSL spells it.
+func (a ArrivalKind) String() string {
+	if a == ArrivalUniform {
+		return "uniform"
+	}
+	return "poisson"
+}
+
+// KeyKind selects a step's key-pick distribution.
+type KeyKind int
+
+// Key distributions: uniform over the volume's blocks, or YCSB-style
+// bounded zipfian with skew theta in (0, 1).
+const (
+	KeyUniform KeyKind = iota
+	KeyZipfian
+)
+
+// KeyChoice is one direction's key distribution: the kind plus the
+// zipfian skew (ignored for uniform).
+type KeyChoice struct {
+	Kind  KeyKind
+	Theta float64
+}
+
+// String names the key choice as the spec DSL spells it.
+func (k KeyChoice) String() string {
+	if k.Kind == KeyZipfian {
+		return fmt.Sprintf("zipfian-%g", k.Theta)
+	}
+	return "uniform"
+}
+
+// Step is one phase of an open-loop workload: for D of virtual time,
+// offer QPS operations per second with read fraction RW, arrivals drawn
+// from AD, read offsets from RKD, write offsets from WKD, each operation
+// BS bytes.
+type Step struct {
+	D   time.Duration // step duration in virtual time
+	QPS float64       // aggregate offered arrival rate (ops/sec)
+	RW  float64       // fraction of operations that are reads, in [0, 1]
+	AD  ArrivalKind   // interarrival process
+	RKD KeyChoice     // read key distribution
+	WKD KeyChoice     // write key distribution
+	BS  int64         // operation size in bytes
+}
+
+// Spec is a multi-step open-loop workload, executed in order.
+type Spec []Step
+
+// Duration sums the steps' virtual durations.
+func (s Spec) Duration() time.Duration {
+	var d time.Duration
+	for _, st := range s {
+		d += st.D
+	}
+	return d
+}
+
+// Validate checks every step for usability against a volume size.
+func (s Spec) Validate(volumeBytes int64) error {
+	if len(s) == 0 {
+		return fmt.Errorf("workload: empty spec")
+	}
+	for i, st := range s {
+		switch {
+		case st.D <= 0:
+			return fmt.Errorf("workload: step %d: duration %v must be positive", i+1, st.D)
+		case st.QPS <= 0:
+			return fmt.Errorf("workload: step %d: qps %g must be positive", i+1, st.QPS)
+		case st.RW < 0 || st.RW > 1:
+			return fmt.Errorf("workload: step %d: rw %g out of [0,1]", i+1, st.RW)
+		case st.BS <= 0:
+			return fmt.Errorf("workload: step %d: block size %d must be positive", i+1, st.BS)
+		case volumeBytes > 0 && st.BS > volumeBytes:
+			return fmt.Errorf("workload: step %d: block size %d exceeds volume %d", i+1, st.BS, volumeBytes)
+		}
+		for _, kc := range []KeyChoice{st.RKD, st.WKD} {
+			if kc.Kind == KeyZipfian && (kc.Theta <= 0 || kc.Theta >= 1) {
+				return fmt.Errorf("workload: step %d: zipfian theta %g out of (0,1)", i+1, kc.Theta)
+			}
+		}
+	}
+	return nil
+}
+
+// Op is one generated open-loop operation.
+type Op struct {
+	At    time.Duration // intended virtual arrival (from serve start)
+	Off   int64         // volume byte offset
+	Size  int64         // length in bytes
+	Write bool
+	Step  int // index of the producing spec step
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap high-quality bijection
+// used to derive per-worker seeds and to scramble zipfian ranks into
+// scattered block addresses (YCSB's scrambled-zipfian construction).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// keyPicker draws block indices in [0, n).
+type keyPicker interface {
+	pick(rng *rand.Rand) int64
+}
+
+// uniformKeys draws uniformly over the n blocks.
+type uniformKeys struct{ n int64 }
+
+func (u uniformKeys) pick(rng *rand.Rand) int64 { return rng.Int63n(u.n) }
+
+// zipfKeys is the YCSB bounded zipfian over n items with skew theta in
+// (0, 1) — Go's rand.Zipf requires s > 1 and cannot express this range.
+// Ranks are scrambled through splitmix64 so the hot keys scatter across
+// the volume instead of clustering at offset zero.
+type zipfKeys struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// newZipfKeys precomputes the zeta terms (Gray et al.'s incremental
+// formulas as used by YCSB's ZipfianGenerator).
+func newZipfKeys(n int64, theta float64) zipfKeys {
+	var zetan float64
+	for i := int64(1); i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	return zipfKeys{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+	}
+}
+
+func (z zipfKeys) pick(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	var rank int64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	return int64(splitmix64(uint64(rank)) % uint64(z.n))
+}
+
+// newKeyPicker builds the picker for one direction of one step.
+func newKeyPicker(kc KeyChoice, nBlocks int64) keyPicker {
+	if kc.Kind == KeyZipfian {
+		return newZipfKeys(nBlocks, kc.Theta)
+	}
+	return uniformKeys{n: nBlocks}
+}
+
+// Stream generates one worker's share of an open-loop Spec: worker w of
+// W offers QPS/W operations per second, with all randomness drawn from a
+// private generator seeded by (seed, worker) — the produced operation
+// sequence is a pure function of those inputs, independent of goroutine
+// scheduling or how fast the served system completes work.
+type Stream struct {
+	spec    Spec
+	vol     int64
+	rng     *rand.Rand
+	worker  int
+	workers int
+
+	step  int           // current step index
+	base  time.Duration // virtual start of the current step
+	at    time.Duration // last arrival within the current step
+	reads keyPicker
+	wris  keyPicker
+}
+
+// NewStream validates the spec and builds worker w of W (0 <= w < W).
+func NewStream(spec Spec, volumeBytes int64, seed int64, worker, workers int) (*Stream, error) {
+	if err := spec.Validate(volumeBytes); err != nil {
+		return nil, err
+	}
+	if volumeBytes <= 0 {
+		return nil, fmt.Errorf("workload: volume %d must be positive", volumeBytes)
+	}
+	if workers < 1 || worker < 0 || worker >= workers {
+		return nil, fmt.Errorf("workload: worker %d of %d out of range", worker, workers)
+	}
+	s := &Stream{
+		spec:    spec,
+		vol:     volumeBytes,
+		rng:     rand.New(rand.NewSource(int64(splitmix64(uint64(seed)) ^ splitmix64(uint64(worker)+0x51ed2701)))),
+		worker:  worker,
+		workers: workers,
+		step:    -1,
+	}
+	s.enter(0)
+	return s, nil
+}
+
+// enter positions the stream at the start of step i.
+func (s *Stream) enter(i int) {
+	st := s.spec[i]
+	if s.step >= 0 {
+		s.base += s.spec[s.step].D
+	}
+	s.step = i
+	s.at = 0
+	nBlocks := s.vol / st.BS
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	s.reads = newKeyPicker(st.RKD, nBlocks)
+	s.wris = newKeyPicker(st.WKD, nBlocks)
+	if st.AD == ArrivalUniform {
+		// Phase-stagger the workers so W uniform trains interleave into
+		// one smooth aggregate instead of W-wide arrival spikes. at sits
+		// one spacing before the first arrival, so Next's unconditional
+		// advance lands worker w's train at phase w/W of the spacing.
+		spacing := time.Duration(float64(s.workers) / st.QPS * float64(time.Second))
+		phase := spacing * time.Duration(s.worker) / time.Duration(s.workers)
+		s.at = phase - spacing
+	}
+}
+
+// Next returns the next operation, or ok=false when the spec is
+// exhausted.
+func (s *Stream) Next() (op Op, ok bool) {
+	for {
+		st := s.spec[s.step]
+		rate := st.QPS / float64(s.workers)
+		var dt time.Duration
+		if st.AD == ArrivalUniform {
+			dt = time.Duration(1 / rate * float64(time.Second))
+		} else {
+			dt = time.Duration(s.rng.ExpFloat64() / rate * float64(time.Second))
+		}
+		s.at += dt
+		if s.at >= st.D {
+			if s.step+1 >= len(s.spec) {
+				return Op{}, false
+			}
+			s.enter(s.step + 1)
+			continue
+		}
+		write := s.rng.Float64() >= st.RW
+		var blk int64
+		if write {
+			blk = s.wris.pick(s.rng)
+		} else {
+			blk = s.reads.pick(s.rng)
+		}
+		off := blk * st.BS
+		if off+st.BS > s.vol {
+			off = s.vol - st.BS
+		}
+		return Op{
+			At:    s.base + s.at,
+			Off:   off,
+			Size:  st.BS,
+			Write: write,
+			Step:  s.step,
+		}, true
+	}
+}

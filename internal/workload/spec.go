@@ -1,0 +1,199 @@
+package workload
+
+// The workload-spec DSL: one step per line, `key=value` pairs separated
+// by whitespace, later lines inheriting every value the previous step
+// set (the fabbench convention — a multi-phase ramp only spells out what
+// changes). `#` starts a comment; blank lines are skipped.
+//
+//	# warm-up, then a read-heavy zipfian phase at double the rate
+//	d=30s rw=0.5 qps=500 ad=poisson rkd=zipfian-0.99 wkd=uniform bs=4096
+//	d=60s qps=1000 rw=0.9
+//
+// Keys: d (step duration, Go duration syntax), qps (offered aggregate
+// arrival rate), rw (read fraction in [0,1]), ad (poisson | uniform),
+// rkd/wkd (uniform | zipfian-θ with 0<θ<1), bs (operation bytes, k/m
+// suffixes allowed). The first step must set d and qps; everything else
+// defaults to rw=0.5, ad=poisson, rkd=uniform, wkd=uniform, bs=4096.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse error classes, matched through errors.Is on a *SpecError.
+var (
+	// ErrSpecUnknownKey classifies a key=value pair whose key the DSL
+	// does not define.
+	ErrSpecUnknownKey = errors.New("workload: unknown spec key")
+	// ErrSpecBadValue classifies a recognized key with a malformed or
+	// out-of-range value.
+	ErrSpecBadValue = errors.New("workload: bad spec value")
+	// ErrSpecEmpty classifies a spec with no steps at all.
+	ErrSpecEmpty = errors.New("workload: spec has no steps")
+)
+
+// SpecError locates a parse failure: the 1-based source line, its text,
+// and the underlying cause (unwrapping to ErrSpecUnknownKey or
+// ErrSpecBadValue).
+type SpecError struct {
+	Line int    // 1-based line number in the spec source
+	Text string // the offending line, comment stripped
+	Err  error
+}
+
+// Error renders the located failure.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("spec line %d (%q): %v", e.Line, e.Text, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// defaultStep is the inherited state before the first step line.
+func defaultStep() Step {
+	return Step{
+		RW:  0.5,
+		AD:  ArrivalPoisson,
+		RKD: KeyChoice{Kind: KeyUniform},
+		WKD: KeyChoice{Kind: KeyUniform},
+		BS:  4096,
+	}
+}
+
+// ParseSpec parses the DSL into a Spec. Every returned error is a
+// *SpecError naming the offending line.
+func ParseSpec(src string) (Spec, error) {
+	var spec Spec
+	cur := defaultStep()
+	first := true
+	for n, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(err error) (Spec, error) {
+			return nil, &SpecError{Line: n + 1, Text: line, Err: err}
+		}
+		sawD, sawQPS := false, false
+		for _, tok := range strings.Fields(line) {
+			key, val, ok := strings.Cut(tok, "=")
+			if !ok {
+				return fail(fmt.Errorf("%w: %q is not key=value", ErrSpecBadValue, tok))
+			}
+			switch key {
+			case "d":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return fail(fmt.Errorf("%w: d=%q: %v", ErrSpecBadValue, val, err))
+				}
+				if d <= 0 {
+					return fail(fmt.Errorf("%w: d=%q must be positive", ErrSpecBadValue, val))
+				}
+				cur.D = d
+				sawD = true
+			case "qps":
+				q, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return fail(fmt.Errorf("%w: qps=%q: %v", ErrSpecBadValue, val, err))
+				}
+				if q <= 0 {
+					return fail(fmt.Errorf("%w: qps=%q must be positive", ErrSpecBadValue, val))
+				}
+				cur.QPS = q
+				sawQPS = true
+			case "rw":
+				r, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return fail(fmt.Errorf("%w: rw=%q: %v", ErrSpecBadValue, val, err))
+				}
+				if r < 0 || r > 1 {
+					return fail(fmt.Errorf("%w: rw=%q out of [0,1]", ErrSpecBadValue, val))
+				}
+				cur.RW = r
+			case "ad":
+				switch val {
+				case "poisson":
+					cur.AD = ArrivalPoisson
+				case "uniform":
+					cur.AD = ArrivalUniform
+				default:
+					return fail(fmt.Errorf("%w: ad=%q (want poisson or uniform)", ErrSpecBadValue, val))
+				}
+			case "rkd", "wkd":
+				kc, err := parseKeyChoice(val)
+				if err != nil {
+					return fail(fmt.Errorf("%w: %s=%q: %v", ErrSpecBadValue, key, val, err))
+				}
+				if key == "rkd" {
+					cur.RKD = kc
+				} else {
+					cur.WKD = kc
+				}
+			case "bs":
+				b, err := parseBytes(val)
+				if err != nil {
+					return fail(fmt.Errorf("%w: bs=%q: %v", ErrSpecBadValue, val, err))
+				}
+				cur.BS = b
+			default:
+				return fail(fmt.Errorf("%w: %q", ErrSpecUnknownKey, key))
+			}
+		}
+		if first && (!sawD || !sawQPS) {
+			return fail(fmt.Errorf("%w: the first step must set d and qps", ErrSpecBadValue))
+		}
+		first = false
+		spec = append(spec, cur)
+	}
+	if len(spec) == 0 {
+		return nil, &SpecError{Line: 0, Text: "", Err: ErrSpecEmpty}
+	}
+	return spec, nil
+}
+
+// parseKeyChoice parses "uniform" or "zipfian-θ".
+func parseKeyChoice(val string) (KeyChoice, error) {
+	if val == "uniform" {
+		return KeyChoice{Kind: KeyUniform}, nil
+	}
+	rest, ok := strings.CutPrefix(val, "zipfian-")
+	if !ok {
+		return KeyChoice{}, fmt.Errorf("want uniform or zipfian-θ")
+	}
+	theta, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return KeyChoice{}, fmt.Errorf("theta %q: %v", rest, err)
+	}
+	if theta <= 0 || theta >= 1 {
+		return KeyChoice{}, fmt.Errorf("theta %g out of (0,1)", theta)
+	}
+	return KeyChoice{Kind: KeyZipfian, Theta: theta}, nil
+}
+
+// parseBytes parses a byte count with optional k/m suffix (powers of
+// 1024).
+func parseBytes(val string) (int64, error) {
+	mult := int64(1)
+	s := strings.ToLower(val)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("size must be positive")
+	}
+	return n * mult, nil
+}

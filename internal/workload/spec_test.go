@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestParseSpecBasic parses a full single-step line.
+func TestParseSpecBasic(t *testing.T) {
+	spec, err := ParseSpec("d=30s rw=0.5 qps=500 ad=poisson rkd=zipfian-0.99 wkd=uniform bs=4k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 1 {
+		t.Fatalf("steps=%d, want 1", len(spec))
+	}
+	st := spec[0]
+	if st.D != 30*time.Second || st.QPS != 500 || st.RW != 0.5 {
+		t.Errorf("d/qps/rw = %v/%g/%g", st.D, st.QPS, st.RW)
+	}
+	if st.AD != ArrivalPoisson {
+		t.Errorf("ad=%v, want poisson", st.AD)
+	}
+	if st.RKD.Kind != KeyZipfian || st.RKD.Theta != 0.99 {
+		t.Errorf("rkd=%v, want zipfian-0.99", st.RKD)
+	}
+	if st.WKD.Kind != KeyUniform {
+		t.Errorf("wkd=%v, want uniform", st.WKD)
+	}
+	if st.BS != 4096 {
+		t.Errorf("bs=%d, want 4096", st.BS)
+	}
+}
+
+// TestParseSpecInheritance checks later steps inherit every value the
+// previous step set, with comments and blank lines ignored.
+func TestParseSpecInheritance(t *testing.T) {
+	spec, err := ParseSpec(`
+# ramp: warm up, then double the rate read-heavy
+d=10s qps=250 rw=0.2 rkd=zipfian-0.9 bs=8k
+
+d=20s qps=500 rw=0.9   # inherits rkd and bs
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 2 {
+		t.Fatalf("steps=%d, want 2", len(spec))
+	}
+	s1 := spec[1]
+	if s1.RKD.Kind != KeyZipfian || s1.RKD.Theta != 0.9 || s1.BS != 8192 {
+		t.Errorf("step 2 did not inherit rkd/bs: %+v", s1)
+	}
+	if s1.D != 20*time.Second || s1.QPS != 500 || s1.RW != 0.9 {
+		t.Errorf("step 2 overrides lost: %+v", s1)
+	}
+	if spec.Duration() != 30*time.Second {
+		t.Errorf("Duration=%v, want 30s", spec.Duration())
+	}
+}
+
+// TestParseSpecErrors covers the parser's failure modes: every error is
+// a *SpecError naming the offending 1-based line and unwrapping to its
+// class.
+func TestParseSpecErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		line int
+		is   error
+	}{
+		{"unknown key", "d=1s qps=10 bogus=3", 1, ErrSpecUnknownKey},
+		{"unknown key later line", "d=1s qps=10\nd=2s frobnicate=1", 2, ErrSpecUnknownKey},
+		{"malformed zipfian theta", "d=1s qps=10 rkd=zipfian-fast", 1, ErrSpecBadValue},
+		{"zipfian theta at 1", "d=1s qps=10 rkd=zipfian-1", 1, ErrSpecBadValue},
+		{"zipfian theta over 1", "d=1s qps=10 wkd=zipfian-1.5", 1, ErrSpecBadValue},
+		{"zero qps", "d=1s qps=0", 1, ErrSpecBadValue},
+		{"negative qps", "d=1s qps=-5", 1, ErrSpecBadValue},
+		{"zero duration", "d=0s qps=10", 1, ErrSpecBadValue},
+		{"negative duration", "d=-3s qps=10", 1, ErrSpecBadValue},
+		{"malformed duration", "d=banana qps=10", 1, ErrSpecBadValue},
+		{"rw out of range", "d=1s qps=10 rw=1.5", 1, ErrSpecBadValue},
+		{"bad arrival dist", "d=1s qps=10 ad=pareto", 1, ErrSpecBadValue},
+		{"bad block size", "d=1s qps=10 bs=zero", 1, ErrSpecBadValue},
+		{"not key=value", "d=1s qps=10 whatever", 1, ErrSpecBadValue},
+		{"first step missing qps", "d=1s rw=0.5", 1, ErrSpecBadValue},
+		{"first step missing d", "qps=10", 1, ErrSpecBadValue},
+		{"error after comments", "# intro\n\nd=1s qps=10\nd=2s qqps=20", 4, ErrSpecUnknownKey},
+	} {
+		_, err := ParseSpec(tc.src)
+		if err == nil {
+			t.Errorf("%s: ParseSpec accepted %q", tc.name, tc.src)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a *SpecError", tc.name, err)
+			continue
+		}
+		if se.Line != tc.line {
+			t.Errorf("%s: error names line %d, want %d (%v)", tc.name, se.Line, tc.line, err)
+		}
+		if !errors.Is(err, tc.is) {
+			t.Errorf("%s: error %v does not unwrap to %v", tc.name, err, tc.is)
+		}
+	}
+}
+
+// TestParseSpecEmpty checks an all-comment spec fails with ErrSpecEmpty.
+func TestParseSpecEmpty(t *testing.T) {
+	for _, src := range []string{"", "   \n\t\n", "# only comments\n# here\n"} {
+		if _, err := ParseSpec(src); !errors.Is(err, ErrSpecEmpty) {
+			t.Errorf("ParseSpec(%q) = %v, want ErrSpecEmpty", src, err)
+		}
+	}
+}

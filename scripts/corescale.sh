@@ -1,0 +1,29 @@
+#!/bin/sh
+# corescale.sh — wall-clock scaling sweep for the live serve path.
+#
+# Runs the same open-loop spec at GOMAXPROCS 1, 2, and 4 and reports the
+# harness throughput (ops per wall-clock second). Virtual-time results
+# — counts, achieved QPS, latency percentiles — are the core-scaling
+# control: they must not move with the core count; only wall-clock
+# throughput should. Invoked by `make corescale`.
+set -eu
+
+spec=${SPEC:-specs/serve-smoke.spec}
+clients=${CLIENTS:-8}
+shards=${SHARDS:-2}
+volume=${VOLUME:-64}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/edcbench" ./cmd/edcbench
+
+echo "spec=$spec clients=$clients shards=$shards volume=${volume}MiB"
+printf '%-10s  %-14s  %-10s\n' "GOMAXPROCS" "ops/sec wall" "wall"
+for procs in 1 2 4; do
+	GOMAXPROCS=$procs "$tmp/edcbench" -serve -spec "$spec" \
+		-clients "$clients" -shards "$shards" -volume "$volume" \
+		-json >"$tmp/run-$procs.json"
+	opsw=$(sed -n 's/.*"ops_per_sec_wall": *\([0-9.e+-]*\).*/\1/p' "$tmp/run-$procs.json" | head -1)
+	wall=$(sed -n 's/.*"wall_ns": *\([0-9]*\).*/\1/p' "$tmp/run-$procs.json" | head -1)
+	printf '%-10s  %-14s  %sms\n' "$procs" "$opsw" "$((${wall:-0} / 1000000))"
+done

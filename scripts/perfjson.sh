@@ -1,14 +1,16 @@
 #!/bin/sh
 # perfjson.sh — capture one machine-readable performance snapshot.
 #
-# Combines the fig8/fig10 replay tables (edcbench -format json) with the
-# codec microbenchmarks (go test -bench, parsed into JSON) into a single
-# file, BENCH_5.json by default. Invoked by `make perfjson`; the numbers
-# are whatever this machine produces, so snapshots from different hosts
-# are comparable only in shape, not in magnitude.
+# Combines the fig8/fig10 replay tables (edcbench -format json), the
+# codec microbenchmarks (go test -bench, parsed into JSON), and one
+# open-loop serve run (edcbench -serve -json) into a single file.
+# Invoked by `make perfjson`, which names the output (BENCH_6.json by
+# default); the numbers are whatever this machine produces, so snapshots
+# from different hosts are comparable only in shape, not in magnitude.
 set -eu
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
+servespec=${SERVESPEC:-specs/serve-smoke.spec}
 requests=${REQUESTS:-4000}
 benchtime=${BENCHTIME:-10x}
 tmp=$(mktemp -d)
@@ -17,6 +19,7 @@ trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/edcbench" ./cmd/edcbench
 "$tmp/edcbench" -experiment fig8 -format json -requests "$requests" >"$tmp/fig8.json"
 "$tmp/edcbench" -experiment fig10 -format json -requests "$requests" >"$tmp/fig10.json"
+"$tmp/edcbench" -serve -spec "$servespec" -clients 8 -shards 2 -volume 64 -json >"$tmp/serve.json"
 go test -run '^$' -bench 'Compress|Decompress' -benchmem \
 	-benchtime "$benchtime" ./internal/compress >"$tmp/bench.txt"
 
@@ -49,6 +52,8 @@ END { printf "\n]\n" }
 	cat "$tmp/fig10.json"
 	printf ',\n  "codec_benchmarks": '
 	cat "$tmp/bench.json"
+	printf ',\n  "serve": '
+	cat "$tmp/serve.json"
 	printf '}\n'
 } >"$out"
 

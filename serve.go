@@ -1,0 +1,154 @@
+package edc
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"time"
+
+	"edc/internal/core"
+	"edc/internal/sim"
+)
+
+// Serve mode runs the configured EDC stack live instead of replaying a
+// recorded trace: after Serve, any number of goroutines may call
+// Read/Write concurrently; requests route by LBA to per-shard pipelines
+// whose event loops run as long-lived goroutines draining bounded
+// submission mailboxes (WithServeQueue). Latency is open-loop in virtual
+// time — measured from each operation's intended arrival stamp to its
+// virtual completion — so offered load beyond the simulated device's
+// capacity surfaces as unbounded queueing delay, exactly the signal
+// closed-loop replay cannot produce. StopServe drains everything and
+// returns the same Results a replay would.
+
+// ErrNotServing reports a serve-mode call (Read, Write, StopServe) on a
+// System that never entered serve mode.
+var ErrNotServing = errors.New("edc: system is not serving (call Serve first)")
+
+// ErrServeStopped reports a submission to — or a second StopServe of — a
+// System whose serving already stopped.
+var ErrServeStopped = core.ErrServeStopped
+
+// Serve switches the System into live serving. It consumes the System's
+// single use (a later Play returns ErrReplayed) and is incompatible with
+// power-cut fault plans. After Serve returns, Read/Write/ReadAt/WriteAt
+// are goroutine-safe.
+func (s *System) Serve() error {
+	if s.played {
+		return ErrReplayed
+	}
+	s.played = true
+	shards := s.cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	perShard := s.cfg
+	if perShard.ReplayWorkers == 0 && shards > 1 {
+		// Same budget split as sharded replay: each shard's event loop
+		// already owns a goroutine.
+		w := runtime.GOMAXPROCS(0) / shards
+		if w <= 1 {
+			w = -1 // sequential inline execution
+		}
+		perShard.ReplayWorkers = w
+	}
+	srv, err := core.NewServer(core.ServeSetup{
+		Shards:      shards,
+		VolumeBytes: s.volBytes,
+		Backend: func(eng *sim.Engine) (core.Backend, error) {
+			return buildBackend(perShard, eng)
+		},
+		Options: func(int) (core.Options, error) {
+			return deviceOptions(perShard)
+		},
+		Mailbox: s.cfg.ServeMailbox,
+		Batch:   s.cfg.ServeBatch,
+		Obs:     s.col,
+	})
+	if err != nil {
+		return err
+	}
+	// The replay stack built at construction is never used now; drop it
+	// so the serving pipelines are the only live simulation state.
+	s.dev = nil
+	s.sharded = nil
+	s.eng = nil
+	s.srv = srv
+	return nil
+}
+
+// Read submits one read of [off, off+size) arriving as soon as possible
+// and blocks until it completes, returning the open-loop virtual
+// latency. Goroutine-safe; ctx cancels the wait.
+func (s *System) Read(ctx context.Context, off, size int64) (time.Duration, error) {
+	if s.srv == nil {
+		return 0, ErrNotServing
+	}
+	return s.srv.Read(ctx, off, size)
+}
+
+// Write submits one write of [off, off+size) arriving as soon as
+// possible and blocks until it completes. Goroutine-safe.
+func (s *System) Write(ctx context.Context, off, size int64) (time.Duration, error) {
+	if s.srv == nil {
+		return 0, ErrNotServing
+	}
+	return s.srv.Write(ctx, off, size)
+}
+
+// ReadAt is Read with an explicit intended virtual arrival stamp (offset
+// from serve start): the shard admits the operation no earlier than at,
+// and the returned latency is measured from at — the
+// coordinated-omission-free open-loop measurement a stamped generator
+// wants.
+func (s *System) ReadAt(ctx context.Context, at time.Duration, off, size int64) (time.Duration, error) {
+	if s.srv == nil {
+		return 0, ErrNotServing
+	}
+	return s.srv.ReadAt(ctx, at, off, size)
+}
+
+// WriteAt is Write with an explicit intended virtual arrival stamp; see
+// ReadAt.
+func (s *System) WriteAt(ctx context.Context, at time.Duration, off, size int64) (time.Duration, error) {
+	if s.srv == nil {
+		return 0, ErrNotServing
+	}
+	return s.srv.WriteAt(ctx, at, off, size)
+}
+
+// Await blocks for one submitted operation's completion; see SubmitAt.
+type Await = core.Await
+
+// SubmitAt mails one stamped operation to its shard(s) and returns an
+// Await for its completion instead of blocking. A load generator that
+// submits operations in global stamp order through SubmitAt keeps every
+// shard's virtual clock behind the stamps still to come, so the
+// reported open-loop latencies measure true queueing delay rather than
+// submission-order skew between client goroutines (internal/bench's
+// serve driver sequences its clients through this).
+func (s *System) SubmitAt(ctx context.Context, at time.Duration, off, size int64, write bool) (Await, error) {
+	if s.srv == nil {
+		return nil, ErrNotServing
+	}
+	return s.srv.SubmitAt(ctx, at, off, size, write)
+}
+
+// ServeStalls returns how many submissions so far found a full shard
+// mailbox and had to block — the serve-mode backpressure signal.
+func (s *System) ServeStalls() int64 {
+	if s.srv == nil {
+		return 0
+	}
+	return s.srv.Stalls()
+}
+
+// StopServe closes the intake, drains every shard's mailbox and
+// pipeline, and returns the merged Results (the same shape a replay
+// produces, plus Results.SubmitStalls).
+func (s *System) StopServe() (*Results, error) {
+	if s.srv == nil {
+		return nil, ErrNotServing
+	}
+	return s.srv.Stop()
+}

@@ -1,0 +1,153 @@
+package edc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeFacade drives a sharded System live from concurrent
+// goroutines and checks the merged Results account for every operation.
+func TestServeFacade(t *testing.T) {
+	s, err := NewSystem(testVolume,
+		WithSSDConfig(smallSSD()), WithShards(2), WithVerify(),
+		WithServeQueue(16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	const clients, perC = 4, 30
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perC; i++ {
+				// Block-aligned single-block ops inside the volume keep the
+				// request count exact.
+				off := int64((c*perC+i)*7919%(testVolume/4096)) * 4096
+				at := time.Duration(i) * 100 * time.Microsecond
+				var err error
+				if i%3 == 0 {
+					_, err = s.ReadAt(ctx, at, off, 4096)
+				} else {
+					_, err = s.WriteAt(ctx, at, off, 4096)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := s.StopServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != clients*perC {
+		t.Fatalf("requests=%d, want %d", res.Requests, clients*perC)
+	}
+	if res.Resp.Count() != clients*perC {
+		t.Fatalf("latency observations=%d, want %d", res.Resp.Count(), clients*perC)
+	}
+	if res.Scheme != string(SchemeEDC) {
+		t.Fatalf("scheme=%q", res.Scheme)
+	}
+}
+
+// TestServeFacadeErrors covers the serve-mode state machine: calls
+// before Serve, Play after Serve, submissions after StopServe.
+func TestServeFacadeErrors(t *testing.T) {
+	s, err := NewSystem(testVolume, WithSSDConfig(smallSSD()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Read(ctx, 0, 4096); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("Read before Serve: %v, want ErrNotServing", err)
+	}
+	if _, err := s.StopServe(); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("StopServe before Serve: %v, want ErrNotServing", err)
+	}
+	if err := s.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Play(smallTrace(t, 10)); !errors.Is(err, ErrReplayed) {
+		t.Fatalf("Play after Serve: %v, want ErrReplayed", err)
+	}
+	if err := s.Serve(); !errors.Is(err, ErrReplayed) {
+		t.Fatalf("second Serve: %v, want ErrReplayed", err)
+	}
+	if _, err := s.Write(ctx, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StopServe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(ctx, 0, 4096); !errors.Is(err, ErrServeStopped) {
+		t.Fatalf("Write after StopServe: %v, want ErrServeStopped", err)
+	}
+	if _, err := s.StopServe(); !errors.Is(err, ErrServeStopped) {
+		t.Fatalf("second StopServe: %v, want ErrServeStopped", err)
+	}
+}
+
+// TestServeObs checks the observability layer rides along in serve
+// mode: decision counters and the time series come back on the merged
+// Results exactly as they do for a replay.
+func TestServeObs(t *testing.T) {
+	s, err := NewSystem(testVolume, WithSSDConfig(smallSSD()), WithShards(2),
+		WithTracer(TracerFunc(func(*TraceEvent) {})),
+		WithTimeSeries(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		at := time.Duration(i) * 500 * time.Microsecond
+		if _, err := s.WriteAt(ctx, at, int64(i)*4096, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.StopServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("serve Results carry no obs report")
+	}
+	if got := res.Obs.Counters[`edc_admitted_total{op="write"}`]; got != 40 {
+		t.Fatalf("admitted counter=%d, want 40", got)
+	}
+	if res.Obs.Series == nil || len(res.Obs.Series.CodecRuns) == 0 {
+		t.Fatal("serve Results carry no time series bins")
+	}
+}
+
+// TestServeRejectsPowerCut checks serve mode refuses crash-orchestration
+// fault plans (there is no trace timeline to cut).
+func TestServeRejectsPowerCut(t *testing.T) {
+	s, err := NewSystem(testVolume, WithSSDConfig(smallSSD()),
+		WithFaults(&FaultPlan{Seed: 1, PowerCutAt: time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(); err == nil {
+		t.Fatal("Serve accepted a power-cut fault plan")
+	}
+}
