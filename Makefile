@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson servecheck corescale check cover faultcheck clean
+.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson servecheck corescale check cover faultcheck maintcheck clean
 
 all: check
 
@@ -43,14 +43,28 @@ faultcheck:
 	cmp /tmp/edc-faultcheck-1.csv /tmp/edc-faultcheck-2.csv
 	@echo "faultcheck OK: fig8 under the canned fault plan is deterministic"
 
+# Determinism gate for background maintenance: replay the maint
+# experiment (EDC off/on over the four traces) twice under the race
+# detector — once single-pipeline, once sharded — and fail on any byte
+# of divergence.
+maintcheck:
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment maint -format csv -requests 3000 > /tmp/edc-maintcheck-1.csv
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment maint -format csv -requests 3000 > /tmp/edc-maintcheck-2.csv
+	cmp /tmp/edc-maintcheck-1.csv /tmp/edc-maintcheck-2.csv
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment maint -format csv -requests 3000 -shards 2 -workers 2 > /tmp/edc-maintcheck-s1.csv
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment maint -format csv -requests 3000 -shards 2 -workers 2 > /tmp/edc-maintcheck-s2.csv
+	cmp /tmp/edc-maintcheck-s1.csv /tmp/edc-maintcheck-s2.csv
+	@echo "maintcheck OK: background maintenance is deterministic (1 and 2 shards, -race)"
+
 # Codec + generator microbenchmarks with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/compress ./internal/datagen
 
 # Machine-readable performance snapshot: fig8/fig10 replay tables, the
-# codec microbenchmarks, and an open-loop serve run, written to
-# $(PERFJSON_OUT) at the repo root (override to snapshot elsewhere).
-PERFJSON_OUT ?= BENCH_6.json
+# maintenance before/after space table, the codec microbenchmarks, and
+# an open-loop serve run, written to $(PERFJSON_OUT) at the repo root
+# (override to snapshot elsewhere).
+PERFJSON_OUT ?= BENCH_7.json
 perfjson:
 	sh scripts/perfjson.sh $(PERFJSON_OUT)
 
@@ -73,7 +87,7 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 25
 
 # The tier-1 gate: everything a PR must keep green.
-check: fmtcheck vet build doclint test race
+check: fmtcheck vet build doclint test race maintcheck
 
 clean:
 	$(GO) clean ./...

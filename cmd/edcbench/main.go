@@ -42,6 +42,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "replay pipeline width: codec goroutines per replay (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
 		shards     = flag.Int("shards", 0, "LBA shards per replay: n > 1 partitions the volume across n independent pipelines run concurrently (changes the simulated system; deterministic for fixed n)")
 		faults     = flag.String("faults", "", "JSON fault plan injected into every replay (see DESIGN.md §11; deterministic for a fixed plan seed)")
+		maintOn    = flag.Bool("maint", false, "enable temperature-aware background maintenance (default policy) in every replay (see DESIGN.md §13; deterministic for a fixed seed)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -83,6 +84,7 @@ func main() {
 			mailbox:   *mailbox,
 			batch:     *batch,
 			faults:    plan,
+			maint:     *maintOn,
 			format:    *format,
 			jsonOut:   *jsonOut,
 		})
@@ -103,6 +105,7 @@ func main() {
 			workers:     *workers,
 			shards:      *shards,
 			faults:      plan,
+			maint:       *maintOn,
 			traceOut:    *traceOut,
 			seriesOut:   *seriesOut,
 			seriesEvery: *seriesEvery,
@@ -138,7 +141,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers, Shards: *shards, Faults: plan}
+	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers, Shards: *shards, Faults: plan, Maint: *maintOn}
 	start := time.Now()
 	var (
 		tables []*bench.Table
@@ -185,6 +188,7 @@ type replayConfig struct {
 	workers     int
 	shards      int
 	faults      *edc.FaultPlan
+	maint       bool
 	traceOut    string
 	seriesOut   string
 	seriesEvery time.Duration
@@ -243,6 +247,9 @@ func runReplay(rc replayConfig) error {
 	}
 	if rc.faults != nil {
 		opts = append(opts, edc.WithFaults(rc.faults))
+	}
+	if rc.maint {
+		opts = append(opts, edc.WithMaintenance(edc.Maintenance{}))
 	}
 
 	var jt *edc.JSONLTracer

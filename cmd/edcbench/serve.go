@@ -23,6 +23,7 @@ type serveConfig struct {
 	mailbox   int
 	batch     int
 	faults    *edc.FaultPlan
+	maint     bool
 	format    string
 	jsonOut   bool
 }
@@ -57,6 +58,7 @@ func runServe(sc serveConfig) error {
 			Workers:   sc.workers,
 			Shards:    sc.shards,
 			Faults:    sc.faults,
+			Maint:     sc.maint,
 		},
 		Spec:    spec,
 		Clients: sc.clients,

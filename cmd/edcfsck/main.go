@@ -13,7 +13,11 @@
 //
 // With -snapshot, the journal is replayed on top of the snapshot the
 // way crash recovery would, and the recovered mapping's invariants are
-// checked — a dry run of core.RecoverMapping.
+// checked — a dry run of core.RecoverMapping. Relocate records (written
+// by background maintenance) are verified like the recovery path
+// verifies them: the old slot must still be mapped to the run being
+// moved (a second relocation of the same slot is refused as a double
+// free) and its recorded size must match the mapping.
 package main
 
 import (
@@ -71,12 +75,23 @@ func main() {
 		if err != nil {
 			fatalf("journal invalid after %d good records: %v", records, err)
 		}
+		recs, err := core.DecodeJournal(data)
+		if err != nil {
+			fatalf("journal invalid: %v", err)
+		}
+		var relocs int
+		for _, r := range recs {
+			if r.Relocate {
+				relocs++
+			}
+		}
 		tail := ""
 		if torn {
 			tail = ", torn tail dropped"
 		}
 		if *snapPath == "" {
-			fmt.Printf("journal OK: %d records%s\n", records, tail)
+			fmt.Printf("journal OK: %d records (%d inserts, %d relocates)%s\n",
+				records, records-relocs, relocs, tail)
 			return
 		}
 		snap, err := os.ReadFile(*snapPath)
@@ -91,8 +106,8 @@ func main() {
 		if err := m.CheckInvariants(); err != nil {
 			fatalf("recovered mapping inconsistent: %v", err)
 		}
-		fmt.Printf("journal OK: %d records%s; recovery OK: %d replayed onto snapshot, %d live blocks in %d extents, %.1f MiB slots in use\n",
-			records, tail, replayed, m.LiveBlocks(), m.Extents(),
+		fmt.Printf("journal OK: %d records (%d inserts, %d relocates)%s; recovery OK: %d replayed onto snapshot, %d live blocks in %d extents, %.1f MiB slots in use\n",
+			records, records-relocs, relocs, tail, replayed, m.LiveBlocks(), m.Extents(),
 			float64(alloc.InUse())/(1<<20))
 	case "frames":
 		if *decode {

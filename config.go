@@ -7,9 +7,19 @@ import (
 	"edc/internal/core"
 	"edc/internal/datagen"
 	"edc/internal/fault"
+	"edc/internal/maint"
 	"edc/internal/obs"
 	"edc/internal/ssd"
 )
+
+// Maintenance configures temperature-aware background maintenance (see
+// internal/maint): during idle windows the device recompresses cold
+// lzf/uncompressed extents with a heavier codec, demotes hot gz/bwz
+// extents to a cheap codec, and compacts fragmented slot free lists.
+// Zero-valued fields take documented defaults. Attach one with
+// WithMaintenance or Config.Maintenance; nil (or Enabled=false) keeps
+// maintenance off and the replay bit-identical to earlier releases.
+type Maintenance = maint.Config
 
 // FaultPlan is a seeded, virtual-time fault schedule (see
 // internal/fault): per-operation read/write error probabilities
@@ -103,6 +113,11 @@ type Config struct {
 	// wakeup drains before running the engine (0 → 64).
 	ServeBatch int
 
+	// Maintenance enables temperature-aware background recompression
+	// and slot compaction; nil (or Enabled=false) runs no maintenance
+	// and the replay is bit-identical to a maintenance-free run.
+	Maintenance *Maintenance
+
 	// Faults attaches a deterministic fault plan; nil injects nothing
 	// and the replay is bit-identical to a plan-free run.
 	Faults *FaultPlan
@@ -195,6 +210,11 @@ func (c *Config) Validate() error {
 	if c.ServeMailbox < 0 || c.ServeBatch < 0 {
 		return fmt.Errorf("edc: negative serve queue bounds mailbox=%d batch=%d",
 			c.ServeMailbox, c.ServeBatch)
+	}
+	if c.Maintenance != nil && c.Maintenance.Enabled {
+		if err := c.Maintenance.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -332,6 +352,21 @@ func WithTimeSeries(d time.Duration) Option {
 // running the virtual-time engine. Zero keeps the defaults (256 / 64).
 func WithServeQueue(mailbox, batch int) Option {
 	return func(c *Config) { c.ServeMailbox, c.ServeBatch = mailbox, batch }
+}
+
+// WithMaintenance enables temperature-aware background maintenance with
+// the given policy (zero-valued fields take documented defaults; the
+// Enabled flag is set for the caller). During idle windows — calculated
+// IOPS at or below m.IdleIOPS — the device recompresses cold
+// lzf/uncompressed extents with m.ColdCodec, demotes hot gz/bwz extents
+// to m.HotCodec, and compacts fragmented slot free lists. Maintenance
+// runs in virtual time on the device's own engine, so results stay
+// deterministic per seed, including under WithShards.
+func WithMaintenance(m Maintenance) Option {
+	return func(c *Config) {
+		m.Enabled = true
+		c.Maintenance = &m
+	}
 }
 
 // WithFaults attaches a deterministic fault plan: every device

@@ -123,6 +123,11 @@ const (
 	// EvRecover: a recovery decision (re-allocation, abandoned read, or
 	// crash recovery).
 	EvRecover = obs.EvRecover
+	// EvRecompress: background maintenance relocated one extent to a new
+	// codec (Reason: "cold" or "hot").
+	EvRecompress = obs.EvRecompress
+	// EvCompact: background maintenance coalesced fragmented free slots.
+	EvCompact = obs.EvCompact
 )
 
 // NewJSONLTracer returns a Tracer writing one JSON event per line to w
@@ -355,6 +360,7 @@ func deviceOptions(c Config) (core.Options, error) {
 		FlushTimeout:  c.FlushTimeout,
 		Faults:        c.Faults,
 		SnapshotEvery: c.SnapshotEvery,
+		Maint:         c.Maintenance,
 	}, nil
 }
 

@@ -47,6 +47,10 @@ type Params struct {
 	// changes the simulated system but keeps results deterministic for
 	// a fixed plan seed.
 	Faults *edc.FaultPlan
+	// Maint enables temperature-aware background maintenance with its
+	// default policy on every replay (edc.WithMaintenance). False runs
+	// no maintenance and reproduces the historical numbers exactly.
+	Maint bool
 }
 
 func (p Params) requests() int {

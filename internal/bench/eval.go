@@ -85,6 +85,9 @@ func replayScheme(p Params, backend edc.BackendKind, tr *trace.Trace, s edc.Sche
 	if p.Faults != nil {
 		opts = append(opts, edc.WithFaults(p.Faults))
 	}
+	if p.Maint {
+		opts = append(opts, edc.WithMaintenance(edc.Maintenance{}))
+	}
 	if backend == edc.SingleSSD {
 		opts = append(opts, edc.WithSSDConfig(singleSSDConfig()))
 	} else {

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"edc"
+)
+
+func init() {
+	register("maint", "Background recompression: space before/after maintenance", runMaint)
+}
+
+// runMaint replays EDC over the four standard traces twice — maintenance
+// off, then on with the default policy — and reports the live slot
+// footprint of each run side by side. The savings come from cold
+// lzf/uncompressed extents recompressed to gz during idle windows plus
+// free-list compaction; the p99 columns bound the foreground cost of the
+// background I/O.
+func runMaint(p Params) ([]*Table, error) {
+	traces, err := standardTraces(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "maint",
+		Title: "EDC live slot bytes before/after background maintenance (single SSD)",
+		Header: []string{"trace", "live MiB off", "live MiB on", "saved KiB", "saved %",
+			"reloc cold", "reloc hot", "compactions", "p99 off ms", "p99 on ms"},
+	}
+	off := p
+	off.Maint = false
+	on := p
+	on.Maint = true
+	for _, tr := range traces {
+		base, err := replayScheme(off, edc.SingleSSD, tr, edc.SchemeEDC, nil)
+		if err != nil {
+			return nil, fmt.Errorf("maint off/%s: %w", tr.Name, err)
+		}
+		maint, err := replayScheme(on, edc.SingleSSD, tr, edc.SchemeEDC, nil)
+		if err != nil {
+			return nil, fmt.Errorf("maint on/%s: %w", tr.Name, err)
+		}
+		saved := base.LiveSlotBytes - maint.LiveSlotBytes
+		pct := 0.0
+		if base.LiveSlotBytes > 0 {
+			pct = float64(saved) / float64(base.LiveSlotBytes) * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			tr.Name,
+			f2(float64(base.LiveSlotBytes) / (1 << 20)),
+			f2(float64(maint.LiveSlotBytes) / (1 << 20)),
+			f1(float64(saved) / 1024),
+			f2(pct),
+			fmt.Sprintf("%d", maint.MaintCold),
+			fmt.Sprintf("%d", maint.MaintHot),
+			fmt.Sprintf("%d", maint.MaintCompactions),
+			f3(float64(base.Resp.Percentile(99)) / float64(time.Millisecond)),
+			f3(float64(maint.Resp.Percentile(99)) / float64(time.Millisecond)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Maintenance runs only in idle windows (calculated IOPS at or below the gz ceiling), so savings concentrate in bursty traces whose burst-written lzf/uncompressed extents go cold.",
+		"The paper fixes each extent's codec at write time; this experiment quantifies what the missing background pass leaves on the table.")
+	return []*Table{t}, nil
+}

@@ -138,6 +138,9 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 	if p.Faults != nil {
 		opts = append(opts, edc.WithFaults(p.Faults))
 	}
+	if p.Maint {
+		opts = append(opts, edc.WithMaintenance(edc.Maintenance{}))
+	}
 	sys, err := edc.NewSystem(vol, opts...)
 	if err != nil {
 		return nil, err

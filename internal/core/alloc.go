@@ -119,6 +119,47 @@ func (a *Allocator) SizeClasses() []int64 {
 	return out
 }
 
+// Compact coalesces the free lists: adjacent free slots merge into
+// larger ones, and a merged run that touches the bump frontier is
+// returned to fresh space. Free slots never move live data, so
+// compaction is pure metadata work — no device I/O — and it undoes the
+// size-class fragmentation that quantized recycling accumulates.
+// Returns how many adjacent slots were coalesced away and how many
+// bytes rejoined the untouched region. Deterministic: the rebuilt free
+// lists depend only on the set of free ranges, not map iteration order.
+func (a *Allocator) Compact() (coalesced int, reclaimed int64) {
+	ranges := make([]Range, 0, 16)
+	for s, lst := range a.free {
+		for _, off := range lst {
+			ranges = append(ranges, Range{Off: off, Len: s})
+		}
+	}
+	if len(ranges) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Off < ranges[j].Off })
+	merged := ranges[:1]
+	for _, r := range ranges[1:] {
+		last := &merged[len(merged)-1]
+		if last.Off+last.Len == r.Off {
+			last.Len += r.Len
+			coalesced++
+			continue
+		}
+		merged = append(merged, r)
+	}
+	if tail := &merged[len(merged)-1]; tail.Off+tail.Len == a.bump {
+		a.bump = tail.Off
+		reclaimed = tail.Len
+		merged = merged[:len(merged)-1]
+	}
+	a.free = make(map[int64][]int64)
+	for _, r := range merged {
+		a.free[r.Len] = append(a.free[r.Len], r.Off)
+	}
+	return coalesced, reclaimed
+}
+
 // Range is one reserved extent used when rebuilding from a snapshot.
 type Range struct {
 	Off, Len int64 // byte offset and length on the device

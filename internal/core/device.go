@@ -10,6 +10,7 @@ import (
 	"edc/internal/compress"
 	"edc/internal/datagen"
 	"edc/internal/fault"
+	"edc/internal/maint"
 	"edc/internal/obs"
 	"edc/internal/parallel"
 	"edc/internal/sim"
@@ -96,6 +97,12 @@ type Options struct {
 	// journal a crash recovery replays. Zero disables checkpointing; the
 	// journal then covers the whole run.
 	SnapshotEvery time.Duration
+	// Maint enables temperature-aware background maintenance (see
+	// maintenance.go): idle-window recompression of cold extents,
+	// demotion of hot ones, and allocator compaction. Nil (or a config
+	// with Enabled false) runs no maintenance and the replay is
+	// bit-identical to a build without the maintenance seam.
+	Maint *maint.Config
 }
 
 // DefaultOffloadCost models a hardware compression engine in the device
@@ -146,6 +153,10 @@ type Device struct {
 	faults    *fault.Plan
 	snapEvery time.Duration
 	per       *persister
+
+	// mnt drives background recompression/compaction; nil when
+	// maintenance is off (see maintenance.go).
+	mnt *maintainer
 }
 
 // NewDevice builds an EDC device over backend be exposing volumeBytes of
@@ -225,6 +236,17 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 	se := newStoreEngine(be, volBytes, opts.VerifyReads)
 	se.obs = opts.Obs
 	se.now = eng.Now
+	// Heat epochs tick at the same length whether or not maintenance is
+	// on: heat is write-only on the foreground paths, so the disabled
+	// run is unchanged, and tests can inspect temperature either way.
+	maintCfg := maint.Config{}.Normalize()
+	if opts.Maint != nil && opts.Maint.Enabled {
+		if err := opts.Maint.Validate(); err != nil {
+			return nil, err
+		}
+		maintCfg = opts.Maint.Normalize()
+	}
+	se.epochLen = maintCfg.EpochLen
 	hostCache := cache.New(opts.CacheBytes)
 	stats := newRunStats(opts.Policy.Name(), "", be.Describe())
 	if opts.Faults != nil {
@@ -296,7 +318,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 	rp.complete = func(resp time.Duration) { fe.finish(resp, false) }
 	rp.drop = fe.drop
 
-	return &Device{
+	d := &Device{
 		eng:           eng,
 		cpu:           cpu,
 		fs:            fs,
@@ -311,7 +333,15 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		stats:         stats,
 		faults:        opts.Faults,
 		snapEvery:     opts.SnapshotEvery,
-	}, nil
+	}
+	if opts.Maint != nil && opts.Maint.Enabled {
+		mnt, err := newMaintainer(d, maintCfg, opts.Registry)
+		if err != nil {
+			return nil, err
+		}
+		d.mnt = mnt
+	}
+	return d, nil
 }
 
 // Policy returns the device's policy.
@@ -348,6 +378,7 @@ func (d *Device) Play(t *trace.Trace) (*RunStats, error) {
 		}()
 	}
 	d.fe.start(t)
+	d.armMaint()
 	d.eng.Run()
 	d.wp.drain()
 	if d.fe.inFlight != 0 && d.fs.err == nil {
@@ -371,6 +402,11 @@ func (d *Device) finalize() {
 	s.Devices = d.se.be.DeviceStats()
 	s.Queues = d.se.be.QueueStats()
 	s.Duration = d.eng.Now()
+	if d.mnt != nil {
+		s.MaintTicks = d.mnt.sched.Ticks()
+		s.MaintIdleTicks = d.mnt.sched.IdleTicks()
+		s.HeatHist = d.heatHistogram()
+	}
 	s.Obs = d.obs.Report()
 	if s.Err == nil {
 		s.Err = d.fs.err

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"edc/internal/maint"
 	"edc/internal/obs"
 )
 
@@ -24,6 +25,11 @@ type storeEngine struct {
 
 	payloads map[*Extent][]byte // verify mode; nil otherwise
 
+	// epochLen is the heat-epoch length used when stamping extent
+	// temperature; set by NewDevice (default even with maintenance off,
+	// so heat tracking itself never branches).
+	epochLen time.Duration
+
 	// freeBufs recycles content/payload buffers. It is only touched by
 	// the event-loop goroutine (workers receive buffers by closure and
 	// hand them back through the joined future), so no locking.
@@ -37,6 +43,9 @@ func newStoreEngine(be Backend, volBytes int64, verify bool) *storeEngine {
 	se := &storeEngine{
 		be:    be,
 		alloc: NewAllocator(be.LogicalBytes()),
+		// NewDevice rebinds now to the owning engine's clock; the default
+		// keeps bare store engines (unit tests) safe to touch.
+		now: func() time.Duration { return 0 },
 	}
 	se.mapping = NewMapping(volBytes, se.alloc, se.freeExtent)
 	if verify {
@@ -99,6 +108,13 @@ func (se *storeEngine) place(ext *Extent) error {
 		se.obs.SlotAlloc(se.now(), ext.SlotLen)
 	}
 	return se.mapping.Insert(ext)
+}
+
+// touch bumps ext's temperature at the current heat epoch. Heat is a
+// strict observation — nothing on the foreground paths reads it back —
+// so touching costs the same whether maintenance is on or off.
+func (se *storeEngine) touch(ext *Extent) {
+	ext.Heat.Touch(maint.Epoch(se.now(), se.epochLen))
 }
 
 // keepPayload snapshots the stored bytes for verify-mode reads.

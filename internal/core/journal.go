@@ -18,19 +18,37 @@ import (
 // its data is. Crash recovery replays the journal over the last
 // snapshot (RecoverMapping, recovery.go).
 //
-//	record: magic "EJ" | seq u64 | offset u64 | origLen u32 |
+// The format is versioned by record magic. An insert record is the
+// original (PR 4) layout, unchanged byte for byte so pre-maintenance
+// journal artifacts still recover:
+//
+//	insert: magic "EJ" | seq u64 | offset u64 | origLen u32 |
 //	        compLen u32 | slotLen u32 | tag u8 | version u32 |
 //	        devOff u64 | CRC32 (IEEE) of the preceding bytes
 //
-// Records are 47 bytes, little-endian, with consecutive sequence
-// numbers. A crash can tear the final append: a short trailing record
-// is expected damage and is dropped; a CRC or sequence violation
-// anywhere else is corruption.
+// Background maintenance appends a relocate record when it rewrites a
+// stored extent into a new slot; it carries an explicit format-version
+// byte after the magic plus the old placement being freed:
+//
+//	relocate: magic "ER" | ver u8 (=1) | seq u64 | oldDevOff u64 |
+//	          oldSlotLen u32 | offset u64 | origLen u32 | compLen u32 |
+//	          slotLen u32 | tag u8 | version u32 | devOff u64 | CRC32
+//
+// Insert records are 47 bytes, relocate records 60, both little-endian,
+// sharing one consecutive sequence-number space. A crash can tear the
+// final append: a short trailing record is expected damage and is
+// dropped; a CRC, magic, or sequence violation anywhere else is
+// corruption.
 
 const (
 	jnlMagic      = "EJ"
 	jnlRecordSize = 47
 	jnlCRCOffset  = jnlRecordSize - 4
+
+	jnlRelocMagic      = "ER"
+	jnlRelocVersion    = 1
+	jnlRelocRecordSize = 60
+	jnlRelocCRCOffset  = jnlRelocRecordSize - 4
 )
 
 // ErrBadJournal reports a corrupt journal (failed CRC, bad magic, or a
@@ -40,9 +58,10 @@ var ErrBadJournal = errors.New("core: bad mapping journal")
 // Journal accumulates fixed-size mapping records in an in-memory
 // buffer (the simulated durable log). The zero value is ready to use.
 type Journal struct {
-	buf []byte
-	seq uint64
-	n   int
+	buf    []byte
+	seq    uint64
+	n      int
+	nReloc int
 }
 
 // Append records that ext's device write completed (its durable point).
@@ -50,17 +69,54 @@ func (j *Journal) Append(e *Extent) {
 	var rec [jnlRecordSize]byte
 	copy(rec[0:2], jnlMagic)
 	binary.LittleEndian.PutUint64(rec[2:], j.seq)
-	binary.LittleEndian.PutUint64(rec[10:], uint64(e.Offset))
-	binary.LittleEndian.PutUint32(rec[18:], uint32(e.OrigLen))
-	binary.LittleEndian.PutUint32(rec[22:], uint32(e.CompLen))
-	binary.LittleEndian.PutUint32(rec[26:], uint32(e.SlotLen))
-	rec[30] = byte(e.Tag)
-	binary.LittleEndian.PutUint32(rec[31:], e.Version)
-	binary.LittleEndian.PutUint64(rec[35:], uint64(e.DevOff))
+	putJnlExtent(rec[10:], e)
 	binary.LittleEndian.PutUint32(rec[jnlCRCOffset:], crc32.ChecksumIEEE(rec[:jnlCRCOffset]))
 	j.buf = append(j.buf, rec[:]...)
 	j.seq++
 	j.n++
+}
+
+// AppendRelocate records that maintenance rewrote old's run into the
+// already-written extent e, freeing old's slot. Appended only after
+// e's device write completed, so replay order matches durability order.
+func (j *Journal) AppendRelocate(old, e *Extent) {
+	var rec [jnlRelocRecordSize]byte
+	copy(rec[0:2], jnlRelocMagic)
+	rec[2] = jnlRelocVersion
+	binary.LittleEndian.PutUint64(rec[3:], j.seq)
+	binary.LittleEndian.PutUint64(rec[11:], uint64(old.DevOff))
+	binary.LittleEndian.PutUint32(rec[19:], uint32(old.SlotLen))
+	putJnlExtent(rec[23:], e)
+	binary.LittleEndian.PutUint32(rec[jnlRelocCRCOffset:], crc32.ChecksumIEEE(rec[:jnlRelocCRCOffset]))
+	j.buf = append(j.buf, rec[:]...)
+	j.seq++
+	j.n++
+	j.nReloc++
+}
+
+// putJnlExtent writes the shared 33-byte extent body (offset, lengths,
+// tag, version, devOff) both record kinds carry.
+func putJnlExtent(b []byte, e *Extent) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(e.Offset))
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.OrigLen))
+	binary.LittleEndian.PutUint32(b[12:], uint32(e.CompLen))
+	binary.LittleEndian.PutUint32(b[16:], uint32(e.SlotLen))
+	b[20] = byte(e.Tag)
+	binary.LittleEndian.PutUint32(b[21:], e.Version)
+	binary.LittleEndian.PutUint64(b[25:], uint64(e.DevOff))
+}
+
+// getJnlExtent decodes the shared extent body written by putJnlExtent.
+func getJnlExtent(b []byte) *Extent {
+	return &Extent{
+		Offset:  int64(binary.LittleEndian.Uint64(b[0:])),
+		OrigLen: int64(binary.LittleEndian.Uint32(b[8:])),
+		CompLen: int64(binary.LittleEndian.Uint32(b[12:])),
+		SlotLen: int64(binary.LittleEndian.Uint32(b[16:])),
+		Tag:     compress.Tag(b[20]),
+		Version: binary.LittleEndian.Uint32(b[21:]),
+		DevOff:  int64(binary.LittleEndian.Uint64(b[25:])),
+	}
 }
 
 // Bytes returns the journal contents (not a copy: snapshot it before
@@ -70,78 +126,142 @@ func (j *Journal) Bytes() []byte { return j.buf }
 // Records returns the number of appended records since the last Reset.
 func (j *Journal) Records() int { return j.n }
 
+// Relocations returns how many of the appended records are relocates.
+func (j *Journal) Relocations() int { return j.nReloc }
+
 // Reset empties the journal after a checkpoint folded its records into
 // the snapshot. Sequence numbering continues, so a recovery spanning a
 // checkpoint boundary cannot silently mix epochs.
 func (j *Journal) Reset() {
 	j.buf = j.buf[:0]
 	j.n = 0
+	j.nReloc = 0
 }
 
-// DecodeJournal parses a journal image into its extents, in append
+// JournalRec is one decoded journal record: a plain extent insert, or —
+// when Relocate is set — a maintenance relocation that remaps Ext's run
+// to Ext's placement and frees the old slot [OldDevOff, +OldSlotLen).
+type JournalRec struct {
+	// Ext is the extent the record makes durable.
+	Ext *Extent
+	// Relocate distinguishes a relocate record from an insert.
+	Relocate bool
+	// OldDevOff is the device offset of the slot the relocation freed
+	// (relocate records only).
+	OldDevOff int64
+	// OldSlotLen is the size of the freed slot (relocate records only).
+	OldSlotLen int64
+}
+
+// DecodeJournal parses a journal image into its records, in append
 // order. A short final record (torn tail: the crash interrupted the
 // last append) is dropped silently; any other malformation is
 // ErrBadJournal.
-func DecodeJournal(data []byte) ([]*Extent, error) {
-	var out []*Extent
+func DecodeJournal(data []byte) ([]JournalRec, error) {
+	recs, _, err := decodeJournal(data)
+	return recs, err
+}
+
+// decodeJournal is DecodeJournal plus the undecoded tail length, so
+// CheckJournal can report torn appends across both record sizes.
+func decodeJournal(data []byte) (recs []JournalRec, tail int, err error) {
 	var wantSeq uint64
-	for i := 0; len(data) >= jnlRecordSize; i++ {
-		rec := data[:jnlRecordSize]
-		data = data[jnlRecordSize:]
-		if string(rec[0:2]) != jnlMagic {
-			return nil, fmt.Errorf("%w: record %d magic", ErrBadJournal, i)
+	for i := 0; ; i++ {
+		if len(data) < jnlRecordSize {
+			// Too short for any record: a torn final append.
+			return recs, len(data), nil
 		}
-		if crc32.ChecksumIEEE(rec[:jnlCRCOffset]) != binary.LittleEndian.Uint32(rec[jnlCRCOffset:]) {
-			return nil, fmt.Errorf("%w: record %d checksum", ErrBadJournal, i)
+		var rec JournalRec
+		var body, whole []byte
+		var seq uint64
+		switch string(data[0:2]) {
+		case jnlMagic:
+			whole = data[:jnlRecordSize]
+			if crc32.ChecksumIEEE(whole[:jnlCRCOffset]) != binary.LittleEndian.Uint32(whole[jnlCRCOffset:]) {
+				return nil, 0, fmt.Errorf("%w: record %d checksum", ErrBadJournal, i)
+			}
+			seq = binary.LittleEndian.Uint64(whole[2:])
+			body = whole[10:]
+		case jnlRelocMagic:
+			if len(data) < jnlRelocRecordSize {
+				return recs, len(data), nil // torn relocate append
+			}
+			whole = data[:jnlRelocRecordSize]
+			if whole[2] != jnlRelocVersion {
+				return nil, 0, fmt.Errorf("%w: record %d relocate version %d", ErrBadJournal, i, whole[2])
+			}
+			if crc32.ChecksumIEEE(whole[:jnlRelocCRCOffset]) != binary.LittleEndian.Uint32(whole[jnlRelocCRCOffset:]) {
+				return nil, 0, fmt.Errorf("%w: record %d checksum", ErrBadJournal, i)
+			}
+			seq = binary.LittleEndian.Uint64(whole[3:])
+			rec.Relocate = true
+			rec.OldDevOff = int64(binary.LittleEndian.Uint64(whole[11:]))
+			rec.OldSlotLen = int64(binary.LittleEndian.Uint32(whole[19:]))
+			body = whole[23:]
+		default:
+			return nil, 0, fmt.Errorf("%w: record %d magic", ErrBadJournal, i)
 		}
-		seq := binary.LittleEndian.Uint64(rec[2:])
+		data = data[len(whole):]
 		if i == 0 {
 			wantSeq = seq
 		}
 		if seq != wantSeq {
-			return nil, fmt.Errorf("%w: record %d sequence %d, want %d", ErrBadJournal, i, seq, wantSeq)
+			return nil, 0, fmt.Errorf("%w: record %d sequence %d, want %d", ErrBadJournal, i, seq, wantSeq)
 		}
 		wantSeq++
-		e := &Extent{
-			Offset:  int64(binary.LittleEndian.Uint64(rec[10:])),
-			OrigLen: int64(binary.LittleEndian.Uint32(rec[18:])),
-			CompLen: int64(binary.LittleEndian.Uint32(rec[22:])),
-			SlotLen: int64(binary.LittleEndian.Uint32(rec[26:])),
-			Tag:     compress.Tag(rec[30]),
-			Version: binary.LittleEndian.Uint32(rec[31:]),
-			DevOff:  int64(binary.LittleEndian.Uint64(rec[35:])),
-		}
+		e := getJnlExtent(body)
 		if e.OrigLen <= 0 || e.OrigLen%BlockSize != 0 || e.Offset < 0 || e.Offset%BlockSize != 0 ||
 			e.SlotLen <= 0 || e.CompLen <= 0 || e.Tag > compress.MaxTag {
-			return nil, fmt.Errorf("%w: record %d invalid extent", ErrBadJournal, i)
+			return nil, 0, fmt.Errorf("%w: record %d invalid extent", ErrBadJournal, i)
 		}
-		out = append(out, e)
+		if rec.Relocate && (rec.OldDevOff < 0 || rec.OldSlotLen <= 0) {
+			return nil, 0, fmt.Errorf("%w: record %d invalid old slot", ErrBadJournal, i)
+		}
+		rec.Ext = e
+		recs = append(recs, rec)
 	}
-	return out, nil
 }
 
 // CheckJournal validates a journal image for edcfsck: the number of
 // intact records, whether the tail was torn, and any corruption found.
 func CheckJournal(data []byte) (records int, torn bool, err error) {
-	exts, err := DecodeJournal(data)
+	recs, tail, err := decodeJournal(data)
 	if err != nil {
 		return 0, false, err
 	}
-	return len(exts), len(data)%jnlRecordSize != 0, nil
+	return len(recs), tail != 0, nil
 }
 
-// ReplayJournal applies a journal image onto m in append order
-// (overwrites unmap the blocks they cover, exactly as the live write
-// path did) and returns the number of records applied.
+// ReplayJournal applies a journal image onto m in append order (inserts
+// unmap the blocks they cover exactly as the live write path did;
+// relocates remap the surviving blocks of their run and free the old
+// slot) and returns the number of records applied. A relocate whose old
+// placement is not mapped — already freed, or never present — is
+// refused as corruption rather than double-freed.
 func ReplayJournal(m *Mapping, data []byte) (int, error) {
-	exts, err := DecodeJournal(data)
+	recs, err := DecodeJournal(data)
 	if err != nil {
 		return 0, err
 	}
-	for i, e := range exts {
-		if err := m.Insert(e); err != nil {
+	for i, rec := range recs {
+		if !rec.Relocate {
+			if err := m.Insert(rec.Ext); err != nil {
+				return i, fmt.Errorf("core: journal replay record %d: %w", i, err)
+			}
+			continue
+		}
+		old := m.findExtent(rec.Ext.Offset, rec.Ext.OrigLen, rec.OldDevOff)
+		if old == nil {
+			return i, fmt.Errorf("%w: relocate record %d: old slot %d for run at %d not mapped (double free?)",
+				ErrBadJournal, i, rec.OldDevOff, rec.Ext.Offset)
+		}
+		if old.SlotLen != rec.OldSlotLen {
+			return i, fmt.Errorf("%w: relocate record %d: old slot size %d, mapping has %d",
+				ErrBadJournal, i, rec.OldSlotLen, old.SlotLen)
+		}
+		if err := m.Replace(old, rec.Ext); err != nil {
 			return i, fmt.Errorf("core: journal replay record %d: %w", i, err)
 		}
 	}
-	return len(exts), nil
+	return len(recs), nil
 }

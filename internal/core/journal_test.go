@@ -35,7 +35,10 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d records, want %d", len(got), len(want))
 	}
 	for i, e := range want {
-		g := got[i]
+		if got[i].Relocate {
+			t.Fatalf("record %d decoded as relocate", i)
+		}
+		g := got[i].Ext
 		if g.Offset != e.Offset || g.OrigLen != e.OrigLen || g.CompLen != e.CompLen ||
 			g.SlotLen != e.SlotLen || g.Tag != e.Tag || g.Version != e.Version || g.DevOff != e.DevOff {
 			t.Fatalf("record %d: got %+v, want %+v", i, g, e)
@@ -123,6 +126,106 @@ func TestJournalResetContinuesSequence(t *testing.T) {
 	got, err := DecodeJournal(j.Bytes())
 	if err != nil || len(got) != 1 {
 		t.Fatalf("post-reset decode = (%d, %v)", len(got), err)
+	}
+}
+
+func TestJournalRelocateRoundTrip(t *testing.T) {
+	var j Journal
+	old := &Extent{Offset: 0, OrigLen: 4 * BlockSize, CompLen: 9000, SlotLen: 12288, Tag: compress.TagLZF, Version: 3, DevOff: 4096}
+	repl := &Extent{Offset: 0, OrigLen: 4 * BlockSize, CompLen: 3000, SlotLen: 4096, Tag: compress.TagGZ, Version: 3, DevOff: 65536}
+	j.Append(old)
+	j.AppendRelocate(old, repl)
+	if j.Records() != 2 || j.Relocations() != 1 {
+		t.Fatalf("records = %d, relocations = %d, want 2, 1", j.Records(), j.Relocations())
+	}
+	got, err := DecodeJournal(j.Bytes())
+	if err != nil || len(got) != 2 {
+		t.Fatalf("decode = (%d, %v)", len(got), err)
+	}
+	r := got[1]
+	if !r.Relocate || r.OldDevOff != old.DevOff || r.OldSlotLen != old.SlotLen {
+		t.Fatalf("relocate record = %+v", r)
+	}
+	if e := r.Ext; e.Tag != repl.Tag || e.CompLen != repl.CompLen || e.SlotLen != repl.SlotLen ||
+		e.DevOff != repl.DevOff || e.Version != repl.Version {
+		t.Fatalf("relocated extent = %+v, want %+v", r.Ext, repl)
+	}
+
+	// A torn relocate append is expected crash damage.
+	torn := j.Bytes()[:len(j.Bytes())-9]
+	recs, err := DecodeJournal(torn)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("torn relocate decode = (%d, %v), want (1, nil)", len(recs), err)
+	}
+	n, tornFlag, err := CheckJournal(torn)
+	if err != nil || n != 1 || !tornFlag {
+		t.Fatalf("CheckJournal(torn relocate) = (%d, %v, %v)", n, tornFlag, err)
+	}
+
+	// An unknown relocate format version is corruption, not damage.
+	img := append([]byte(nil), j.Bytes()...)
+	img[jnlRecordSize+2] = 9 // version byte of the relocate record
+	rec := img[jnlRecordSize:]
+	binary.LittleEndian.PutUint32(rec[jnlRelocCRCOffset:], crc32.ChecksumIEEE(rec[:jnlRelocCRCOffset]))
+	if _, err := DecodeJournal(img); !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("future relocate version: err = %v, want ErrBadJournal", err)
+	}
+}
+
+func TestJournalReplayRelocate(t *testing.T) {
+	var j Journal
+	old := &Extent{Offset: 0, OrigLen: 4 * BlockSize, CompLen: 9000, SlotLen: 12288, Tag: compress.TagLZF, Version: 1, DevOff: 0}
+	repl := &Extent{Offset: 0, OrigLen: 4 * BlockSize, CompLen: 3000, SlotLen: 4096, Tag: compress.TagGZ, Version: 1, DevOff: 32768}
+	j.Append(old)
+	j.AppendRelocate(old, repl)
+	alloc := NewAllocator(1 << 20)
+	m := NewMapping(64*BlockSize, alloc, nil)
+	n, err := ReplayJournal(m, j.Bytes())
+	if err != nil || n != 2 {
+		t.Fatalf("ReplayJournal = (%d, %v)", n, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup(0); got == nil || got.DevOff != repl.DevOff || got.Tag != compress.TagGZ {
+		t.Fatalf("post-replay extent = %+v, want relocated placement", got)
+	}
+	if m.LiveBlocks() != 4 || m.Extents() != 1 {
+		t.Fatalf("live = %d blocks in %d extents, want 4 in 1", m.LiveBlocks(), m.Extents())
+	}
+}
+
+// A relocate whose old placement is not mapped (already freed by an
+// earlier record, or plain missing) must be refused, never
+// double-freed.
+func TestJournalReplayRelocateDoubleFree(t *testing.T) {
+	build := func() ([]byte, *Extent) {
+		var j Journal
+		old := &Extent{Offset: 0, OrigLen: 4 * BlockSize, CompLen: 9000, SlotLen: 12288, Tag: compress.TagLZF, Version: 1, DevOff: 0}
+		repl := &Extent{Offset: 0, OrigLen: 4 * BlockSize, CompLen: 3000, SlotLen: 4096, Tag: compress.TagGZ, Version: 1, DevOff: 32768}
+		j.Append(old)
+		j.AppendRelocate(old, repl)
+		j.AppendRelocate(old, repl) // second free of the same slot
+		return j.Bytes(), old
+	}
+	img, _ := build()
+	alloc := NewAllocator(1 << 20)
+	m := NewMapping(64*BlockSize, alloc, nil)
+	n, err := ReplayJournal(m, img)
+	if !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("double-free replay: err = %v, want ErrBadJournal", err)
+	}
+	if n != 2 {
+		t.Fatalf("replay applied %d records before refusing, want 2", n)
+	}
+	// Relocate of a never-inserted run is refused too.
+	var j2 Journal
+	j2.AppendRelocate(
+		&Extent{Offset: 8 * BlockSize, OrigLen: 4 * BlockSize, CompLen: 9000, SlotLen: 12288, Tag: compress.TagLZF, Version: 1, DevOff: 4096},
+		&Extent{Offset: 8 * BlockSize, OrigLen: 4 * BlockSize, CompLen: 3000, SlotLen: 4096, Tag: compress.TagGZ, Version: 1, DevOff: 65536})
+	m2 := NewMapping(64*BlockSize, NewAllocator(1<<20), nil)
+	if _, err := ReplayJournal(m2, j2.Bytes()); !errors.Is(err, ErrBadJournal) {
+		t.Fatalf("unmapped relocate replay: err = %v, want ErrBadJournal", err)
 	}
 }
 

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"edc/internal/compress"
+	"edc/internal/maint"
+	"edc/internal/obs"
+	"edc/internal/sim"
+)
+
+// Background maintenance
+//
+// The paper fixes each extent's codec once, at write time, from the
+// instantaneous calculated IOPS — so a burst-written extent stays
+// lzf/none forever even after it goes cold, and freed quantized slots
+// fragment with no reclaim path. The maintainer closes both gaps: a
+// virtual-time scheduler (internal/maint) ticks while the engine has
+// work pending, and on ticks where the intensity monitor reports the
+// device idle it (1) relocates cold lzf/none extents to a heavier codec
+// for space, (2) demotes hot gz/bwz extents to a cheap codec for read
+// latency, and (3) compacts the allocator's fragmented free lists.
+// Relocation reuses the same primitives as the foreground pipeline
+// (store-engine reads and writes, CPU-station charges, quantized
+// allocation, journal append at the durable point, mapping swap), so a
+// maintenance move is observable and recoverable exactly like a host
+// write. With maintenance off the maintainer is never constructed and
+// no foreground code path reads heat, keeping the disabled replay
+// bit-identical.
+
+// maintainer drives temperature-aware recompression and slot
+// compaction for one device (one shard). All state is owned by the
+// device's event-loop goroutine.
+type maintainer struct {
+	d     *Device
+	cfg   maint.Config
+	sched *maint.Scheduler
+	cold  compress.Codec // target for cold lzf/none extents (nil: off)
+	hot   compress.Codec // target for hot gz/bwz extents (nil: off)
+
+	// relocating guards extents with a move in flight (membership only;
+	// never iterated, so it cannot perturb determinism).
+	relocating map[*Extent]struct{}
+	// noWin remembers extents whose cold re-encode showed no space win
+	// at the recorded version, so the scanner stops re-reading them
+	// every pass; an overwrite bumps the version and retries. Membership
+	// only, like relocating.
+	noWin map[*Extent]uint32
+	// scanPos is the next mapping-table block to examine, persisting
+	// across ticks so every extent gets scanned regardless of budget.
+	scanPos int64
+}
+
+// newMaintainer resolves the configured codec names against the
+// device's registry and wires the tick scheduler onto its engine. cfg
+// must already be normalized. A codec name of "none" disables that
+// direction.
+func newMaintainer(d *Device, cfg maint.Config, reg *compress.Registry) (*maintainer, error) {
+	mt := &maintainer{
+		d:          d,
+		cfg:        cfg,
+		relocating: make(map[*Extent]struct{}),
+		noWin:      make(map[*Extent]uint32),
+	}
+	var err error
+	if cfg.ColdCodec != "none" {
+		if mt.cold, err = reg.ByName(cfg.ColdCodec); err != nil {
+			return nil, fmt.Errorf("core: maintenance cold codec: %w", err)
+		}
+	}
+	if cfg.HotCodec != "none" {
+		if mt.hot, err = reg.ByName(cfg.HotCodec); err != nil {
+			return nil, fmt.Errorf("core: maintenance hot codec: %w", err)
+		}
+	}
+	mt.sched = maint.NewScheduler(cfg, d.eng, mt.idle, mt.step)
+	return mt, nil
+}
+
+// armMaint schedules the next maintenance tick if maintenance is
+// configured. Replay arms once before the event loop runs; serve mode
+// re-arms on every ingested batch (the heap empties between batches).
+func (d *Device) armMaint() {
+	if d.mnt != nil {
+		d.mnt.sched.Arm()
+	}
+}
+
+// idle is the scheduler's idle-window probe: maintenance only acts
+// when the workload monitor's calculated IOPS sits at or below the
+// configured ceiling — the same signal that would make the foreground
+// policy pick its heaviest codec — and the run has not failed.
+func (mt *maintainer) idle(now time.Duration) bool {
+	return !mt.d.fs.failed() && mt.d.wp.meter.Intensity(now) <= mt.cfg.IdleIOPS
+}
+
+// step is one idle tick's worth of maintenance: scan the mapping table
+// from where the last tick stopped, start up to budget relocations,
+// then compact the allocator if its free lists have fragmented across
+// enough size classes. Returns the number of actions started.
+func (mt *maintainer) step(now time.Duration, budget int) int {
+	d := mt.d
+	table := d.se.mapping.table
+	n := int64(len(table))
+	epoch := maint.Epoch(now, mt.cfg.EpochLen)
+	started := 0
+	var prev *Extent
+	for scanned := int64(0); scanned < n && started < budget; scanned++ {
+		b := mt.scanPos
+		mt.scanPos++
+		if mt.scanPos >= n {
+			mt.scanPos = 0
+		}
+		e := table[b]
+		if e == nil || e == prev {
+			continue
+		}
+		prev = e
+		if e.pending {
+			continue // device write not durable yet; let it land first
+		}
+		if _, busy := mt.relocating[e]; busy {
+			continue
+		}
+		hits := e.Heat.Hits(epoch)
+		switch {
+		case mt.hot != nil && hits >= mt.cfg.HotHits &&
+			(e.Tag == compress.TagGZ || e.Tag == compress.TagBWZ):
+			mt.relocate(e, mt.hot, obs.RelocateHot)
+			started++
+		case mt.cold != nil && hits == 0 && e.Heat.IdleFor(epoch) >= mt.cfg.ColdEpochs &&
+			(e.Tag == compress.TagNone || e.Tag == compress.TagLZF):
+			if v, tried := mt.noWin[e]; tried && v == e.Version {
+				continue // re-encode already showed no space win for this content
+			}
+			mt.relocate(e, mt.cold, obs.RelocateCold)
+			started++
+		}
+	}
+	if classes := len(d.se.alloc.SizeClasses()); classes >= mt.cfg.CompactClasses {
+		coalesced, reclaimed := d.se.alloc.Compact()
+		if coalesced > 0 || reclaimed > 0 {
+			d.stats.MaintCompactions++
+			d.stats.MaintCoalesced += int64(coalesced)
+			d.stats.MaintCompactFreed += reclaimed
+			if d.obs != nil {
+				d.obs.Compact(now, classes, coalesced, reclaimed)
+			}
+			started++
+		}
+	}
+	return started
+}
+
+// relocate starts moving extent e to codec: read the stored payload
+// back from the device, charge the re-encode CPU time, then reencode
+// picks the new placement. Any fault, a run failure, or the extent
+// dying to an overwrite mid-flight aborts the move (the extent is
+// simply reconsidered on a later tick).
+func (mt *maintainer) relocate(e *Extent, codec compress.Codec, reason string) {
+	mt.relocating[e] = struct{}{}
+	d := mt.d
+	var extra time.Duration
+	if d.rp.offload && e.Tag != compress.TagNone {
+		extra = time.Duration(float64(e.OrigLen) / d.rp.offloadCost.DecompressBps * float64(time.Second))
+	}
+	d.se.read(e.DevOff, e.CompLen, extra, func(err error) {
+		if err != nil || d.fs.failed() || e.live == 0 {
+			mt.abort(e)
+			return
+		}
+		var cpu time.Duration
+		if !d.wp.offload {
+			cpu = d.wp.cost.DecompressTime(e.Tag, e.OrigLen) +
+				d.wp.cost.CompressTime(codec.Tag(), e.OrigLen)
+		}
+		if cpu > 0 {
+			d.cpu.Submit(sim.Job{Service: cpu, Done: func(_, _ time.Duration) {
+				mt.reencode(e, codec, reason)
+			}})
+			return
+		}
+		mt.reencode(e, codec, reason)
+	})
+}
+
+// reencode re-runs the codec over e's regenerated content (stored
+// bytes are a pure function of offset, length, and version), picks the
+// quantized slot, allocates it, and issues the device write for the
+// new placement. A cold move that would not shrink the slot aborts; a
+// hot demotion whose cheap codec misses every compressed class falls
+// back to an uncompressed slot, the cheapest possible read.
+func (mt *maintainer) reencode(e *Extent, codec compress.Codec, reason string) {
+	d := mt.d
+	if d.fs.failed() || e.live == 0 {
+		mt.abort(e)
+		return
+	}
+	content := d.wp.data.AppendBlock(d.se.getBuf(), e.Offset, int(e.OrigLen), e.Version)
+	payload := compress.AppendCompress(codec, d.se.getBuf(), content)
+	tag := codec.Tag()
+	compLen := int64(len(payload))
+	slotLen, ok := QuantizeSlot(e.OrigLen, compLen)
+	stored := payload
+	switch {
+	case ok && d.wp.exactSlots:
+		slotLen = compLen
+	case !ok && reason == obs.RelocateHot:
+		tag = compress.TagNone
+		compLen = e.OrigLen
+		slotLen = e.OrigLen
+		stored = content
+	case !ok:
+		d.se.putBuf(content)
+		d.se.putBuf(payload)
+		mt.noWin[e] = e.Version
+		mt.abort(e)
+		return
+	}
+	if reason == obs.RelocateCold && slotLen >= e.SlotLen {
+		// No space win; keep the current placement and remember not to
+		// retry until an overwrite changes the content.
+		d.se.putBuf(content)
+		d.se.putBuf(payload)
+		mt.noWin[e] = e.Version
+		mt.abort(e)
+		return
+	}
+	devOff, err := d.se.alloc.Alloc(slotLen)
+	if err != nil {
+		// Device full: skip rather than fail a background move.
+		d.se.putBuf(content)
+		d.se.putBuf(payload)
+		mt.abort(e)
+		return
+	}
+	if d.se.obs != nil {
+		d.se.obs.SlotAlloc(d.se.now(), slotLen)
+	}
+	newExt := &Extent{
+		Offset:  e.Offset,
+		OrigLen: e.OrigLen,
+		CompLen: compLen,
+		SlotLen: slotLen,
+		Tag:     tag,
+		Version: e.Version,
+		DevOff:  devOff,
+	}
+	d.se.keepPayload(newExt, stored)
+	d.se.putBuf(content)
+	d.se.putBuf(payload)
+	var extra time.Duration
+	if d.wp.offload && tag != compress.TagNone {
+		extra = time.Duration(float64(e.OrigLen) / d.wp.offloadCost.CompressBps * float64(time.Second))
+	}
+	d.se.write(devOff, slotLen, extra, func(err error) {
+		mt.commit(e, newExt, reason, err)
+	})
+}
+
+// commit lands one relocation at its durable point (the new slot's
+// device write completed): journal the versioned relocate record, swap
+// the mapping to the new extent, and free the old slot. Mirrors the
+// write path, where the insert record is appended at write completion
+// so journal order is durability order.
+func (mt *maintainer) commit(e, newExt *Extent, reason string, err error) {
+	d := mt.d
+	if err != nil || d.fs.failed() || e.live == 0 {
+		// The new slot was never mapped: quietly return it. (obs slot
+		// accounting sees the alloc without a free, matching realloc's
+		// treatment of abandoned slots.)
+		d.se.alloc.Free(newExt.DevOff, newExt.SlotLen)
+		if d.se.payloads != nil {
+			delete(d.se.payloads, newExt)
+		}
+		mt.abort(e)
+		return
+	}
+	oldTag, oldSlot := e.Tag, e.SlotLen
+	if d.wp.jnl != nil {
+		d.wp.jnl.AppendRelocate(e, newExt)
+	}
+	if rerr := d.se.mapping.Replace(e, newExt); rerr != nil {
+		d.fs.fail(rerr)
+		return
+	}
+	delete(mt.relocating, e)
+	d.stats.MaintRelocations++
+	d.stats.MaintReclaimed += oldSlot - newExt.SlotLen
+	if reason == obs.RelocateCold {
+		d.stats.MaintCold++
+	} else {
+		d.stats.MaintHot++
+	}
+	if d.obs != nil {
+		d.obs.Recompress(d.eng.Now(), newExt.Offset, newExt.OrigLen,
+			tagName(d.rp.reg, oldTag), tagName(d.rp.reg, newExt.Tag),
+			newExt.CompLen, oldSlot, newExt.SlotLen, reason)
+	}
+}
+
+// abort gives up on an in-flight relocation; the extent stays where it
+// is and remains eligible for a later tick.
+func (mt *maintainer) abort(e *Extent) {
+	delete(mt.relocating, e)
+	mt.d.stats.MaintAborted++
+}
+
+// heatHistogram buckets every live extent's decayed hit count at the
+// current epoch (finalize calls this only when maintenance ran).
+func (d *Device) heatHistogram() []int64 {
+	hist := make([]int64, maint.HistBuckets)
+	epoch := maint.Epoch(d.eng.Now(), d.se.epochLen)
+	var prev *Extent
+	seen := make(map[*Extent]struct{})
+	for _, e := range d.se.mapping.table {
+		if e == nil || e == prev {
+			continue
+		}
+		prev = e
+		if _, ok := seen[e]; ok {
+			continue
+		}
+		seen[e] = struct{}{}
+		hist[maint.HistBucket(e.Heat.Hits(epoch))]++
+	}
+	return hist
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"edc/internal/compress"
+	"edc/internal/maint"
 )
 
 // BlockSize is the logical block granularity of the EDC mapping table.
@@ -24,7 +25,14 @@ type Extent struct {
 	DevOff  int64 // byte offset on the backing device
 	Version uint32
 
-	live int32 // logical blocks still mapped to this extent
+	// Heat is the extent's epoch-decayed temperature, bumped by the
+	// read and write paths and consulted only by background
+	// maintenance; it is never persisted (recovered extents start
+	// cold).
+	Heat maint.Heat
+
+	live    int32 // logical blocks still mapped to this extent
+	pending bool  // device write not yet durable; maintenance must not move it
 }
 
 // Compressed reports whether the extent stores transformed data.
@@ -126,6 +134,71 @@ func (m *Mapping) unmapBlock(b int64) {
 		// First block to die: the whole slot is now partially dead.
 		m.deadSpace += old.SlotLen
 	}
+}
+
+// Replace swaps old for repl in every block that still references old,
+// freeing old's device slot — the remap half of an extent relocation.
+// repl must describe the same logical run (Offset, OrigLen, Version)
+// with its new slot already allocated; blocks of the run that were
+// overwritten while the relocation was in flight stay with their newer
+// extents, so repl inherits exactly old's live count. Returns an error
+// if old is no longer referenced anywhere (the caller should have
+// aborted instead of double-freeing).
+func (m *Mapping) Replace(old, repl *Extent) error {
+	if old.live <= 0 {
+		return fmt.Errorf("core: replace of dead extent at %d", old.Offset)
+	}
+	if repl.Offset != old.Offset || repl.OrigLen != old.OrigLen {
+		return fmt.Errorf("core: replace changes run [%d,+%d) -> [%d,+%d)",
+			old.Offset, old.OrigLen, repl.Offset, repl.OrigLen)
+	}
+	first := old.Offset / BlockSize
+	n := old.OrigLen / BlockSize
+	var moved int32
+	for b := first; b < first+n; b++ {
+		if m.table[b] == old {
+			m.table[b] = repl
+			moved++
+		}
+	}
+	if moved != old.live {
+		return fmt.Errorf("core: extent at %d: live=%d but %d blocks reference it",
+			old.Offset, old.live, moved)
+	}
+	repl.live = moved
+	repl.Heat = old.Heat
+	old.live = 0
+	if moved < int32(n) {
+		// The slot was counted dead-space when its first block died;
+		// the replacement slot inherits that state at its own size.
+		m.deadSpace += repl.SlotLen - old.SlotLen
+	}
+	m.alloc.Free(old.DevOff, old.SlotLen)
+	if m.onFree != nil {
+		m.onFree(old)
+	}
+	return nil
+}
+
+// findExtent locates the live extent for the run starting at off whose
+// slot sits at devOff — the lookup journal replay uses to resolve a
+// relocate record's old placement. Returns nil if no such extent is
+// still mapped.
+func (m *Mapping) findExtent(off, origLen, devOff int64) *Extent {
+	first := off / BlockSize
+	n := origLen / BlockSize
+	if first < 0 || n <= 0 || first+n > int64(len(m.table)) {
+		return nil
+	}
+	// Any block of the run may have been overwritten since; the extent
+	// is found through whichever of its blocks it still owns.
+	for b := first; b < first+n; b++ {
+		e := m.table[b]
+		if e != nil && e.Offset == off && e.DevOff == devOff {
+			return e
+		}
+	}
+	return nil
 }
 
 // Trim unmaps a block-aligned range (host discard).

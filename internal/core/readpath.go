@@ -96,6 +96,9 @@ func (rp *readPath) read(arrival time.Duration, off, size int64, done func(time.
 		}
 	}
 	for _, seg := range plan {
+		if seg.Ext != nil {
+			rp.se.touch(seg.Ext)
+		}
 		switch {
 		case seg.Ext == nil:
 			// Hole: the device still transfers zero pages.

@@ -62,9 +62,12 @@ func (d *Device) armPersistence() error {
 }
 
 // armCheckpoint schedules the next checkpoint, re-arming itself only
-// while further events are pending so the event loop can drain.
+// while non-housekeeping events are pending so the event loop can
+// drain. The timer is scheduled as housekeeping for the same reason:
+// otherwise it and the maintenance tick would each count the other as
+// pending work and re-arm forever.
 func (p *persister) armCheckpoint(every time.Duration) {
-	p.dev.eng.ScheduleAfter(every, func() {
+	p.dev.eng.ScheduleHousekeepingAfter(every, func() {
 		if p.dev.fs.failed() {
 			return
 		}
@@ -72,7 +75,7 @@ func (p *persister) armCheckpoint(every time.Duration) {
 			p.dev.fs.fail(err)
 			return
 		}
-		if p.dev.eng.Pending() > 0 {
+		if p.dev.eng.PendingWork() > 0 {
 			p.armCheckpoint(every)
 		}
 	})
@@ -197,6 +200,7 @@ func (d *Device) PlayUntil(t *trace.Trace, cut time.Duration) (*RunStats, *Crash
 		}()
 	}
 	d.fe.start(t)
+	d.armMaint()
 	d.eng.RunUntil(cut)
 	lost := d.fe.inFlight + int64(len(d.fe.deferred))
 	d.stats.CrashLost = lost

@@ -457,7 +457,13 @@ drain:
 			break drain
 		}
 	}
-	ss.dev.eng.Run()
+	// Re-arm maintenance for this batch (a tick that fired with nothing
+	// pending disarmed itself). RunPending — not Run — so the armed
+	// maintenance/checkpoint timers cannot fast-forward the clock ahead
+	// of arrival stamps still in flight; they fire when real traffic
+	// pushes the clock past their deadlines.
+	ss.dev.armMaint()
+	ss.dev.eng.RunPending()
 	if ss.dev.fs.failed() {
 		ss.failAll()
 	}

@@ -64,6 +64,19 @@ type RunStats struct {
 	// mailbox full and had to block (backpressure events; zero in replay).
 	SubmitStalls int64
 
+	// Background maintenance (all zero unless maintenance is enabled):
+	MaintTicks        int64   // maintenance ticks fired
+	MaintIdleTicks    int64   // ticks that found the device idle
+	MaintRelocations  int64   // extents rewritten to a new slot
+	MaintCold         int64   // relocations that recompressed cold data
+	MaintHot          int64   // relocations that demoted hot data
+	MaintAborted      int64   // relocations abandoned mid-flight
+	MaintReclaimed    int64   // net live slot bytes freed by relocation
+	MaintCompactions  int64   // allocator free-list compactions
+	MaintCoalesced    int64   // adjacent free slots merged by compaction
+	MaintCompactFreed int64   // free-tail bytes returned to fresh space
+	HeatHist          []int64 // live extents by decayed heat bucket at end of run
+
 	// Fault injection and recovery (all zero without a fault plan):
 	Faults           int64         // injected device errors observed
 	FaultRetries     int64         // virtual-time retries issued
@@ -140,6 +153,22 @@ func MergeRunStats(parts []*RunStats) *RunStats {
 		out.SDMerged += p.SDMerged
 		out.SDRuns += p.SDRuns
 		out.SubmitStalls += p.SubmitStalls
+		out.MaintTicks += p.MaintTicks
+		out.MaintIdleTicks += p.MaintIdleTicks
+		out.MaintRelocations += p.MaintRelocations
+		out.MaintCold += p.MaintCold
+		out.MaintHot += p.MaintHot
+		out.MaintAborted += p.MaintAborted
+		out.MaintReclaimed += p.MaintReclaimed
+		out.MaintCompactions += p.MaintCompactions
+		out.MaintCoalesced += p.MaintCoalesced
+		out.MaintCompactFreed += p.MaintCompactFreed
+		for len(out.HeatHist) < len(p.HeatHist) {
+			out.HeatHist = append(out.HeatHist, 0)
+		}
+		for i, v := range p.HeatHist {
+			out.HeatHist[i] += v
+		}
 		out.Faults += p.Faults
 		out.FaultRetries += p.FaultRetries
 		out.DegradedReads += p.DegradedReads
@@ -302,6 +331,19 @@ func (rs *RunStats) Format() string {
 	if rs.SubmitStalls > 0 {
 		fmt.Fprintf(&b, "serve: submit-stalls=%d\n", rs.SubmitStalls)
 	}
+	// The maint lines only appear when maintenance ran, so
+	// maintenance-off reports stay byte-identical to pre-maintenance
+	// builds.
+	if rs.MaintTicks > 0 || rs.MaintRelocations > 0 || rs.MaintCompactions > 0 {
+		fmt.Fprintf(&b, "maint: ticks=%d idle=%d relocated=%d (cold=%d hot=%d aborted=%d) reclaimed=%d compactions=%d coalesced=%d\n",
+			rs.MaintTicks, rs.MaintIdleTicks, rs.MaintRelocations,
+			rs.MaintCold, rs.MaintHot, rs.MaintAborted,
+			rs.MaintReclaimed, rs.MaintCompactions, rs.MaintCoalesced)
+	}
+	if len(rs.HeatHist) == 5 {
+		fmt.Fprintf(&b, "heat: h0=%d h1=%d h2-3=%d h4-7=%d h8+=%d\n",
+			rs.HeatHist[0], rs.HeatHist[1], rs.HeatHist[2], rs.HeatHist[3], rs.HeatHist[4])
+	}
 	// The faults line only appears when a fault plan fired, so no-plan
 	// reports stay byte-identical to an un-instrumented build.
 	if rs.Faults > 0 || rs.Recoveries > 0 {
@@ -370,6 +412,18 @@ type Report struct {
 	// Serve-mode backpressure (omitted in replay).
 	SubmitStalls int64 `json:"submit_stalls,omitempty"`
 
+	// Background maintenance (omitted when maintenance is off).
+	MaintTicks       int64   `json:"maint_ticks,omitempty"`
+	MaintIdleTicks   int64   `json:"maint_idle_ticks,omitempty"`
+	MaintRelocations int64   `json:"maint_relocations,omitempty"`
+	MaintCold        int64   `json:"maint_cold,omitempty"`
+	MaintHot         int64   `json:"maint_hot,omitempty"`
+	MaintAborted     int64   `json:"maint_aborted,omitempty"`
+	MaintReclaimed   int64   `json:"maint_reclaimed_bytes,omitempty"`
+	MaintCompactions int64   `json:"maint_compactions,omitempty"`
+	MaintCoalesced   int64   `json:"maint_coalesced,omitempty"`
+	HeatHist         []int64 `json:"heat_hist,omitempty"`
+
 	// Fault injection and recovery (omitted without a fault plan).
 	Faults             int64 `json:"faults,omitempty"`
 	FaultRetries       int64 `json:"fault_retries,omitempty"`
@@ -417,7 +471,12 @@ func (rs *RunStats) Report() *Report {
 		Oversize: rs.Oversize, OversizeRate: rs.OversizeRate(),
 		SDRuns: rs.SDRuns, SDMerged: rs.SDMerged,
 		SubmitStalls: rs.SubmitStalls,
-		Faults:       rs.Faults, FaultRetries: rs.FaultRetries,
+		MaintTicks:   rs.MaintTicks, MaintIdleTicks: rs.MaintIdleTicks,
+		MaintRelocations: rs.MaintRelocations, MaintCold: rs.MaintCold,
+		MaintHot: rs.MaintHot, MaintAborted: rs.MaintAborted,
+		MaintReclaimed: rs.MaintReclaimed, MaintCompactions: rs.MaintCompactions,
+		MaintCoalesced: rs.MaintCoalesced, HeatHist: rs.HeatHist,
+		Faults: rs.Faults, FaultRetries: rs.FaultRetries,
 		DegradedReads:      rs.DegradedReads,
 		DegradedReadTimeUS: rs.DegradedReadTime.Microseconds(),
 		WriteReallocs:      rs.WriteReallocs,

@@ -259,6 +259,8 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 		Tag:     tag,
 		Version: ver,
 	}
+	wp.se.touch(ext) // born warm: written this epoch
+	ext.pending = true
 	if err := wp.se.place(ext); err != nil {
 		wp.fs.fail(fmt.Errorf("storing run at %d: %w", run.Offset, err))
 		wp.drop(len(run.Writes))
@@ -297,6 +299,8 @@ func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, extra time.D
 	wp.se.write(ext.DevOff, ext.SlotLen, extra, func(err error) {
 		switch {
 		case err == nil:
+			// Durable: journaled and safe for maintenance to relocate.
+			ext.pending = false
 			if wp.jnl != nil {
 				wp.jnl.Append(ext)
 			}

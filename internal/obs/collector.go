@@ -339,6 +339,36 @@ func (c *Collector) Recover(now time.Duration, reason string, off, size int64, r
 		Off: off, Size: size, Records: records})
 }
 
+// Recompress records one background maintenance relocation: the extent
+// at [off, off+orig) moved from codec `from` (slot oldSlot) to codec
+// `to` (compressed length comp in slot newSlot) because it went cold or
+// hot (reason).
+func (c *Collector) Recompress(now time.Duration, off, orig int64, from, to string, comp, oldSlot, newSlot int64, reason string) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_maint_recompress_total{reason=%q}", reason)]++
+	if saved := oldSlot - newSlot; saved > 0 {
+		c.counters["edc_maint_reclaimed_bytes_total"] += saved
+	}
+	c.emit(Event{TUS: now.Microseconds(), Type: EvRecompress, Reason: reason,
+		Off: off, Size: orig, From: from, Codec: to, Comp: comp,
+		Slot: newSlot, ClassPct: slotClassPct(orig, newSlot), Reclaimed: oldSlot - newSlot})
+}
+
+// Compact records one allocator free-list compaction: classes size
+// classes existed, merged adjacent free slots were coalesced, and
+// reclaimed bytes rejoined the untouched region.
+func (c *Collector) Compact(now time.Duration, classes, merged int, reclaimed int64) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_maint_compactions_total"]++
+	c.counters["edc_maint_coalesced_total"] += int64(merged)
+	c.emit(Event{TUS: now.Microseconds(), Type: EvCompact,
+		Classes: classes, Merged: merged, Reclaimed: reclaimed})
+}
+
 // slotClassPct maps a slot length to its quantized class percentage.
 // Non-quantized slots (the exact-fit ablation) round up to the nearest
 // percent.
@@ -394,24 +424,28 @@ type Report struct {
 
 // counterHelp documents each counter family for the text exposition.
 var counterHelp = map[string]string{
-	"edc_events_total":           "decision events emitted",
-	"edc_admitted_total":         "host requests admitted by the frontend",
-	"edc_deferred_total":         "host requests parked by the closed-loop bound",
-	"edc_sd_merged_total":        "writes merged into a pending run",
-	"edc_sd_flushes_total":       "pending runs flushed, by reason",
-	"edc_estimates_total":        "sampling-estimator verdicts",
-	"edc_policy_runs_total":      "stored runs by selected codec",
-	"edc_slots_total":            "quantized slot placements by class",
-	"edc_slot_oversize_total":    "runs whose codec output missed the 75% class",
-	"edc_slot_waste_bytes_total": "slot bytes beyond codec output (internal fragmentation)",
-	"edc_slot_alloc_bytes_total": "slot bytes allocated",
-	"edc_slot_free_bytes_total":  "slot bytes freed by dead extents",
-	"edc_cache_lookups_total":    "host-cache read lookups by result",
-	"edc_decompress_total":       "read segments requiring decompression, by codec",
-	"edc_faults_total":           "injected device faults by operation and kind",
-	"edc_retries_total":          "operations re-issued after transient faults",
-	"edc_degraded_reads_total":   "RAIS5 reads reconstructed from surviving members",
-	"edc_recoveries_total":       "recovery decisions by reason",
+	"edc_events_total":                "decision events emitted",
+	"edc_admitted_total":              "host requests admitted by the frontend",
+	"edc_deferred_total":              "host requests parked by the closed-loop bound",
+	"edc_sd_merged_total":             "writes merged into a pending run",
+	"edc_sd_flushes_total":            "pending runs flushed, by reason",
+	"edc_estimates_total":             "sampling-estimator verdicts",
+	"edc_policy_runs_total":           "stored runs by selected codec",
+	"edc_slots_total":                 "quantized slot placements by class",
+	"edc_slot_oversize_total":         "runs whose codec output missed the 75% class",
+	"edc_slot_waste_bytes_total":      "slot bytes beyond codec output (internal fragmentation)",
+	"edc_slot_alloc_bytes_total":      "slot bytes allocated",
+	"edc_slot_free_bytes_total":       "slot bytes freed by dead extents",
+	"edc_cache_lookups_total":         "host-cache read lookups by result",
+	"edc_decompress_total":            "read segments requiring decompression, by codec",
+	"edc_faults_total":                "injected device faults by operation and kind",
+	"edc_retries_total":               "operations re-issued after transient faults",
+	"edc_degraded_reads_total":        "RAIS5 reads reconstructed from surviving members",
+	"edc_recoveries_total":            "recovery decisions by reason",
+	"edc_maint_recompress_total":      "extents rewritten by background maintenance, by reason",
+	"edc_maint_reclaimed_bytes_total": "slot bytes reclaimed by cold recompression",
+	"edc_maint_compactions_total":     "allocator free-list compactions",
+	"edc_maint_coalesced_total":       "adjacent free slots merged by compaction",
 }
 
 // WritePrometheus renders the counters in the Prometheus text

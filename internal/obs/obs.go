@@ -81,6 +81,17 @@ const (
 	// read served as lost data, "crash" for journal-based crash
 	// recovery, with Records journal records applied).
 	EvRecover EventType = "recover"
+	// EvRecompress: background maintenance rewrote a stored extent with
+	// a different codec (Reason "cold" for idle-data recompression to a
+	// heavier codec, "hot" for demotion to a cheaper one; From/Codec
+	// name the old and new codecs, Slot the new slot, Reclaimed the
+	// slot bytes saved — negative when a hot demotion grew the slot).
+	EvRecompress EventType = "recompress"
+	// EvCompact: maintenance coalesced the allocator's free lists
+	// (Classes is the size-class count that triggered it, Merged the
+	// adjacent slots folded together, Reclaimed the tail bytes returned
+	// to fresh space).
+	EvCompact EventType = "compact"
 )
 
 // SD flush reasons recorded in Event.Reason.
@@ -107,6 +118,16 @@ const (
 	// RecoverCrash: the mapping was rebuilt from snapshot + journal
 	// after a power cut.
 	RecoverCrash = "crash"
+)
+
+// Maintenance reasons recorded in Event.Reason on recompress events.
+const (
+	// RelocateCold: an idle extent was recompressed to a heavier codec
+	// for space.
+	RelocateCold = "cold"
+	// RelocateHot: a hot extent was demoted to a cheaper codec for
+	// read latency.
+	RelocateHot = "hot"
 )
 
 // Event is one pipeline decision. Every event carries the virtual time
@@ -164,6 +185,20 @@ type Event struct {
 	// Records is the number of journal records applied on recover
 	// events.
 	Records int `json:"records,omitempty"`
+	// From is the codec an extent stored before a recompress event
+	// (Codec holds the new one).
+	From string `json:"from,omitempty"`
+	// Reclaimed is the slot bytes a maintenance action gave back:
+	// old slot minus new slot on recompress events (negative when the
+	// new slot is larger), tail bytes returned to fresh space on
+	// compact events.
+	Reclaimed int64 `json:"reclaimed,omitempty"`
+	// Classes is the allocator size-class count that triggered a
+	// compact event.
+	Classes int `json:"classes,omitempty"`
+	// Merged is the number of adjacent free slots coalesced by a
+	// compact event.
+	Merged int `json:"merged,omitempty"`
 }
 
 // Tracer consumes pipeline decision events. Implementations must not

@@ -18,6 +18,7 @@ type Engine struct {
 	events eventHeap
 	seq    int64
 	ran    int64
+	hk     int // housekeeping events currently in the heap
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -158,6 +159,18 @@ func (e *Engine) Run() {
 	}
 }
 
+// RunPending executes events while non-housekeeping work remains,
+// then stops — housekeeping-only timers stay queued. Live (serve-mode)
+// loops use this between batches: a maintenance or checkpoint timer
+// parked at now+interval must not fast-forward the clock past arrival
+// stamps still to come, or every later operation is billed for skew
+// the workload never offered. The parked timers fire in order when
+// real events push the clock past their deadlines.
+func (e *Engine) RunPending() {
+	for e.PendingWork() > 0 && e.Step() {
+	}
+}
+
 // RunUntil executes events with time <= t, then sets the clock to t.
 func (e *Engine) RunUntil(t time.Duration) {
 	for len(e.events) > 0 && e.events[0].at <= t {
@@ -170,6 +183,25 @@ func (e *Engine) RunUntil(t time.Duration) {
 
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// ScheduleHousekeepingAfter runs fn after delay d like ScheduleAfter,
+// but counts the event as housekeeping: PendingWork excludes it. Timer
+// loops that re-arm only while the engine has other work (periodic
+// checkpoints, background maintenance ticks) schedule themselves in
+// this class — gating on Pending alone, two such loops would each see
+// the other's timer and keep the heap alive forever.
+func (e *Engine) ScheduleHousekeepingAfter(d time.Duration, fn func()) {
+	e.hk++
+	e.ScheduleAfter(d, func() {
+		e.hk--
+		fn()
+	})
+}
+
+// PendingWork returns the number of scheduled events that are not
+// housekeeping timers — the count a housekeeping loop consults to
+// decide whether re-arming can keep the event loop from draining.
+func (e *Engine) PendingWork() int { return len(e.events) - e.hk }
 
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() int64 { return e.ran }

@@ -1,0 +1,154 @@
+package edc
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maintPolicy is an aggressive maintenance config for facade tests:
+// short ticks, short epochs, and an idle ceiling high enough that the
+// small test traces qualify.
+func maintPolicy() Maintenance {
+	return Maintenance{
+		Interval:   20 * time.Millisecond,
+		IdleIOPS:   5000,
+		EpochLen:   100 * time.Millisecond,
+		ColdEpochs: 2,
+	}
+}
+
+// TestMaintenanceDisabledIsIdentical checks the off path is provably
+// unchanged: a config carrying a maintenance policy with Enabled=false
+// must replay bit-identically to one with no policy at all, across the
+// single-pipeline and sharded systems.
+func TestMaintenanceDisabledIsIdentical(t *testing.T) {
+	tr := smallTrace(t, 1500)
+	for _, shards := range []int{1, 3} {
+		run := func(m *Maintenance) *Results {
+			cfg := DefaultConfig()
+			cfg.SSD = smallSSD()
+			cfg.Verify = true
+			cfg.Shards = shards
+			cfg.Maintenance = m
+			res, err := ReplayConfig(tr, testVolume, cfg)
+			if err != nil {
+				t.Fatalf("shards=%d: %v", shards, err)
+			}
+			return res
+		}
+		disabled := maintPolicy() // Enabled left false
+		if !reflect.DeepEqual(run(nil), run(&disabled)) {
+			t.Fatalf("shards=%d: Enabled=false maintenance config changed the replay", shards)
+		}
+	}
+}
+
+// TestMaintenanceDeterminism replays the same trace twice with
+// maintenance enabled across a workers x shards matrix; every cell must
+// reproduce byte-identical Results, and verification must hold on every
+// read of a relocated extent.
+func TestMaintenanceDeterminism(t *testing.T) {
+	tr := smallTrace(t, 1500)
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 3} {
+			run := func() *Results {
+				res, err := Replay(tr, testVolume,
+					WithSSDConfig(smallSSD()),
+					WithVerify(),
+					WithReplayWorkers(workers),
+					WithShards(shards),
+					WithMaintenance(maintPolicy()))
+				if err != nil {
+					t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("workers=%d shards=%d: repeated maintenance replays diverge:\n%+v\n%+v",
+					workers, shards, a, b)
+			}
+			if a.MaintTicks == 0 {
+				t.Fatalf("workers=%d shards=%d: maintenance never ticked", workers, shards)
+			}
+		}
+	}
+}
+
+// TestMaintenanceHeatHistogramMerge checks the sharded replay reports
+// one merged five-bucket heat histogram covering every shard's extents.
+func TestMaintenanceHeatHistogramMerge(t *testing.T) {
+	tr := smallTrace(t, 1500)
+	single, err := Replay(tr, testVolume,
+		WithSSDConfig(smallSSD()), WithMaintenance(maintPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Replay(tr, testVolume,
+		WithSSDConfig(smallSSD()), WithShards(3), WithMaintenance(maintPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Results{"single": single, "sharded": sharded} {
+		if len(res.HeatHist) != 5 {
+			t.Fatalf("%s: heat histogram %v, want 5 buckets", name, res.HeatHist)
+		}
+		var sum int64
+		for _, n := range res.HeatHist {
+			sum += n
+		}
+		if sum == 0 {
+			t.Fatalf("%s: heat histogram empty", name)
+		}
+		if !strings.Contains(res.Format(), "heat:") {
+			t.Fatalf("%s: Format() missing the heat line:\n%s", name, res.Format())
+		}
+	}
+	rep := sharded.Report()
+	if len(rep.HeatHist) != 5 {
+		t.Fatalf("report heat histogram %v, want 5 buckets", rep.HeatHist)
+	}
+}
+
+// TestMaintenanceServe drives a sharded serve-mode system with
+// maintenance enabled: the per-batch re-arm must keep the scheduler
+// ticking, and the merged results must stay verified.
+func TestMaintenanceServe(t *testing.T) {
+	s, err := NewSystem(testVolume,
+		WithSSDConfig(smallSSD()), WithShards(2), WithVerify(),
+		WithMaintenance(maintPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// One client writes a region then leaves it idle while sparse later
+	// traffic gives maintenance room to tick.
+	for i := 0; i < 60; i++ {
+		off := int64(i%32) * 4096
+		at := time.Duration(i) * 5 * time.Millisecond
+		if i < 32 {
+			_, err = s.WriteAt(ctx, at, off, 4096)
+		} else {
+			_, err = s.ReadAt(ctx, at, off, 4096)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.StopServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaintTicks == 0 {
+		t.Fatalf("serve mode never ticked maintenance: %+v", res)
+	}
+	if len(res.HeatHist) != 5 {
+		t.Fatalf("serve mode heat histogram %v, want 5 buckets", res.HeatHist)
+	}
+}

@@ -2,14 +2,15 @@
 # perfjson.sh — capture one machine-readable performance snapshot.
 #
 # Combines the fig8/fig10 replay tables (edcbench -format json), the
-# codec microbenchmarks (go test -bench, parsed into JSON), and one
+# background-maintenance before/after space table (-experiment maint),
+# the codec microbenchmarks (go test -bench, parsed into JSON), and one
 # open-loop serve run (edcbench -serve -json) into a single file.
-# Invoked by `make perfjson`, which names the output (BENCH_6.json by
+# Invoked by `make perfjson`, which names the output (BENCH_7.json by
 # default); the numbers are whatever this machine produces, so snapshots
 # from different hosts are comparable only in shape, not in magnitude.
 set -eu
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 servespec=${SERVESPEC:-specs/serve-smoke.spec}
 requests=${REQUESTS:-4000}
 benchtime=${BENCHTIME:-10x}
@@ -19,6 +20,7 @@ trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/edcbench" ./cmd/edcbench
 "$tmp/edcbench" -experiment fig8 -format json -requests "$requests" >"$tmp/fig8.json"
 "$tmp/edcbench" -experiment fig10 -format json -requests "$requests" >"$tmp/fig10.json"
+"$tmp/edcbench" -experiment maint -format json -requests "$requests" >"$tmp/maint.json"
 "$tmp/edcbench" -serve -spec "$servespec" -clients 8 -shards 2 -volume 64 -json >"$tmp/serve.json"
 go test -run '^$' -bench 'Compress|Decompress' -benchmem \
 	-benchtime "$benchtime" ./internal/compress >"$tmp/bench.txt"
@@ -50,6 +52,8 @@ END { printf "\n]\n" }
 	cat "$tmp/fig8.json"
 	printf ',\n  "fig10": '
 	cat "$tmp/fig10.json"
+	printf ',\n  "maint": '
+	cat "$tmp/maint.json"
 	printf ',\n  "codec_benchmarks": '
 	cat "$tmp/bench.json"
 	printf ',\n  "serve": '
