@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson servecheck corescale check cover faultcheck maintcheck clean
+.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson servecheck corescale check cover faultcheck maintcheck dedupcheck clean
 
 all: check
 
@@ -18,7 +18,8 @@ fmtcheck:
 	fi
 
 # Fail on undocumented exported identifiers in the audited packages
-# (root edc, internal/core, internal/metrics, internal/obs).
+# (root edc, internal/core, internal/metrics, internal/obs,
+# internal/maint, internal/dedup).
 doclint:
 	$(GO) run ./cmd/doclint
 
@@ -56,6 +57,19 @@ maintcheck:
 	cmp /tmp/edc-maintcheck-s1.csv /tmp/edc-maintcheck-s2.csv
 	@echo "maintcheck OK: background maintenance is deterministic (1 and 2 shards, -race)"
 
+# Determinism gate for content-addressed dedup: replay the dedup
+# experiment (EDC off/on over the four traces, duplicate-heavy payloads)
+# twice under the race detector — once single-pipeline, once sharded —
+# and fail on any byte of divergence.
+dedupcheck:
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment dedup -format csv -requests 3000 > /tmp/edc-dedupcheck-1.csv
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment dedup -format csv -requests 3000 > /tmp/edc-dedupcheck-2.csv
+	cmp /tmp/edc-dedupcheck-1.csv /tmp/edc-dedupcheck-2.csv
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment dedup -format csv -requests 3000 -shards 2 -workers 2 > /tmp/edc-dedupcheck-s1.csv
+	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -experiment dedup -format csv -requests 3000 -shards 2 -workers 2 > /tmp/edc-dedupcheck-s2.csv
+	cmp /tmp/edc-dedupcheck-s1.csv /tmp/edc-dedupcheck-s2.csv
+	@echo "dedupcheck OK: content-addressed dedup is deterministic (1 and 2 shards, -race)"
+
 # Codec + generator microbenchmarks with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/compress ./internal/datagen
@@ -64,7 +78,7 @@ bench:
 # maintenance before/after space table, the codec microbenchmarks, and
 # an open-loop serve run, written to $(PERFJSON_OUT) at the repo root
 # (override to snapshot elsewhere).
-PERFJSON_OUT ?= BENCH_7.json
+PERFJSON_OUT ?= BENCH_8.json
 perfjson:
 	sh scripts/perfjson.sh $(PERFJSON_OUT)
 
@@ -87,7 +101,7 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 25
 
 # The tier-1 gate: everything a PR must keep green.
-check: fmtcheck vet build doclint test race maintcheck
+check: fmtcheck vet build doclint test race maintcheck dedupcheck
 
 clean:
 	$(GO) clean ./...

@@ -10,9 +10,9 @@
 //	doclint [package-dir ...]
 //
 // With no arguments it audits the documented API surface: the root edc
-// package, internal/core, internal/metrics, and internal/obs. Test
-// files are ignored. Exits non-zero listing every offender as
-// file:line: identifier.
+// package, internal/core, internal/metrics, internal/obs,
+// internal/maint, and internal/dedup. Test files are ignored. Exits
+// non-zero listing every offender as file:line: identifier.
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 // defaultDirs is the audited API surface when no arguments are given.
-var defaultDirs = []string{".", "internal/core", "internal/metrics", "internal/obs"}
+var defaultDirs = []string{".", "internal/core", "internal/metrics", "internal/obs", "internal/maint", "internal/dedup"}
 
 func main() {
 	dirs := os.Args[1:]

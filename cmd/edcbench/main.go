@@ -43,6 +43,9 @@ func main() {
 		shards     = flag.Int("shards", 0, "LBA shards per replay: n > 1 partitions the volume across n independent pipelines run concurrently (changes the simulated system; deterministic for fixed n)")
 		faults     = flag.String("faults", "", "JSON fault plan injected into every replay (see DESIGN.md §11; deterministic for a fixed plan seed)")
 		maintOn    = flag.Bool("maint", false, "enable temperature-aware background maintenance (default policy) in every replay (see DESIGN.md §13; deterministic for a fixed seed)")
+		dedupOn    = flag.Bool("dedup", false, "enable content-addressed deduplication (default policy) in every replay (see DESIGN.md §14; deterministic for a fixed seed)")
+		dupRatio   = flag.Float64("dup-ratio", 0, "fraction of payload content regions cloned from a small pool (0 = stock profile; pair with -dedup to give the content index something to find)")
+		dupUni     = flag.Int("dup-universe", 0, "distinct clone payloads the -dup-ratio pool draws from (default 64)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -85,6 +88,9 @@ func main() {
 			batch:     *batch,
 			faults:    plan,
 			maint:     *maintOn,
+			dedup:     *dedupOn,
+			dupRatio:  *dupRatio,
+			dupUni:    *dupUni,
 			format:    *format,
 			jsonOut:   *jsonOut,
 		})
@@ -106,6 +112,9 @@ func main() {
 			shards:      *shards,
 			faults:      plan,
 			maint:       *maintOn,
+			dedup:       *dedupOn,
+			dupRatio:    *dupRatio,
+			dupUni:      *dupUni,
 			traceOut:    *traceOut,
 			seriesOut:   *seriesOut,
 			seriesEvery: *seriesEvery,
@@ -141,7 +150,8 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers, Shards: *shards, Faults: plan, Maint: *maintOn}
+	p := bench.Params{Requests: *requests, VolumeMiB: *volumeMiB, Seed: *seed, Workers: *workers, Shards: *shards, Faults: plan, Maint: *maintOn,
+		Dedup: *dedupOn, DupRatio: *dupRatio, DupUniverse: *dupUni}
 	start := time.Now()
 	var (
 		tables []*bench.Table
@@ -189,6 +199,9 @@ type replayConfig struct {
 	shards      int
 	faults      *edc.FaultPlan
 	maint       bool
+	dedup       bool
+	dupRatio    float64
+	dupUni      int
 	traceOut    string
 	seriesOut   string
 	seriesEvery time.Duration
@@ -250,6 +263,13 @@ func runReplay(rc replayConfig) error {
 	}
 	if rc.maint {
 		opts = append(opts, edc.WithMaintenance(edc.Maintenance{}))
+	}
+	if rc.dedup {
+		opts = append(opts, edc.WithDedup(edc.Dedup{}))
+	}
+	if rc.dupRatio > 0 {
+		opts = append(opts, edc.WithDataProfile(
+			edc.DataProfiles()["enterprise"].WithDup(rc.dupRatio, rc.dupUni), 1))
 	}
 
 	var jt *edc.JSONLTracer

@@ -24,6 +24,9 @@ type serveConfig struct {
 	batch     int
 	faults    *edc.FaultPlan
 	maint     bool
+	dedup     bool
+	dupRatio  float64
+	dupUni    int
 	format    string
 	jsonOut   bool
 }
@@ -53,12 +56,15 @@ func runServe(sc serveConfig) error {
 	}
 	sr, err := bench.RunServe(bench.ServeParams{
 		Params: bench.Params{
-			VolumeMiB: sc.volumeMiB,
-			Seed:      sc.seed,
-			Workers:   sc.workers,
-			Shards:    sc.shards,
-			Faults:    sc.faults,
-			Maint:     sc.maint,
+			VolumeMiB:   sc.volumeMiB,
+			Seed:        sc.seed,
+			Workers:     sc.workers,
+			Shards:      sc.shards,
+			Faults:      sc.faults,
+			Maint:       sc.maint,
+			Dedup:       sc.dedup,
+			DupRatio:    sc.dupRatio,
+			DupUniverse: sc.dupUni,
 		},
 		Spec:    spec,
 		Clients: sc.clients,

@@ -17,7 +17,13 @@
 // by background maintenance) are verified like the recovery path
 // verifies them: the old slot must still be mapped to the run being
 // moved (a second relocation of the same slot is refused as a double
-// free) and its recorded size must match the mapping.
+// free) and its recorded size must match the mapping. Dedup records
+// (journal v2: "ED" ref / "EU" unref, see DESIGN.md appendix A) are
+// verified the same way — a ref's target extent must be live with the
+// recorded identity, and an unref of a still-mapped extent, or a second
+// unref of the same slot, is refused. The invariant check cross-counts
+// every extent's reference count against the mapping table, so a
+// snapshot or recovery whose refcounts disagree with the table fails.
 package main
 
 import (
@@ -79,19 +85,31 @@ func main() {
 		if err != nil {
 			fatalf("journal invalid: %v", err)
 		}
-		var relocs int
+		var relocs, refs, unrefs int
 		for _, r := range recs {
-			if r.Relocate {
+			switch {
+			case r.Relocate:
 				relocs++
+			case r.Ref:
+				refs++
+			case r.Unref:
+				unrefs++
 			}
+		}
+		inserts := records - relocs - refs - unrefs
+		// Dedup (v2) records extend the summary only when present, so
+		// journals from dedup-off runs print the historical line.
+		dedupTail := ""
+		if refs+unrefs > 0 {
+			dedupTail = fmt.Sprintf(", %d refs, %d unrefs", refs, unrefs)
 		}
 		tail := ""
 		if torn {
 			tail = ", torn tail dropped"
 		}
 		if *snapPath == "" {
-			fmt.Printf("journal OK: %d records (%d inserts, %d relocates)%s\n",
-				records, records-relocs, relocs, tail)
+			fmt.Printf("journal OK: %d records (%d inserts, %d relocates%s)%s\n",
+				records, inserts, relocs, dedupTail, tail)
 			return
 		}
 		snap, err := os.ReadFile(*snapPath)
@@ -106,8 +124,8 @@ func main() {
 		if err := m.CheckInvariants(); err != nil {
 			fatalf("recovered mapping inconsistent: %v", err)
 		}
-		fmt.Printf("journal OK: %d records (%d inserts, %d relocates)%s; recovery OK: %d replayed onto snapshot, %d live blocks in %d extents, %.1f MiB slots in use\n",
-			records, records-relocs, relocs, tail, replayed, m.LiveBlocks(), m.Extents(),
+		fmt.Printf("journal OK: %d records (%d inserts, %d relocates%s)%s; recovery OK: %d replayed onto snapshot, %d live blocks in %d extents, %.1f MiB slots in use\n",
+			records, inserts, relocs, dedupTail, tail, replayed, m.LiveBlocks(), m.Extents(),
 			float64(alloc.InUse())/(1<<20))
 	case "frames":
 		if *decode {

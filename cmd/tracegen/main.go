@@ -29,8 +29,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed")
 		format   = flag.String("format", "spc", "output format: spc or msr")
 		out      = flag.String("out", "", "output file (default stdout)")
+		dupRatio = flag.Float64("dup-ratio", 0, "fraction of writes redirected onto a small pool of duplicate sites (address-level duplication; SPC/MSR traces carry no payloads, so content duplication itself is a replay-side knob — see edcbench -dup-ratio)")
+		dupUni   = flag.Int("dup-universe", 64, "distinct duplicate sites the -dup-ratio pool draws from")
 	)
 	flag.Parse()
+	if *dupRatio < 0 || *dupRatio > 1 {
+		fatalf("-dup-ratio %g out of [0,1]", *dupRatio)
+	}
+	if *dupUni <= 0 {
+		fatalf("-dup-universe %d must be positive", *dupUni)
+	}
 
 	var prof workload.Profile
 	switch *name {
@@ -57,6 +65,9 @@ func main() {
 	}
 	if err != nil {
 		fatalf("generate: %v", err)
+	}
+	if *dupRatio > 0 {
+		redirectDuplicates(tr, *volume, *dupRatio, *dupUni, *seed)
 	}
 
 	var w io.Writer = os.Stdout
@@ -86,6 +97,61 @@ func main() {
 	st := tr.Stats()
 	fmt.Fprintf(os.Stderr, "tracegen: %d requests, %.1f%% reads, avg %.1f KB, %.1f IOPS\n",
 		st.Requests, st.ReadRatio*100, st.AvgSize/1024, st.AvgIOPS)
+}
+
+// dupGrain matches the payload generator's content-region grain
+// (datagen classGrain): redirected writes land on region boundaries so
+// a replay with a clone-enabled data profile sees whole-region overlap.
+const dupGrain = 64 << 10
+
+// redirectDuplicates rewrites a deterministic ratio fraction of the
+// trace's writes to land inside a pool of universe duplicate sites —
+// dupGrain-aligned regions spread evenly over the volume. The intra-
+// region offset is preserved, so redirected requests overwrite the same
+// byte ranges of the same few regions over and over: address-level
+// duplication. The trace formats carry no payloads, so whether those
+// repeated writes also carry duplicate *content* is up to the replayer's
+// data model (in this repo: edcbench -dup-ratio / the edc.DataProfile
+// WithDup knob).
+func redirectDuplicates(tr *trace.Trace, volume int64, ratio float64, universe int, seed int64) {
+	regions := volume / dupGrain
+	if regions < 1 {
+		return
+	}
+	if int64(universe) > regions {
+		universe = int(regions)
+	}
+	stride := regions / int64(universe)
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if !r.Write {
+			continue
+		}
+		h := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(i))
+		if float64(h>>11)/float64(1<<53) >= ratio {
+			continue
+		}
+		site := int64(splitmix64(h) % uint64(universe))
+		off := site*stride*dupGrain + r.Offset%dupGrain
+		if off+r.Size > volume {
+			off = volume - r.Size
+		}
+		if off < 0 {
+			off = 0
+		}
+		r.Offset = off
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -6,11 +6,21 @@ import (
 
 	"edc/internal/core"
 	"edc/internal/datagen"
+	"edc/internal/dedup"
 	"edc/internal/fault"
 	"edc/internal/maint"
 	"edc/internal/obs"
 	"edc/internal/ssd"
 )
+
+// Dedup configures content-addressed deduplication (see internal/dedup):
+// every flushed write run is fingerprinted after SD merging and before
+// compression, and a run whose fingerprint matches an already-stored
+// extent maps to it by reference instead of compressing and allocating a
+// new slot. Zero-valued fields take documented defaults. Attach one with
+// WithDedup or Config.Dedup; nil (or Enabled=false) keeps dedup off and
+// the replay bit-identical to earlier releases.
+type Dedup = dedup.Config
 
 // Maintenance configures temperature-aware background maintenance (see
 // internal/maint): during idle windows the device recompresses cold
@@ -118,6 +128,11 @@ type Config struct {
 	// and the replay is bit-identical to a maintenance-free run.
 	Maintenance *Maintenance
 
+	// Dedup enables content-addressed deduplication of flushed write
+	// runs; nil (or Enabled=false) keeps dedup off and the replay
+	// bit-identical to a dedup-free run.
+	Dedup *Dedup
+
 	// Faults attaches a deterministic fault plan; nil injects nothing
 	// and the replay is bit-identical to a plan-free run.
 	Faults *FaultPlan
@@ -213,6 +228,11 @@ func (c *Config) Validate() error {
 	}
 	if c.Maintenance != nil && c.Maintenance.Enabled {
 		if err := c.Maintenance.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Dedup != nil && c.Dedup.Enabled {
+		if err := c.Dedup.Validate(); err != nil {
 			return err
 		}
 	}
@@ -366,6 +386,23 @@ func WithMaintenance(m Maintenance) Option {
 	return func(c *Config) {
 		m.Enabled = true
 		c.Maintenance = &m
+	}
+}
+
+// WithDedup enables content-addressed deduplication with the given
+// policy (zero-valued fields take documented defaults; the Enabled flag
+// is set for the caller). Every flushed write run is fingerprinted with
+// a keyed 128-bit hash after SD merging and before compression; a run
+// matching an already-stored extent maps to it by reference — skipping
+// estimation, compression, and slot allocation — and the extent is
+// released only when its last reference goes away. Dedup runs inside
+// each pipeline's event loop in virtual time, so results stay
+// deterministic per seed, including under WithShards (each shard
+// deduplicates its own LBA range with the same key).
+func WithDedup(d Dedup) Option {
+	return func(c *Config) {
+		d.Enabled = true
+		c.Dedup = &d
 	}
 }
 

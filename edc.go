@@ -128,6 +128,15 @@ const (
 	EvRecompress = obs.EvRecompress
 	// EvCompact: background maintenance coalesced fragmented free slots.
 	EvCompact = obs.EvCompact
+	// EvDedupHit: a flushed run matched a stored extent's fingerprint
+	// and mapped to it by reference.
+	EvDedupHit = obs.EvDedupHit
+	// EvDedupMiss: a flushed run's fingerprint was unseen; the run took
+	// the normal compression pipeline.
+	EvDedupMiss = obs.EvDedupMiss
+	// EvUnref: a dedup-shared extent lost its last reference and its
+	// slot was released.
+	EvUnref = obs.EvUnref
 )
 
 // NewJSONLTracer returns a Tracer writing one JSON event per line to w
@@ -361,6 +370,7 @@ func deviceOptions(c Config) (core.Options, error) {
 		Faults:        c.Faults,
 		SnapshotEvery: c.SnapshotEvery,
 		Maint:         c.Maintenance,
+		Dedup:         c.Dedup,
 	}, nil
 }
 

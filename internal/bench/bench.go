@@ -51,6 +51,17 @@ type Params struct {
 	// default policy on every replay (edc.WithMaintenance). False runs
 	// no maintenance and reproduces the historical numbers exactly.
 	Maint bool
+	// Dedup enables content-addressed deduplication with its default
+	// policy on every replay (edc.WithDedup). False runs no dedup and
+	// reproduces the historical numbers exactly.
+	Dedup bool
+	// DupRatio / DupUniverse override the payload generator's content
+	// duplication knobs on every replay (edc.DataProfile.WithDup): a
+	// DupRatio fraction of content regions are clones drawn from a pool
+	// of DupUniverse distinct payloads. Zero keeps the stock profile
+	// (no injected duplication).
+	DupRatio    float64
+	DupUniverse int
 }
 
 func (p Params) requests() int {

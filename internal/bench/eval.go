@@ -72,9 +72,13 @@ func runEval(p Params, backend edc.BackendKind) (map[string]map[edc.Scheme]*edc.
 
 // replayScheme runs one (scheme, trace, backend) cell.
 func replayScheme(p Params, backend edc.BackendKind, tr *trace.Trace, s edc.Scheme, extra []edc.Option) (*edc.Results, error) {
+	prof := edc.DataProfiles()["enterprise"]
+	if p.DupRatio > 0 {
+		prof = prof.WithDup(p.DupRatio, p.DupUniverse)
+	}
 	opts := []edc.Option{
 		edc.WithScheme(s),
-		edc.WithDataProfile(edc.DataProfiles()["enterprise"], 5+p.Seed),
+		edc.WithDataProfile(prof, 5+p.Seed),
 	}
 	if p.Workers != 0 {
 		opts = append(opts, edc.WithReplayWorkers(p.Workers))
@@ -87,6 +91,9 @@ func replayScheme(p Params, backend edc.BackendKind, tr *trace.Trace, s edc.Sche
 	}
 	if p.Maint {
 		opts = append(opts, edc.WithMaintenance(edc.Maintenance{}))
+	}
+	if p.Dedup {
+		opts = append(opts, edc.WithDedup(edc.Dedup{}))
 	}
 	if backend == edc.SingleSSD {
 		opts = append(opts, edc.WithSSDConfig(singleSSDConfig()))

@@ -141,6 +141,19 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 	if p.Maint {
 		opts = append(opts, edc.WithMaintenance(edc.Maintenance{}))
 	}
+	if p.Dedup {
+		opts = append(opts, edc.WithDedup(edc.Dedup{}))
+	}
+	// The dup knob is spec-global (Validate enforces it): the -dup-ratio
+	// flag wins, otherwise the spec's first step supplies it.
+	dup, uni := p.DupRatio, p.DupUniverse
+	if dup == 0 {
+		dup, uni = p.Spec[0].Dup, p.Spec[0].DupUniverse
+	}
+	if dup > 0 {
+		opts = append(opts, edc.WithDataProfile(
+			edc.DataProfiles()["enterprise"].WithDup(dup, uni), 1))
+	}
 	sys, err := edc.NewSystem(vol, opts...)
 	if err != nil {
 		return nil, err

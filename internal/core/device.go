@@ -9,6 +9,7 @@ import (
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/dedup"
 	"edc/internal/fault"
 	"edc/internal/maint"
 	"edc/internal/obs"
@@ -103,6 +104,13 @@ type Options struct {
 	// with Enabled false) runs no maintenance and the replay is
 	// bit-identical to a build without the maintenance seam.
 	Maint *maint.Config
+	// Dedup enables content-addressed deduplication under the mapping
+	// table (see writepath.go/engine.go): each merged run is
+	// fingerprinted before compression, and a run whose content is
+	// already stored maps onto the existing extent instead of storing a
+	// second copy. Nil (or Enabled false) builds no content index and
+	// the replay is bit-identical to a build without the dedup seam.
+	Dedup *dedup.Config
 }
 
 // DefaultOffloadCost models a hardware compression engine in the device
@@ -247,6 +255,18 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		maintCfg = opts.Maint.Normalize()
 	}
 	se.epochLen = maintCfg.EpochLen
+	if opts.Dedup != nil && opts.Dedup.Enabled {
+		if err := opts.Dedup.Validate(); err != nil {
+			return nil, err
+		}
+		dcfg := opts.Dedup.Normalize()
+		se.dedup = make(map[dedup.Sum]*Extent)
+		se.dedupKey = dcfg.Key
+		se.dedupMax = dcfg.MaxEntries
+		// Frees become deferred: the write path flushes them at each
+		// mutation's durable point so journal order stays replayable.
+		se.mapping.deferFrees = true
+	}
 	hostCache := cache.New(opts.CacheBytes)
 	stats := newRunStats(opts.Policy.Name(), "", be.Describe())
 	if opts.Faults != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"edc/internal/dedup"
 	"edc/internal/maint"
 	"edc/internal/obs"
 )
@@ -34,6 +35,15 @@ type storeEngine struct {
 	// the event-loop goroutine (workers receive buffers by closure and
 	// hand them back through the joined future), so no locking.
 	freeBufs [][]byte
+
+	// dedup is the content index: fingerprint -> stored extent. Nil
+	// unless dedup is enabled; entries are registered only once the
+	// extent's device write is durable, and removed when the extent's
+	// slot is released. dedupKey seeds the fingerprint; dedupMax caps
+	// the index size. Event-loop goroutine only.
+	dedup    map[dedup.Sum]*Extent
+	dedupKey uint64
+	dedupMax int
 }
 
 // newStoreEngine wires allocator + mapping over be for a volume of
@@ -55,7 +65,8 @@ func newStoreEngine(be Backend, volBytes int64, verify bool) *storeEngine {
 }
 
 // freeExtent is the mapping's slot-release callback: trim the device
-// range, drop any verify-mode payload, and record the event.
+// range, drop any verify-mode payload and content-index entry, and
+// record the event.
 func (se *storeEngine) freeExtent(e *Extent) {
 	if se.obs != nil {
 		se.obs.SlotFree(se.now(), e.Offset, e.OrigLen, e.SlotLen)
@@ -64,6 +75,57 @@ func (se *storeEngine) freeExtent(e *Extent) {
 	if se.payloads != nil {
 		delete(se.payloads, e)
 	}
+	se.dedupForget(e)
+}
+
+// dedupLookup resolves a fingerprint to a reusable stored extent: it
+// must still be live, durable (not pending), and the same uncompressed
+// length as the incoming run. Returns nil on a miss.
+func (se *storeEngine) dedupLookup(sum dedup.Sum, size int64) *Extent {
+	e := se.dedup[sum]
+	if e == nil || e.pending || e.live <= 0 || e.OrigLen != size {
+		return nil
+	}
+	return e
+}
+
+// dedupRegister indexes a durably stored extent under its fingerprint.
+// First writer wins — a duplicate stored before its fingerprint hit the
+// index keeps its own slot and simply is not indexed — and the index
+// stops growing at dedupMax entries.
+func (se *storeEngine) dedupRegister(e *Extent) {
+	if se.dedup == nil || !e.hasSum {
+		return
+	}
+	if _, ok := se.dedup[e.sum]; ok {
+		return
+	}
+	if len(se.dedup) >= se.dedupMax {
+		return
+	}
+	se.dedup[e.sum] = e
+}
+
+// dedupForget drops e's content-index entry if e is the indexed extent
+// for its fingerprint.
+func (se *storeEngine) dedupForget(e *Extent) {
+	if se.dedup != nil && e.hasSum && se.dedup[e.sum] == e {
+		delete(se.dedup, e.sum)
+	}
+}
+
+// dedupRemap transfers old's fingerprint (and index entry, if old holds
+// it) to repl — maintenance relocating an indexed extent keeps the
+// index pointing at the surviving copy.
+func (se *storeEngine) dedupRemap(old, repl *Extent) {
+	if se.dedup == nil || !old.hasSum {
+		return
+	}
+	repl.sum, repl.hasSum = old.sum, true
+	if se.dedup[old.sum] == old {
+		se.dedup[old.sum] = repl
+	}
+	old.hasSum = false
 }
 
 // adoptMapping swaps in a recovered mapping table (crash recovery),

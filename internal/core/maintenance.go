@@ -278,12 +278,28 @@ func (mt *maintainer) commit(e, newExt *Extent, reason string, err error) {
 		return
 	}
 	oldTag, oldSlot := e.Tag, e.SlotLen
-	if d.wp.jnl != nil {
-		d.wp.jnl.AppendRelocate(e, newExt)
-	}
-	if rerr := d.se.mapping.Replace(e, newExt); rerr != nil {
-		d.fs.fail(rerr)
-		return
+	if d.se.dedup != nil {
+		// Dedup may have mapped foreign LBAs onto e: move the content-
+		// index entry (and fingerprint) to the new copy, journal a
+		// whole-table relocate, remap every referring block atomically,
+		// and flush the old slot's deferred release.
+		d.se.dedupRemap(e, newExt)
+		if d.wp.jnl != nil {
+			d.wp.jnl.AppendRelocateAll(e, newExt)
+		}
+		if rerr := d.se.mapping.ReplaceAll(e, newExt); rerr != nil {
+			d.fs.fail(rerr)
+			return
+		}
+		d.wp.flushDying(d.se.mapping.takeDying())
+	} else {
+		if d.wp.jnl != nil {
+			d.wp.jnl.AppendRelocate(e, newExt)
+		}
+		if rerr := d.se.mapping.Replace(e, newExt); rerr != nil {
+			d.fs.fail(rerr)
+			return
+		}
 	}
 	delete(mt.relocating, e)
 	d.stats.MaintRelocations++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"edc/internal/compress"
+	"edc/internal/dedup"
 	"edc/internal/maint"
 )
 
@@ -33,6 +34,22 @@ type Extent struct {
 
 	live    int32 // logical blocks still mapped to this extent
 	pending bool  // device write not yet durable; maintenance must not move it
+
+	// shared marks an extent that has ever been referenced by blocks
+	// outside its home range [Offset, Offset+OrigLen) — a dedup hit
+	// mapped foreign LBAs to it. Shared extents are excluded from
+	// dead-space accounting (their live count can exceed their home
+	// block count, so "partially dead" is undefined for them).
+	shared bool
+	// deadCounted tracks whether this extent's slot is currently counted
+	// in Mapping.deadSpace, replacing the old inference from live-count
+	// transitions (which dedup's refcount increments would break).
+	deadCounted bool
+
+	// sum is the content fingerprint of the stored run; valid only when
+	// hasSum (dedup enabled and the extent went through the write path).
+	sum    dedup.Sum
+	hasSum bool
 }
 
 // Compressed reports whether the extent stores transformed data.
@@ -54,6 +71,15 @@ type Mapping struct {
 	liveBlocks int64
 	extents    int64
 	deadSpace  int64 // slot bytes held by partially-dead extents
+
+	// deferFrees, set when dedup is enabled, makes extent release
+	// enqueue onto dying instead of freeing inline. Each mapping
+	// mutation's caller collects the batch with takeDying and flushes it
+	// (journal unref + slot free + engine callback) only once its own
+	// mutation is durable — so an unref record never precedes the
+	// journal record of the write that caused it.
+	deferFrees bool
+	dying      []*Extent
 }
 
 // NewMapping creates a table for a volume of volumeBytes, backed by the
@@ -117,23 +143,83 @@ func (m *Mapping) unmapBlock(b int64) {
 	m.table[b] = nil
 	m.liveBlocks--
 	old.live--
-	nBlocks := int32(old.OrigLen / BlockSize)
 	if old.live == 0 {
-		if nBlocks > 1 {
-			// It was counted when its first block died.
-			m.deadSpace -= old.SlotLen
-		}
-		m.alloc.Free(old.DevOff, old.SlotLen)
 		m.extents--
-		if m.onFree != nil {
-			m.onFree(old)
-		}
+		m.release(old)
 		return
 	}
-	if old.live == nBlocks-1 {
+	if !old.shared && !old.deadCounted && old.live == int32(old.OrigLen/BlockSize)-1 {
 		// First block to die: the whole slot is now partially dead.
 		m.deadSpace += old.SlotLen
+		old.deadCounted = true
 	}
+}
+
+// release retires a fully-dereferenced extent: settle its dead-space
+// accounting, then free its slot — either inline or, under deferFrees,
+// onto the dying batch for the current mutation's caller to flush at
+// its durable point.
+func (m *Mapping) release(old *Extent) {
+	if old.deadCounted {
+		m.deadSpace -= old.SlotLen
+		old.deadCounted = false
+	}
+	if m.deferFrees {
+		m.dying = append(m.dying, old)
+		return
+	}
+	m.alloc.Free(old.DevOff, old.SlotLen)
+	if m.onFree != nil {
+		m.onFree(old)
+	}
+}
+
+// takeDying hands the caller the extents released by the mutation it
+// just performed (empty unless deferFrees). The caller owns the batch:
+// it must journal the unrefs and free the slots once its own mutation
+// is durable.
+func (m *Mapping) takeDying() []*Extent {
+	d := m.dying
+	m.dying = nil
+	return d
+}
+
+// InsertRef maps the run [off, +size) onto the already-stored extent
+// ext — the dedup-hit remap. The run must match ext's stored length
+// exactly, and ext must still be live. Blocks already mapped to ext are
+// left untouched (rewriting identical content in place is a no-op), so
+// ext can never be released by its own remap.
+func (m *Mapping) InsertRef(off, size int64, ext *Extent) error {
+	if err := m.checkRange(off, size); err != nil {
+		return err
+	}
+	if size != ext.OrigLen {
+		return fmt.Errorf("core: dedup ref [%d,+%d) against extent of %d bytes", off, size, ext.OrigLen)
+	}
+	if ext.live <= 0 {
+		return fmt.Errorf("core: dedup ref against dead extent at %d", ext.Offset)
+	}
+	if ext.deadCounted {
+		m.deadSpace -= ext.SlotLen
+		ext.deadCounted = false
+	}
+	first := off / BlockSize
+	n := size / BlockSize
+	homeFirst := ext.Offset / BlockSize
+	homeEnd := homeFirst + ext.OrigLen/BlockSize
+	for b := first; b < first+n; b++ {
+		if m.table[b] == ext {
+			continue
+		}
+		if b < homeFirst || b >= homeEnd {
+			ext.shared = true
+		}
+		m.unmapBlock(b)
+		m.table[b] = ext
+		ext.live++
+		m.liveBlocks++
+	}
+	return nil
 }
 
 // Replace swaps old for repl in every block that still references old,
@@ -147,6 +233,11 @@ func (m *Mapping) unmapBlock(b int64) {
 func (m *Mapping) Replace(old, repl *Extent) error {
 	if old.live <= 0 {
 		return fmt.Errorf("core: replace of dead extent at %d", old.Offset)
+	}
+	if old.shared {
+		// Foreign references live outside the home range; the caller
+		// must use ReplaceAll to move them too.
+		return fmt.Errorf("core: replace of shared extent at %d", old.Offset)
 	}
 	if repl.Offset != old.Offset || repl.OrigLen != old.OrigLen {
 		return fmt.Errorf("core: replace changes run [%d,+%d) -> [%d,+%d)",
@@ -168,15 +259,52 @@ func (m *Mapping) Replace(old, repl *Extent) error {
 	repl.live = moved
 	repl.Heat = old.Heat
 	old.live = 0
-	if moved < int32(n) {
+	if old.deadCounted {
 		// The slot was counted dead-space when its first block died;
 		// the replacement slot inherits that state at its own size.
 		m.deadSpace += repl.SlotLen - old.SlotLen
+		old.deadCounted = false
+		repl.deadCounted = true
 	}
-	m.alloc.Free(old.DevOff, old.SlotLen)
-	if m.onFree != nil {
-		m.onFree(old)
+	m.release(old)
+	return nil
+}
+
+// ReplaceAll swaps old for repl in every block that references old,
+// wherever it is mapped — the remap half of relocating an extent that
+// dedup may have shared across LBAs. Unlike Replace it scans the whole
+// table (relocations are background-rate, so the scan is off the hot
+// path); like Replace, repl must describe the same logical run with its
+// slot already allocated, and inherits exactly old's references.
+func (m *Mapping) ReplaceAll(old, repl *Extent) error {
+	if old.live <= 0 {
+		return fmt.Errorf("core: replace of dead extent at %d", old.Offset)
 	}
+	if repl.Offset != old.Offset || repl.OrigLen != old.OrigLen {
+		return fmt.Errorf("core: replace changes run [%d,+%d) -> [%d,+%d)",
+			old.Offset, old.OrigLen, repl.Offset, repl.OrigLen)
+	}
+	var moved int32
+	for b, e := range m.table {
+		if e == old {
+			m.table[b] = repl
+			moved++
+		}
+	}
+	if moved != old.live {
+		return fmt.Errorf("core: extent at %d: live=%d but %d blocks reference it",
+			old.Offset, old.live, moved)
+	}
+	repl.live = moved
+	repl.Heat = old.Heat
+	repl.shared = old.shared
+	old.live = 0
+	if old.deadCounted {
+		m.deadSpace += repl.SlotLen - old.SlotLen
+		old.deadCounted = false
+		repl.deadCounted = true
+	}
+	m.release(old)
 	return nil
 }
 
@@ -279,7 +407,7 @@ func (m *Mapping) CheckInvariants() error {
 		if e.live != c {
 			return fmt.Errorf("extent at %d: live=%d, recount=%d", e.Offset, e.live, c)
 		}
-		if e.live > int32(e.OrigLen/BlockSize) {
+		if !e.shared && e.live > int32(e.OrigLen/BlockSize) {
 			return fmt.Errorf("extent at %d: live=%d exceeds blocks=%d", e.Offset, e.live, e.OrigLen/BlockSize)
 		}
 	}

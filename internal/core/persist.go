@@ -24,10 +24,23 @@ import (
 // The live bitmap records which logical blocks of the extent are still
 // mapped (partial overwrites leave holes that must be reconstructed
 // exactly).
+//
+// Content-addressed dedup can map blocks outside an extent's home range
+// [offset, offset+origLen) onto it; the home bitmap cannot express
+// those. A snapshot containing any such foreign reference is written as
+// version 2: the same layout with a refs section between the extent
+// list and the trailer:
+//
+//	refs:    count u32, then per ref: block u64 | extentIdx u32
+//
+// where extentIdx indexes the extent list in file order. A mapping with
+// no foreign references — dedup off, or simply none live — still
+// serializes as version 1, byte-identical to the pre-dedup format.
 
 const (
-	snapMagic   = "EDCM"
-	snapVersion = 1
+	snapMagic        = "EDCM"
+	snapVersion      = 1
+	snapVersionDedup = 2
 )
 
 // ErrBadSnapshot reports a corrupt or incompatible snapshot.
@@ -35,24 +48,41 @@ var ErrBadSnapshot = errors.New("core: bad mapping snapshot")
 
 // SaveSnapshot serializes the mapping to w.
 func (m *Mapping) SaveSnapshot(w io.Writer) error {
-	// Collect extents and their per-block liveness in table order.
+	// Collect extents and their per-block liveness in table order; blocks
+	// outside their extent's home range (dedup refs) go to the refs
+	// section instead of the bitmap.
 	type entry struct {
 		ext  *Extent
 		bits []bool
+		idx  int
+	}
+	type foreignRef struct {
+		block int64
+		idx   uint32
 	}
 	index := make(map[*Extent]*entry)
 	var order []*entry
+	var refs []foreignRef
 	for b, e := range m.table {
 		if e == nil {
 			continue
 		}
 		en, ok := index[e]
 		if !ok {
-			en = &entry{ext: e, bits: make([]bool, e.OrigLen/BlockSize)}
+			en = &entry{ext: e, bits: make([]bool, e.OrigLen/BlockSize), idx: len(order)}
 			index[e] = en
 			order = append(order, en)
 		}
-		en.bits[int64(b)-e.Offset/BlockSize] = true
+		rel := int64(b) - e.Offset/BlockSize
+		if rel >= 0 && rel < int64(len(en.bits)) {
+			en.bits[rel] = true
+		} else {
+			refs = append(refs, foreignRef{block: int64(b), idx: uint32(en.idx)})
+		}
+	}
+	ver := uint64(snapVersion)
+	if len(refs) > 0 {
+		ver = snapVersionDedup
 	}
 
 	crc := crc32.NewIEEE()
@@ -66,7 +96,7 @@ func (m *Mapping) SaveSnapshot(w io.Writer) error {
 	if _, err := out.Write([]byte(snapMagic)); err != nil {
 		return err
 	}
-	if err := writeU(snapVersion, 2); err != nil {
+	if err := writeU(ver, 2); err != nil {
 		return err
 	}
 	if err := writeU(uint64(len(m.table))*BlockSize, 8); err != nil {
@@ -109,6 +139,19 @@ func (m *Mapping) SaveSnapshot(w io.Writer) error {
 			return err
 		}
 	}
+	if ver == snapVersionDedup {
+		if err := writeU(uint64(len(refs)), 4); err != nil {
+			return err
+		}
+		for _, r := range refs {
+			if err := writeU(uint64(r.block), 8); err != nil {
+				return err
+			}
+			if err := writeU(uint64(r.idx), 4); err != nil {
+				return err
+			}
+		}
+	}
 	binary.LittleEndian.PutUint32(buf, crc.Sum32())
 	_, err := w.Write(buf[:4])
 	return err
@@ -134,7 +177,7 @@ func LoadSnapshot(r io.Reader, alloc *Allocator, onFree func(*Extent)) (*Mapping
 		return nil, fmt.Errorf("%w: magic", ErrBadSnapshot)
 	}
 	ver, err := readU(2)
-	if err != nil || ver != snapVersion {
+	if err != nil || (ver != snapVersion && ver != snapVersionDedup) {
 		return nil, fmt.Errorf("%w: version %d", ErrBadSnapshot, ver)
 	}
 	volBytes, err := readU(8)
@@ -151,6 +194,7 @@ func LoadSnapshot(r io.Reader, alloc *Allocator, onFree func(*Extent)) (*Mapping
 	}
 	m := NewMapping(int64(volBytes), alloc, onFree)
 	var reserved []Range
+	order := make([]*Extent, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var f [7]uint64
 		for j, n := range []int{8, 4, 4, 4, 1, 4, 8} {
@@ -196,13 +240,55 @@ func LoadSnapshot(r io.Reader, alloc *Allocator, onFree func(*Extent)) (*Mapping
 			m.liveBlocks++
 			live++
 		}
-		if live == 0 {
-			return nil, fmt.Errorf("%w: extent %d has no live blocks", ErrBadSnapshot, i)
-		}
 		e.live = live
 		m.extents++
-		if live < int32(nBlocks) {
+		order = append(order, e)
+	}
+	if ver == snapVersionDedup {
+		nRefs, err := readU(4)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ref count", ErrBadSnapshot)
+		}
+		for i := uint64(0); i < nRefs; i++ {
+			blk, err := readU(8)
+			if err != nil {
+				return nil, fmt.Errorf("%w: ref %d block", ErrBadSnapshot, i)
+			}
+			idx, err := readU(4)
+			if err != nil {
+				return nil, fmt.Errorf("%w: ref %d extent", ErrBadSnapshot, i)
+			}
+			if idx >= count {
+				return nil, fmt.Errorf("%w: ref %d extent %d out of range", ErrBadSnapshot, i, idx)
+			}
+			e := order[idx]
+			b := int64(blk)
+			if b < 0 || b >= int64(len(m.table)) {
+				return nil, fmt.Errorf("%w: ref %d out of volume", ErrBadSnapshot, i)
+			}
+			if m.table[b] != nil {
+				return nil, fmt.Errorf("%w: ref %d overlaps block %d", ErrBadSnapshot, i, b)
+			}
+			if first := e.Offset / BlockSize; b >= first && b < first+e.OrigLen/BlockSize {
+				// Home-range liveness belongs in the bitmap.
+				return nil, fmt.Errorf("%w: ref %d inside home range", ErrBadSnapshot, i)
+			}
+			m.table[b] = e
+			m.liveBlocks++
+			e.live++
+			e.shared = true
+		}
+	}
+	// Liveness and dead-space accounting settle only after the refs
+	// section: a fully-overwritten home range is legal when foreign
+	// blocks still reference the extent.
+	for i, e := range order {
+		if e.live == 0 {
+			return nil, fmt.Errorf("%w: extent %d has no live blocks", ErrBadSnapshot, i)
+		}
+		if !e.shared && e.live < int32(e.OrigLen/BlockSize) {
 			m.deadSpace += e.SlotLen
+			e.deadCounted = true
 		}
 	}
 	sum := crc.Sum32()

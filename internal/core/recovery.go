@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"edc/internal/compress"
+	"edc/internal/dedup"
 	"edc/internal/obs"
 	"edc/internal/parallel"
 	"edc/internal/sim"
@@ -243,11 +244,23 @@ func RecoverDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options,
 		if e.Version >= maxVer {
 			maxVer = e.Version + 1
 		}
+		var content []byte
+		if d.se.dedup != nil || d.se.payloads != nil {
+			// Regenerate the stored bytes (content is a pure function of
+			// offset/length/version, so they match what the pre-crash
+			// device stored).
+			content = d.wp.data.AppendBlock(nil, e.Offset, int(e.OrigLen), e.Version)
+		}
+		if d.se.dedup != nil {
+			// Rebuild the content index: fingerprint every surviving
+			// extent and register it, first-wins in table order —
+			// deterministic, like the live path's registration at each
+			// extent's durable point.
+			e.sum = dedup.HashSum(d.se.dedupKey, content)
+			e.hasSum = true
+			d.se.dedupRegister(e)
+		}
 		if d.se.payloads != nil {
-			// Verify mode: regenerate the stored payload (content is a
-			// pure function of offset/length/version, so the bytes match
-			// what the pre-crash device stored).
-			content := d.wp.data.AppendBlock(nil, e.Offset, int(e.OrigLen), e.Version)
 			if e.Tag == compress.TagNone {
 				d.se.payloads[e] = content
 			} else {

@@ -64,6 +64,12 @@ type RunStats struct {
 	// mailbox full and had to block (backpressure events; zero in replay).
 	SubmitStalls int64
 
+	// Content-addressed dedup (all zero unless dedup is enabled):
+	DedupHits       int64 // runs resolved against an existing stored extent
+	DedupMisses     int64 // fingerprinted runs that stored normally
+	DedupBytesSaved int64 // slot bytes not stored thanks to hits
+	DedupUnrefs     int64 // slots released after their last reference dropped
+
 	// Background maintenance (all zero unless maintenance is enabled):
 	MaintTicks        int64   // maintenance ticks fired
 	MaintIdleTicks    int64   // ticks that found the device idle
@@ -153,6 +159,10 @@ func MergeRunStats(parts []*RunStats) *RunStats {
 		out.SDMerged += p.SDMerged
 		out.SDRuns += p.SDRuns
 		out.SubmitStalls += p.SubmitStalls
+		out.DedupHits += p.DedupHits
+		out.DedupMisses += p.DedupMisses
+		out.DedupBytesSaved += p.DedupBytesSaved
+		out.DedupUnrefs += p.DedupUnrefs
 		out.MaintTicks += p.MaintTicks
 		out.MaintIdleTicks += p.MaintIdleTicks
 		out.MaintRelocations += p.MaintRelocations
@@ -268,6 +278,16 @@ func (rs *RunStats) OversizeRate() float64 {
 	return float64(rs.Oversize) / float64(rs.SDRuns)
 }
 
+// DedupHitRate is the fraction of fingerprinted runs resolved against
+// an existing extent (0 when dedup never ran).
+func (rs *RunStats) DedupHitRate() float64 {
+	total := rs.DedupHits + rs.DedupMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(rs.DedupHits) / float64(total)
+}
+
 // String renders a compact one-line summary.
 func (rs *RunStats) String() string {
 	var b strings.Builder
@@ -330,6 +350,13 @@ func (rs *RunStats) Format() string {
 	// byte-identical to pre-serve builds.
 	if rs.SubmitStalls > 0 {
 		fmt.Fprintf(&b, "serve: submit-stalls=%d\n", rs.SubmitStalls)
+	}
+	// The dedup line only appears when dedup fingerprinted something, so
+	// dedup-off reports stay byte-identical to pre-dedup builds.
+	if rs.DedupHits > 0 || rs.DedupMisses > 0 {
+		fmt.Fprintf(&b, "dedup: hits=%d misses=%d hit-rate=%.1f%% saved-bytes=%d unrefs=%d\n",
+			rs.DedupHits, rs.DedupMisses, 100*rs.DedupHitRate(),
+			rs.DedupBytesSaved, rs.DedupUnrefs)
 	}
 	// The maint lines only appear when maintenance ran, so
 	// maintenance-off reports stay byte-identical to pre-maintenance
@@ -412,6 +439,13 @@ type Report struct {
 	// Serve-mode backpressure (omitted in replay).
 	SubmitStalls int64 `json:"submit_stalls,omitempty"`
 
+	// Content-addressed dedup (omitted when dedup is off).
+	DedupHits       int64   `json:"dedup_hits,omitempty"`
+	DedupMisses     int64   `json:"dedup_misses,omitempty"`
+	DedupHitRate    float64 `json:"dedup_hit_rate,omitempty"`
+	DedupBytesSaved int64   `json:"dedup_saved_bytes,omitempty"`
+	DedupUnrefs     int64   `json:"dedup_unrefs,omitempty"`
+
 	// Background maintenance (omitted when maintenance is off).
 	MaintTicks       int64   `json:"maint_ticks,omitempty"`
 	MaintIdleTicks   int64   `json:"maint_idle_ticks,omitempty"`
@@ -471,7 +505,10 @@ func (rs *RunStats) Report() *Report {
 		Oversize: rs.Oversize, OversizeRate: rs.OversizeRate(),
 		SDRuns: rs.SDRuns, SDMerged: rs.SDMerged,
 		SubmitStalls: rs.SubmitStalls,
-		MaintTicks:   rs.MaintTicks, MaintIdleTicks: rs.MaintIdleTicks,
+		DedupHits:    rs.DedupHits, DedupMisses: rs.DedupMisses,
+		DedupHitRate: rs.DedupHitRate(), DedupBytesSaved: rs.DedupBytesSaved,
+		DedupUnrefs: rs.DedupUnrefs,
+		MaintTicks:  rs.MaintTicks, MaintIdleTicks: rs.MaintIdleTicks,
 		MaintRelocations: rs.MaintRelocations, MaintCold: rs.MaintCold,
 		MaintHot: rs.MaintHot, MaintAborted: rs.MaintAborted,
 		MaintReclaimed: rs.MaintReclaimed, MaintCompactions: rs.MaintCompactions,

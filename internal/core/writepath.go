@@ -8,6 +8,7 @@ import (
 	"edc/internal/cache"
 	"edc/internal/compress"
 	"edc/internal/datagen"
+	"edc/internal/dedup"
 	"edc/internal/fault"
 	"edc/internal/obs"
 	"edc/internal/parallel"
@@ -24,6 +25,12 @@ const (
 	maxReallocs  = 2
 	retryBackoff = 200 * time.Microsecond
 )
+
+// DedupHashBps models the content-fingerprint throughput of the dedup
+// layer (host CPU bytes/second): ~4 GB/s, in line with fast
+// non-cryptographic hashes on one core. Charged per merged run before
+// the estimator, whether the lookup hits or misses.
+const DedupHashBps = 4e9
 
 // writePath is the write stage of the request pipeline: SD merge →
 // compressibility estimate → policy selection → codec dispatch → slot
@@ -142,18 +149,105 @@ func (wp *writePath) drain() {
 	}
 }
 
-// processRun compresses and stores one merged write run.
+// processRun stores one merged write run: with dedup enabled it first
+// fingerprints the content and resolves it against the content index;
+// otherwise (or on a miss) the run proceeds through the elastic
+// pipeline in compressRun.
 func (wp *writePath) processRun(run *Run) {
 	if wp.fs.failed() {
 		wp.drop(len(run.Writes))
 		return
 	}
-	now := wp.eng.Now()
 	wp.stats.SDRuns++
 
 	ver := wp.version
 	wp.version++
 	content := wp.data.AppendBlock(wp.se.getBuf(), run.Offset, int(run.Size), ver)
+
+	if wp.se.dedup != nil {
+		// Hash now (the fingerprint is a pure function of the content),
+		// charge the CPU for it, and resolve against the index at the
+		// job's completion time — lookup results must reflect the state
+		// when the CPU work is done, not when it was queued.
+		sum := dedup.HashSum(wp.se.dedupKey, content)
+		hashTime := time.Duration(float64(run.Size) / DedupHashBps * float64(time.Second))
+		wp.cpu.Submit(sim.Job{Service: hashTime, Done: func(_, _ time.Duration) {
+			wp.dedupResolve(run, content, sum, ver)
+		}})
+		return
+	}
+	wp.compressRun(run, content, dedup.Sum{}, false, ver)
+}
+
+// dedupResolve looks the fingerprinted run up in the content index and
+// dispatches to the hit fast path or the normal pipeline.
+func (wp *writePath) dedupResolve(run *Run, content []byte, sum dedup.Sum, ver uint32) {
+	if wp.fs.failed() {
+		wp.drop(len(run.Writes))
+		wp.se.putBuf(content)
+		return
+	}
+	if tgt := wp.se.dedupLookup(sum, run.Size); tgt != nil {
+		wp.dedupHit(run, tgt)
+		wp.se.putBuf(content)
+		return
+	}
+	wp.stats.DedupMisses++
+	wp.obs.DedupMiss(wp.eng.Now(), run.Offset, run.Size)
+	wp.compressRun(run, content, sum, true, ver)
+}
+
+// dedupHit completes a run whose content is already stored: remap the
+// LBAs onto the existing extent (bumping its refcount), journal the
+// ref, and finish the host writes — no estimation, codec, allocation,
+// or device I/O at all. The remap is metadata-only, so any extents it
+// fully dereferenced are flushed (unref-journaled and freed) here.
+func (wp *writePath) dedupHit(run *Run, tgt *Extent) {
+	now := wp.eng.Now()
+	if err := wp.se.mapping.InsertRef(run.Offset, run.Size, tgt); err != nil {
+		wp.fs.fail(fmt.Errorf("dedup ref for run at %d: %w", run.Offset, err))
+		wp.drop(len(run.Writes))
+		return
+	}
+	dying := wp.se.mapping.takeDying()
+	wp.se.touch(tgt)
+	wp.stats.DedupHits++
+	wp.stats.DedupBytesSaved += tgt.SlotLen
+	wp.stats.OrigBytes += run.Size
+	wp.obs.DedupHit(now, run.Offset, run.Size, tgt.Offset, tgt.SlotLen)
+	if wp.jnl != nil {
+		wp.jnl.AppendRef(run.Offset, run.Size, tgt)
+	}
+	wp.flushDying(dying)
+	wp.hostCache.InsertRange(run.Offset, run.Size)
+	for _, w := range run.Writes {
+		if w.Done != nil {
+			w.Done(now - w.Arrival)
+		}
+		wp.complete(now - w.Arrival)
+	}
+}
+
+// flushDying journals and frees extents whose last reference was
+// dropped by a mutation that is now durable (dedup's deferred frees).
+func (wp *writePath) flushDying(dying []*Extent) {
+	for _, e := range dying {
+		if wp.jnl != nil {
+			wp.jnl.AppendUnref(e)
+		}
+		wp.stats.DedupUnrefs++
+		wp.obs.Unref(wp.eng.Now(), e.Offset, e.OrigLen, e.SlotLen)
+		wp.se.alloc.Free(e.DevOff, e.SlotLen)
+		wp.se.freeExtent(e)
+	}
+}
+
+// compressRun runs the elastic pipeline for one run: compressibility
+// estimate → policy selection → codec dispatch → store. sum/hasSum
+// carry the dedup fingerprint (if one was computed) through to the
+// stored extent so it can be indexed at its durable point.
+func (wp *writePath) compressRun(run *Run, content []byte, sum dedup.Sum, hasSum bool, ver uint32) {
+	now := wp.eng.Now()
 
 	var codec compress.Codec
 	var cpuTime time.Duration
@@ -195,7 +289,7 @@ func (wp *writePath) processRun(run *Run) {
 			return compress.AppendCompress(c, dst, content)
 		})
 	}
-	store := func(_, _ time.Duration) { wp.store(run, content, codec, fut, ver) }
+	store := func(_, _ time.Duration) { wp.store(run, content, codec, fut, ver, sum, hasSum) }
 	if cpuTime > 0 {
 		wp.cpu.Submit(sim.Job{Service: cpuTime, Done: store})
 	} else {
@@ -214,7 +308,7 @@ func codecName(c compress.Codec) string {
 
 // store joins the codec result (or runs the codec inline), allocates the
 // quantized slot, updates the mapping, and issues the device write.
-func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *parallel.Future[[]byte], ver uint32) {
+func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *parallel.Future[[]byte], ver uint32, sum dedup.Sum, hasSum bool) {
 	var payload []byte
 	// Join before any early return: the worker owns the payload buffer
 	// (and reads content) until the future resolves.
@@ -258,6 +352,8 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 		SlotLen: slotLen,
 		Tag:     tag,
 		Version: ver,
+		sum:     sum,
+		hasSum:  hasSum,
 	}
 	wp.se.touch(ext) // born warm: written this epoch
 	ext.pending = true
@@ -268,6 +364,7 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 		wp.se.putBuf(payload)
 		return
 	}
+	dying := wp.se.mapping.takeDying()
 	if tag != compress.TagNone {
 		wp.se.keepPayload(ext, payload)
 	} else {
@@ -286,7 +383,7 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 		extra = time.Duration(float64(run.Size) / wp.offloadCost.CompressBps * float64(time.Second))
 	}
 	wp.hostCache.InsertRange(run.Offset, run.Size)
-	wp.issueWrite(ext, run.Writes, extra, 0, 0)
+	wp.issueWrite(ext, run.Writes, dying, extra, 0, 0)
 }
 
 // issueWrite submits the device write for ext's slot and reacts to the
@@ -295,7 +392,7 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 // virtual-time backoff; a hard fault (or exhausted retries) moves the
 // run to a fresh slot and starts over. Only when every recovery avenue
 // is spent does the replay abort.
-func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, extra time.Duration, attempt, reallocs int) {
+func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, dying []*Extent, extra time.Duration, attempt, reallocs int) {
 	wp.se.write(ext.DevOff, ext.SlotLen, extra, func(err error) {
 		switch {
 		case err == nil:
@@ -304,6 +401,11 @@ func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, extra time.D
 			if wp.jnl != nil {
 				wp.jnl.Append(ext)
 			}
+			// Only a durably stored extent enters the content index, and
+			// the extents its insert dereferenced are released only now —
+			// so an unref record never precedes the insert that caused it.
+			wp.se.dedupRegister(ext)
+			wp.flushDying(dying)
 			now := wp.eng.Now()
 			for _, w := range writes {
 				if w.Done != nil {
@@ -315,7 +417,7 @@ func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, extra time.D
 			wp.stats.FaultRetries++
 			wp.obs.Retry(wp.eng.Now(), "write", ext.Offset, ext.OrigLen, attempt+1)
 			wp.eng.ScheduleAfter(retryBackoff<<attempt, func() {
-				wp.issueWrite(ext, writes, extra, attempt+1, reallocs)
+				wp.issueWrite(ext, writes, dying, extra, attempt+1, reallocs)
 			})
 		case reallocs < maxReallocs:
 			if rerr := wp.se.realloc(ext); rerr != nil {
@@ -325,7 +427,7 @@ func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, extra time.D
 			}
 			wp.stats.WriteReallocs++
 			wp.obs.Recover(wp.eng.Now(), obs.RecoverRealloc, ext.Offset, ext.OrigLen, 0)
-			wp.issueWrite(ext, writes, extra, 0, reallocs+1)
+			wp.issueWrite(ext, writes, dying, extra, 0, reallocs+1)
 		default:
 			wp.fs.fail(fmt.Errorf("writing run at %d: %w", ext.Offset, err))
 			wp.drop(len(writes))

@@ -54,16 +54,46 @@ type ClassWeight struct {
 	Weight float64
 }
 
-// Profile is a dataset model: a named mixture of content classes.
+// Profile is a dataset model: a named mixture of content classes, plus
+// an optional duplication knob controlling how much of the volume is
+// populated from a shared pool of clone regions.
 type Profile struct {
 	Name    string
 	Mixture []ClassWeight
+
+	// DupRatio is the fraction of content regions (classGrain-sized)
+	// whose bytes are drawn from a shared clone pool instead of being
+	// unique to the region. Clone content ignores both the region number
+	// and the overwrite version, so two writes covering clone regions of
+	// the same clone at the same intra-region alignment are
+	// byte-identical — the duplicates a content-addressed dedup layer
+	// collapses. 0 (the default) reproduces the historical generator
+	// byte-for-byte.
+	DupRatio float64
+
+	// DupUniverse is the number of distinct clones in the pool (default
+	// 64 when DupRatio > 0). Smaller universes mean heavier duplication.
+	DupUniverse int
+}
+
+// WithDup returns a copy of p with the duplication knob set; a
+// convenience for tooling that layers duplicates over a stock profile.
+func (p Profile) WithDup(ratio float64, universe int) Profile {
+	p.DupRatio = ratio
+	p.DupUniverse = universe
+	return p
 }
 
 // Validate checks the profile.
 func (p Profile) Validate() error {
 	if len(p.Mixture) == 0 {
 		return fmt.Errorf("datagen %s: empty mixture", p.Name)
+	}
+	if p.DupRatio < 0 || p.DupRatio > 1 {
+		return fmt.Errorf("datagen %s: dup ratio %v outside [0,1]", p.Name, p.DupRatio)
+	}
+	if p.DupUniverse < 0 {
+		return fmt.Errorf("datagen %s: negative dup universe", p.Name)
 	}
 	sum := 0.0
 	for _, cw := range p.Mixture {
@@ -125,6 +155,11 @@ type Generator struct {
 	cum     []float64
 	cumSum  float64
 	scratch sync.Pool // of *genScratch
+
+	// dupRatio/dupUniverse are the resolved duplication knob (universe
+	// defaulted when the profile leaves it zero).
+	dupRatio    float64
+	dupUniverse uint64
 }
 
 // genScratch is the reusable per-call state. Reseeding one rand.Rand
@@ -141,7 +176,10 @@ func New(p Profile, seed int64) *Generator {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	g := &Generator{p: p, seed: seed}
+	g := &Generator{p: p, seed: seed, dupRatio: p.DupRatio, dupUniverse: uint64(p.DupUniverse)}
+	if g.dupUniverse == 0 {
+		g.dupUniverse = 64
+	}
 	g.scratch.New = func() interface{} {
 		return &genScratch{rng: rand.New(rand.NewSource(0))}
 	}
@@ -167,10 +205,26 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// ClassAt returns the content class of the region containing offset.
-func (g *Generator) ClassAt(offset int64) Class {
-	region := offset / classGrain
-	h := mix64(uint64(region) ^ uint64(g.seed)*0x9e3779b97f4a7c15)
+// dupSalt decorrelates the clone-selection hash from the class hash.
+const dupSalt = 0xd1b54a32d192ed03
+
+// cloneID reports whether region is a clone region and, if so, which of
+// the profile's DupUniverse clones it replicates. Clone selection is a
+// pure function of (seed, region), so the same region is always the
+// same clone across versions and runs.
+func (g *Generator) cloneID(region int64) (uint64, bool) {
+	if g.dupRatio <= 0 {
+		return 0, false
+	}
+	h := mix64(uint64(region) ^ uint64(g.seed)*dupSalt)
+	if float64(h>>11)/float64(1<<53) >= g.dupRatio {
+		return 0, false
+	}
+	return mix64(h) % g.dupUniverse, true
+}
+
+// classOf maps a region hash onto the mixture.
+func (g *Generator) classOf(h uint64) Class {
 	v := float64(h>>11) / float64(1<<53) * g.cumSum
 	for i, c := range g.cum {
 		if v <= c {
@@ -178,6 +232,18 @@ func (g *Generator) ClassAt(offset int64) Class {
 		}
 	}
 	return g.p.Mixture[len(g.p.Mixture)-1].Class
+}
+
+// ClassAt returns the content class of the region containing offset.
+// Clone regions take their class from the clone identity, not the
+// region, so every replica of a clone has the same class (and therefore
+// the same bytes).
+func (g *Generator) ClassAt(offset int64) Class {
+	region := offset / classGrain
+	if id, ok := g.cloneID(region); ok {
+		return g.classOf(mix64(id*0x9e3779b97f4a7c15 ^ uint64(g.seed) ^ dupSalt))
+	}
+	return g.classOf(mix64(uint64(region) ^ uint64(g.seed)*0x9e3779b97f4a7c15))
 }
 
 // Block returns size bytes of content for the given volume offset.
@@ -203,7 +269,15 @@ func (g *Generator) AppendBlock(dst []byte, offset int64, size int, version uint
 			n = size - done
 		}
 		cls := g.ClassAt(pos)
-		sub := mix64(uint64(region)*0x2545f4914f6cdd1d ^ uint64(g.seed) ^ uint64(version)<<32 ^ uint64(pos%classGrain)<<1)
+		var sub uint64
+		if id, ok := g.cloneID(region); ok {
+			// Clone content is independent of region AND version: every
+			// replica of a clone yields identical bytes, and overwriting
+			// one rewrites the same bytes.
+			sub = mix64(id*0x2545f4914f6cdd1d ^ uint64(g.seed) ^ uint64(pos%classGrain)<<1)
+		} else {
+			sub = mix64(uint64(region)*0x2545f4914f6cdd1d ^ uint64(g.seed) ^ uint64(version)<<32 ^ uint64(pos%classGrain)<<1)
+		}
 		dst = appendContent(dst, cls, n, int64(sub), st)
 	}
 	g.scratch.Put(st)

@@ -260,3 +260,60 @@ func TestAppendCodeMatchesSprintf(t *testing.T) {
 		t.Fatal("appendCode diverged from the fmt.Sprintf reference")
 	}
 }
+
+// DupRatio 0 must reproduce the historical generator byte-for-byte:
+// the knob is purely additive.
+func TestDupZeroUnchanged(t *testing.T) {
+	stock := New(Enterprise(), 9)
+	dup0 := New(Enterprise().WithDup(0, 0), 9)
+	for _, off := range []int64{0, 8192, 1 << 20, classGrain - 2048} {
+		for _, ver := range []uint32{0, 1, 7} {
+			if !bytes.Equal(stock.Block(off, 8192, ver), dup0.Block(off, 8192, ver)) {
+				t.Fatalf("DupRatio=0 diverged at off=%d ver=%d", off, ver)
+			}
+		}
+	}
+}
+
+// With every region cloned from a single-clone pool, all regions carry
+// identical bytes at the same intra-region alignment, the same class,
+// and overwrites rewrite the same content — the exact duplicates a
+// content-addressed dedup layer collapses.
+func TestCloneRegionsByteIdentical(t *testing.T) {
+	g := New(Enterprise().WithDup(1, 1), 5)
+	a := g.Block(3*classGrain+4096, 8192, 0)
+	b := g.Block(11*classGrain+4096, 8192, 2)
+	if !bytes.Equal(a, b) {
+		t.Fatal("replicas of the same clone differ across regions/versions")
+	}
+	if g.ClassAt(3*classGrain) != g.ClassAt(11*classGrain) {
+		t.Fatal("replicas of the same clone differ in class")
+	}
+	if bytes.Equal(a, g.Block(3*classGrain, 8192, 0)) {
+		t.Fatal("different intra-region alignments should differ")
+	}
+}
+
+// A partial ratio yields both kinds of regions: clones (version-
+// independent content) and unique regions (version-dependent), with
+// clone selection stable across generator instances.
+func TestCloneSelectionStable(t *testing.T) {
+	mk := func() *Generator { return New(Enterprise().WithDup(0.5, 4), 13) }
+	g, g2 := mk(), mk()
+	var clones, unique int
+	for r := int64(0); r < 64; r++ {
+		off := r * classGrain
+		v0 := g.Block(off, 4096, 0)
+		if !bytes.Equal(v0, g2.Block(off, 4096, 0)) {
+			t.Fatalf("region %d: same seed produced different content", r)
+		}
+		if bytes.Equal(v0, g.Block(off, 4096, 1)) {
+			clones++
+		} else {
+			unique++
+		}
+	}
+	if clones == 0 || unique == 0 {
+		t.Fatalf("ratio 0.5 over 64 regions: %d clones, %d unique; want both > 0", clones, unique)
+	}
+}

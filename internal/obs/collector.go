@@ -369,6 +369,44 @@ func (c *Collector) Compact(now time.Duration, classes, merged int, reclaimed in
 		Classes: classes, Merged: merged, Reclaimed: reclaimed})
 }
 
+// DedupHit records a flushed run whose fingerprint matched the extent
+// at targetOff: the run at [off, off+size) mapped by reference and
+// skipped compression and allocation of slot bytes.
+func (c *Collector) DedupHit(now time.Duration, off, size, targetOff, slot int64) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_dedup_hits_total"]++
+	c.counters["edc_dedup_saved_bytes_total"] += slot
+	c.emit(Event{TUS: now.Microseconds(), Type: EvDedupHit, Off: off, Size: size,
+		Target: targetOff, Slot: slot})
+}
+
+// DedupMiss records a flushed run whose fingerprint was unseen; the run
+// continued down the normal compression pipeline.
+func (c *Collector) DedupMiss(now time.Duration, off, size int64) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_dedup_misses_total"]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvDedupMiss, Off: off, Size: size})
+}
+
+// Unref records a dedup-shared extent losing its last reference: the
+// extent once mapped at [off, off+orig) released slot bytes back to the
+// allocator.
+func (c *Collector) Unref(now time.Duration, off, orig, slot int64) {
+	if c == nil {
+		return
+	}
+	c.counters["edc_dedup_unrefs_total"]++
+	c.counters["edc_slot_free_bytes_total"] += slot
+	if c.series != nil {
+		c.series.observeSlot(now, -slot)
+	}
+	c.emit(Event{TUS: now.Microseconds(), Type: EvUnref, Off: off, Size: orig, Slot: slot})
+}
+
 // slotClassPct maps a slot length to its quantized class percentage.
 // Non-quantized slots (the exact-fit ablation) round up to the nearest
 // percent.
@@ -446,6 +484,10 @@ var counterHelp = map[string]string{
 	"edc_maint_reclaimed_bytes_total": "slot bytes reclaimed by cold recompression",
 	"edc_maint_compactions_total":     "allocator free-list compactions",
 	"edc_maint_coalesced_total":       "adjacent free slots merged by compaction",
+	"edc_dedup_hits_total":            "flushed runs deduplicated against an existing extent",
+	"edc_dedup_misses_total":          "flushed runs fingerprinted but unseen in the content index",
+	"edc_dedup_saved_bytes_total":     "slot bytes dedup hits avoided allocating",
+	"edc_dedup_unrefs_total":          "shared extents released on their last unref",
 }
 
 // WritePrometheus renders the counters in the Prometheus text

@@ -92,6 +92,19 @@ const (
 	// adjacent slots folded together, Reclaimed the tail bytes returned
 	// to fresh space).
 	EvCompact EventType = "compact"
+	// EvDedupHit: a flushed run's fingerprint matched an existing
+	// extent; the run mapped to it by reference and skipped the codec
+	// entirely (Target is the matched extent's logical offset, Slot the
+	// slot bytes the hit avoided allocating).
+	EvDedupHit EventType = "dedup_hit"
+	// EvDedupMiss: the fingerprint was unseen; the run continued down
+	// the normal estimate/compress/place pipeline and registered itself
+	// in the content index at its durable point.
+	EvDedupMiss EventType = "dedup_miss"
+	// EvUnref: a dedup-shared extent lost its last reference and its
+	// slot bytes were released (the dedup analogue of slot_free; Size is
+	// the original length, Slot the released slot bytes).
+	EvUnref EventType = "unref"
 )
 
 // SD flush reasons recorded in Event.Reason.
@@ -196,6 +209,9 @@ type Event struct {
 	// Classes is the allocator size-class count that triggered a
 	// compact event.
 	Classes int `json:"classes,omitempty"`
+	// Target is the logical offset of the already-stored extent a
+	// dedup_hit run mapped to.
+	Target int64 `json:"target,omitempty"`
 	// Merged is the number of adjacent free slots coalesced by a
 	// compact event.
 	Merged int `json:"merged,omitempty"`

@@ -73,6 +73,15 @@ type Step struct {
 	RKD KeyChoice     // read key distribution
 	WKD KeyChoice     // write key distribution
 	BS  int64         // operation size in bytes
+
+	// Dup / DupUniverse set the payload generator's content-duplication
+	// knobs (datagen.Profile.WithDup): a Dup fraction of content regions
+	// are clones drawn from a pool of DupUniverse distinct payloads.
+	// Payload content is a property of the serving device, not of a
+	// phase, so the knob is spec-global: the first step's values apply
+	// to the whole run and Validate rejects a mid-spec change.
+	Dup         float64
+	DupUniverse int
 }
 
 // Spec is a multi-step open-loop workload, executed in order.
@@ -109,6 +118,15 @@ func (s Spec) Validate(volumeBytes int64) error {
 			if kc.Kind == KeyZipfian && (kc.Theta <= 0 || kc.Theta >= 1) {
 				return fmt.Errorf("workload: step %d: zipfian theta %g out of (0,1)", i+1, kc.Theta)
 			}
+		}
+		if st.Dup < 0 || st.Dup > 1 {
+			return fmt.Errorf("workload: step %d: dup %g out of [0,1]", i+1, st.Dup)
+		}
+		if st.DupUniverse < 0 {
+			return fmt.Errorf("workload: step %d: dup universe %d must be non-negative", i+1, st.DupUniverse)
+		}
+		if i > 0 && (st.Dup != s[0].Dup || st.DupUniverse != s[0].DupUniverse) {
+			return fmt.Errorf("workload: step %d: dup knobs cannot change mid-spec (payload content is a device property, not a phase property)", i+1)
 		}
 	}
 	return nil

@@ -12,8 +12,13 @@ package workload
 // Keys: d (step duration, Go duration syntax), qps (offered aggregate
 // arrival rate), rw (read fraction in [0,1]), ad (poisson | uniform),
 // rkd/wkd (uniform | zipfian-θ with 0<θ<1), bs (operation bytes, k/m
-// suffixes allowed). The first step must set d and qps; everything else
-// defaults to rw=0.5, ad=poisson, rkd=uniform, wkd=uniform, bs=4096.
+// suffixes allowed), dup (fraction of payload content regions cloned
+// from a small pool, in [0,1]; pairs with -dedup) and dupu (distinct
+// clone payloads in that pool; 0 selects the default 64). The first
+// step must set d and qps; everything else defaults to rw=0.5,
+// ad=poisson, rkd=uniform, wkd=uniform, bs=4096, dup=0. Payload
+// content is a device property, so dup/dupu are spec-global: set them
+// on the first step (Spec.Validate rejects a mid-spec change).
 
 import (
 	"errors"
@@ -142,6 +147,24 @@ func ParseSpec(src string) (Spec, error) {
 					return fail(fmt.Errorf("%w: bs=%q: %v", ErrSpecBadValue, val, err))
 				}
 				cur.BS = b
+			case "dup":
+				r, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return fail(fmt.Errorf("%w: dup=%q: %v", ErrSpecBadValue, val, err))
+				}
+				if r < 0 || r > 1 {
+					return fail(fmt.Errorf("%w: dup=%q out of [0,1]", ErrSpecBadValue, val))
+				}
+				cur.Dup = r
+			case "dupu":
+				u, err := strconv.Atoi(val)
+				if err != nil {
+					return fail(fmt.Errorf("%w: dupu=%q: %v", ErrSpecBadValue, val, err))
+				}
+				if u < 0 {
+					return fail(fmt.Errorf("%w: dupu=%q must be non-negative", ErrSpecBadValue, val))
+				}
+				cur.DupUniverse = u
 			default:
 				return fail(fmt.Errorf("%w: %q", ErrSpecUnknownKey, key))
 			}
