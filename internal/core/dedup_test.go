@@ -564,6 +564,163 @@ func TestPlayUntilRecoverDedup(t *testing.T) {
 	}
 }
 
+// A recovered device must keep deferring frees: adoptMapping carries
+// the dedup free policy onto the rebuilt table, so post-recovery
+// overwrites journal unref records at their durable points (inline
+// frees journal nothing, and would free slots before the causing
+// record's durable point). Crash → recover → crash → recover: the
+// second recovery replays the first recovery's journal, which is only
+// well-formed if the ordering held.
+func TestRecoveredMappingDefersFrees(t *testing.T) {
+	const cut1 = 300 * time.Millisecond
+	const cut2 = 800 * time.Millisecond
+	tr := seqTrace(600, 2*time.Millisecond)
+	prof := datagen.Enterprise().WithDup(0.5, 4)
+	opts := func() Options {
+		return Options{
+			Policy:      Native(),
+			Data:        datagen.New(prof, 11),
+			Registry:    defaultTestRegistry(t),
+			VerifyReads: true,
+			Dedup:       &dedup.Config{Enabled: true},
+		}
+	}
+	slice := func(from, to time.Duration) *trace.Trace {
+		s := &trace.Trace{Name: tr.Name}
+		for _, r := range tr.Requests {
+			if r.Arrival > from && (to == 0 || r.Arrival <= to) {
+				s.Requests = append(s.Requests, r)
+			}
+		}
+		return s
+	}
+
+	eng1, be1 := freshSSDRig(t)
+	dev1, err := NewDevice(eng1, be1, 256<<20, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cs1, err := dev1.PlayUntil(tr, cut1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, be2 := freshSSDRig(t)
+	dev2, err := RecoverDevice(eng2, be2, 256<<20, opts(), cs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dev2.se.mapping.deferFrees {
+		t.Fatal("recovered mapping does not defer frees with dedup enabled")
+	}
+	_, cs2, err := dev2.PlayUntil(slice(cut1, 0), cut2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unrefs int
+	for _, rec := range mustDecode(t, cs2.Journal) {
+		if rec.Unref {
+			unrefs++
+		}
+	}
+	if unrefs == 0 {
+		t.Fatal("post-recovery journal has no unref records: releases bypassed the dying batch")
+	}
+
+	eng3, be3 := freshSSDRig(t)
+	dev3, err := RecoverDevice(eng3, be3, 256<<20, opts(), cs2)
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	if err := dev3.se.mapping.CheckInvariants(); err != nil {
+		t.Fatalf("twice-recovered mapping inconsistent: %v", err)
+	}
+	if _, err := dev3.Play(slice(cut2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev3.se.mapping.CheckInvariants(); err != nil {
+		t.Fatalf("post-resume mapping inconsistent: %v", err)
+	}
+}
+
+// The shared flag tracks current foreign references exactly: when the
+// last foreign block is unmapped the extent reverts to home-range
+// semantics — dead-space accounting resumes — so the in-memory state
+// matches what a snapshot round-trip reconstructs.
+func TestSharedClearsOnLastForeignUnref(t *testing.T) {
+	m, alloc, _ := newTestMapping(1 << 20)
+	e := mkExtent(t, m, alloc, 0, 4*BlockSize, compress.TagLZF)
+	if err := m.InsertRef(16*BlockSize, 4*BlockSize, e); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one home block: shared extents stay out of the dead-space
+	// gauge.
+	mkExtent(t, m, alloc, 0, BlockSize, compress.TagNone)
+	if !e.shared || e.Live() != 7 || m.DeadSlotBytes() != 0 {
+		t.Fatalf("shared=%v live=%d dead=%d, want shared 7-ref extent with no dead space",
+			e.shared, e.Live(), m.DeadSlotBytes())
+	}
+	// Drop the foreign run: the extent is plain again, and its partially
+	// dead slot re-enters the gauge.
+	if err := m.Trim(16*BlockSize, 4*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if e.shared || e.Live() != 3 || m.DeadSlotBytes() != e.SlotLen {
+		t.Fatalf("shared=%v live=%d dead=%d, want unshared extent pinning %d dead bytes",
+			e.shared, e.Live(), m.DeadSlotBytes(), e.SlotLen)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot round-trip is now the identity: no foreign refs means
+	// version 1, and the reload agrees on liveness and dead space.
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[4]; v != 1 {
+		t.Fatalf("snapshot version = %d, want 1 after last foreign unref", v)
+	}
+	m2, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), NewAllocator(2<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.DeadSlotBytes() != m.DeadSlotBytes() || m2.LiveBlocks() != m.LiveBlocks() {
+		t.Fatalf("reload dead=%d live=%d, want %d/%d",
+			m2.DeadSlotBytes(), m2.LiveBlocks(), m.DeadSlotBytes(), m.LiveBlocks())
+	}
+}
+
+// abandonDying is the terminal-failure path: the dying batch's slots
+// are returned to the allocator and the engine drops its bookkeeping,
+// but nothing is journaled — the record that dropped the references
+// never became durable.
+func TestAbandonDyingFreesWithoutJournal(t *testing.T) {
+	rig := newTestRig(t, Options{Policy: Native(), Dedup: &dedup.Config{Enabled: true}})
+	se, wp := rig.dev.se, rig.dev.wp
+	jnl := &Journal{}
+	wp.jnl = jnl
+	e := mkExtent(t, se.mapping, se.alloc, 0, 4*BlockSize, compress.TagLZF)
+	e.sum, e.hasSum = dedup.HashSum(se.dedupKey, []byte("x")), true
+	se.dedupRegister(e)
+	mkExtent(t, se.mapping, se.alloc, 0, 4*BlockSize, compress.TagGZ)
+	dying := se.mapping.takeDying()
+	if len(dying) != 1 || dying[0] != e {
+		t.Fatalf("dying batch = %v, want [e]", dying)
+	}
+	before := se.alloc.InUse()
+	wp.abandonDying(dying)
+	if got := se.alloc.InUse(); got != before-e.SlotLen {
+		t.Fatalf("in-use %d -> %d, want slot of %d bytes freed", before, got, e.SlotLen)
+	}
+	if jnl.Records() != 0 {
+		t.Fatalf("abandonDying journaled %d records, want none", jnl.Records())
+	}
+	if se.dedup[e.sum] == e {
+		t.Fatal("abandoned extent still in the content index")
+	}
+}
+
 // With dedup off, the journal image is byte-identical to a build that
 // has never heard of v2 records: the format only grows when used.
 func TestJournalUnchangedWithoutDedup(t *testing.T) {

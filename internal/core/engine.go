@@ -135,6 +135,12 @@ func (se *storeEngine) adoptMapping(m *Mapping) {
 	se.mapping = m
 	m.alloc = se.alloc
 	m.onFree = se.freeExtent
+	// deferFrees is engine policy, not persisted mapping state: with
+	// dedup on, the recovered table must keep parking releases on the
+	// dying batch, or post-recovery frees happen inline — no unref
+	// records, and slots freed before their causing record's durable
+	// point, breaking a second recovery's replay ordering.
+	m.deferFrees = se.dedup != nil
 }
 
 // getBuf returns a recycled buffer (possibly nil) with zero length.

@@ -35,12 +35,17 @@ type Extent struct {
 	live    int32 // logical blocks still mapped to this extent
 	pending bool  // device write not yet durable; maintenance must not move it
 
-	// shared marks an extent that has ever been referenced by blocks
-	// outside its home range [Offset, Offset+OrigLen) — a dedup hit
-	// mapped foreign LBAs to it. Shared extents are excluded from
-	// dead-space accounting (their live count can exceed their home
-	// block count, so "partially dead" is undefined for them).
+	// shared marks an extent currently referenced by blocks outside its
+	// home range [Offset, Offset+OrigLen) — a dedup hit mapped foreign
+	// LBAs to it. Shared extents are excluded from dead-space accounting
+	// (their live count can exceed their home block count, so "partially
+	// dead" is undefined for them). The flag tracks foreign exactly: it
+	// clears when the last foreign reference goes away, so in-memory
+	// state always matches what a snapshot reload would reconstruct.
 	shared bool
+	// foreign counts the live blocks outside the home range (shared ==
+	// foreign > 0); live is always home-live + foreign.
+	foreign int32
 	// deadCounted tracks whether this extent's slot is currently counted
 	// in Mapping.deadSpace, replacing the old inference from live-count
 	// transitions (which dedup's refcount increments would break).
@@ -143,15 +148,36 @@ func (m *Mapping) unmapBlock(b int64) {
 	m.table[b] = nil
 	m.liveBlocks--
 	old.live--
+	if first := old.Offset / BlockSize; b < first || b >= first+old.OrigLen/BlockSize {
+		old.foreign--
+		if old.foreign == 0 {
+			// Last foreign reference gone: the extent reverts to plain
+			// home-range semantics, including dead-space accounting
+			// (settled below) — matching what LoadSnapshot reconstructs.
+			old.shared = false
+		}
+	}
 	if old.live == 0 {
 		m.extents--
 		m.release(old)
 		return
 	}
-	if !old.shared && !old.deadCounted && old.live == int32(old.OrigLen/BlockSize)-1 {
-		// First block to die: the whole slot is now partially dead.
-		m.deadSpace += old.SlotLen
-		old.deadCounted = true
+	m.settleDead(old)
+}
+
+// settleDead reconciles e's participation in the dead-space gauge with
+// its current reference state: shared extents are never counted (their
+// live count is not comparable to their home block count); a live,
+// unshared extent with unmapped home blocks pins its whole slot.
+func (m *Mapping) settleDead(e *Extent) {
+	want := !e.shared && e.live > 0 && e.live < int32(e.OrigLen/BlockSize)
+	switch {
+	case want && !e.deadCounted:
+		m.deadSpace += e.SlotLen
+		e.deadCounted = true
+	case !want && e.deadCounted:
+		m.deadSpace -= e.SlotLen
+		e.deadCounted = false
 	}
 }
 
@@ -199,10 +225,6 @@ func (m *Mapping) InsertRef(off, size int64, ext *Extent) error {
 	if ext.live <= 0 {
 		return fmt.Errorf("core: dedup ref against dead extent at %d", ext.Offset)
 	}
-	if ext.deadCounted {
-		m.deadSpace -= ext.SlotLen
-		ext.deadCounted = false
-	}
 	first := off / BlockSize
 	n := size / BlockSize
 	homeFirst := ext.Offset / BlockSize
@@ -213,12 +235,14 @@ func (m *Mapping) InsertRef(off, size int64, ext *Extent) error {
 		}
 		if b < homeFirst || b >= homeEnd {
 			ext.shared = true
+			ext.foreign++
 		}
 		m.unmapBlock(b)
 		m.table[b] = ext
 		ext.live++
 		m.liveBlocks++
 	}
+	m.settleDead(ext)
 	return nil
 }
 
@@ -298,7 +322,9 @@ func (m *Mapping) ReplaceAll(old, repl *Extent) error {
 	repl.live = moved
 	repl.Heat = old.Heat
 	repl.shared = old.shared
+	repl.foreign = old.foreign
 	old.live = 0
+	old.foreign = 0
 	if old.deadCounted {
 		m.deadSpace += repl.SlotLen - old.SlotLen
 		old.deadCounted = false
@@ -390,11 +416,16 @@ func (m *Mapping) DeadSlotBytes() int64 { return m.deadSpace }
 // workloads.
 func (m *Mapping) CheckInvariants() error {
 	counts := make(map[*Extent]int32)
+	foreign := make(map[*Extent]int32)
 	var live int64
-	for _, e := range m.table {
-		if e != nil {
-			counts[e]++
-			live++
+	for b, e := range m.table {
+		if e == nil {
+			continue
+		}
+		counts[e]++
+		live++
+		if first := e.Offset / BlockSize; int64(b) < first || int64(b) >= first+e.OrigLen/BlockSize {
+			foreign[e]++
 		}
 	}
 	if live != m.liveBlocks {
@@ -403,6 +434,7 @@ func (m *Mapping) CheckInvariants() error {
 	if int64(len(counts)) != m.extents {
 		return fmt.Errorf("extents=%d, recount=%d", m.extents, len(counts))
 	}
+	var dead int64
 	for e, c := range counts {
 		if e.live != c {
 			return fmt.Errorf("extent at %d: live=%d, recount=%d", e.Offset, e.live, c)
@@ -410,6 +442,20 @@ func (m *Mapping) CheckInvariants() error {
 		if !e.shared && e.live > int32(e.OrigLen/BlockSize) {
 			return fmt.Errorf("extent at %d: live=%d exceeds blocks=%d", e.Offset, e.live, e.OrigLen/BlockSize)
 		}
+		if f := foreign[e]; e.foreign != f || e.shared != (f > 0) {
+			return fmt.Errorf("extent at %d: foreign=%d shared=%v, recount=%d",
+				e.Offset, e.foreign, e.shared, f)
+		}
+		if want := !e.shared && e.live < int32(e.OrigLen/BlockSize); e.deadCounted != want {
+			return fmt.Errorf("extent at %d: deadCounted=%v, want %v (live=%d shared=%v)",
+				e.Offset, e.deadCounted, want, e.live, e.shared)
+		}
+		if e.deadCounted {
+			dead += e.SlotLen
+		}
+	}
+	if dead != m.deadSpace {
+		return fmt.Errorf("deadSpace=%d, recount=%d", m.deadSpace, dead)
 	}
 	return nil
 }

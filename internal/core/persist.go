@@ -276,6 +276,7 @@ func LoadSnapshot(r io.Reader, alloc *Allocator, onFree func(*Extent)) (*Mapping
 			m.table[b] = e
 			m.liveBlocks++
 			e.live++
+			e.foreign++
 			e.shared = true
 		}
 	}

@@ -242,6 +242,18 @@ func (wp *writePath) flushDying(dying []*Extent) {
 	}
 }
 
+// abandonDying frees a dying batch on a terminal write failure without
+// journaling: the insert that dropped these references never became
+// durable, so unref records for it would themselves violate replay
+// ordering. The run is already failed — freeing just keeps allocator
+// and engine bookkeeping (payloads, content index) consistent.
+func (wp *writePath) abandonDying(dying []*Extent) {
+	for _, e := range dying {
+		wp.se.alloc.Free(e.DevOff, e.SlotLen)
+		wp.se.freeExtent(e)
+	}
+}
+
 // compressRun runs the elastic pipeline for one run: compressibility
 // estimate → policy selection → codec dispatch → store. sum/hasSum
 // carry the dedup fingerprint (if one was computed) through to the
@@ -423,6 +435,7 @@ func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, dying []*Ext
 			if rerr := wp.se.realloc(ext); rerr != nil {
 				wp.fs.fail(fmt.Errorf("re-allocating run at %d after %v: %w", ext.Offset, err, rerr))
 				wp.drop(len(writes))
+				wp.abandonDying(dying)
 				return
 			}
 			wp.stats.WriteReallocs++
@@ -431,6 +444,7 @@ func (wp *writePath) issueWrite(ext *Extent, writes []PendingWrite, dying []*Ext
 		default:
 			wp.fs.fail(fmt.Errorf("writing run at %d: %w", ext.Offset, err))
 			wp.drop(len(writes))
+			wp.abandonDying(dying)
 		}
 	})
 }
