@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson servecheck corescale check cover faultcheck maintcheck dedupcheck clean
+.PHONY: all build test vet fmtcheck doclint race raceall bench perfjson servecheck corescale check cover faultcheck maintcheck dedupcheck qoscheck clean
 
 all: check
 
@@ -70,15 +70,26 @@ dedupcheck:
 	cmp /tmp/edc-dedupcheck-s1.csv /tmp/edc-dedupcheck-s2.csv
 	@echo "dedupcheck OK: content-addressed dedup is deterministic (1 and 2 shards, -race)"
 
+# Determinism and tag-inertness gate for multi-tenant QoS: the
+# two-tenant serve spec (latency class + bandwidth-shaped bulk class)
+# twice under the race detector at one and two shards, comparing the
+# pipeline-determined results (op counts, codec mixes, byte totals,
+# per-tenant shaping/rejection counts — open-loop latency fields depend
+# on real-time batch boundaries and are excluded), then a
+# tagged-single-tenant spec against its untagged twin: the tag alone
+# must change nothing. Needs jq.
+qoscheck:
+	sh scripts/qoscheck.sh
+
 # Codec + generator microbenchmarks with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/compress ./internal/datagen
 
 # Machine-readable performance snapshot: fig8/fig10 replay tables, the
-# maintenance before/after space table, the codec microbenchmarks, and
-# an open-loop serve run, written to $(PERFJSON_OUT) at the repo root
-# (override to snapshot elsewhere).
-PERFJSON_OUT ?= BENCH_8.json
+# maintenance before/after space table, the codec microbenchmarks, an
+# open-loop serve run, and the multi-tenant qos isolation run, written
+# to $(PERFJSON_OUT) at the repo root (override to snapshot elsewhere).
+PERFJSON_OUT ?= BENCH_9.json
 perfjson:
 	sh scripts/perfjson.sh $(PERFJSON_OUT)
 
@@ -101,7 +112,7 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 25
 
 # The tier-1 gate: everything a PR must keep green.
-check: fmtcheck vet build doclint test race maintcheck dedupcheck
+check: fmtcheck vet build doclint test race maintcheck dedupcheck qoscheck
 
 clean:
 	$(GO) clean ./...

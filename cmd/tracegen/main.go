@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"edc/internal/trace"
@@ -31,6 +33,7 @@ func main() {
 		out      = flag.String("out", "", "output file (default stdout)")
 		dupRatio = flag.Float64("dup-ratio", 0, "fraction of writes redirected onto a small pool of duplicate sites (address-level duplication; SPC/MSR traces carry no payloads, so content duplication itself is a replay-side knob — see edcbench -dup-ratio)")
 		dupUni   = flag.Int("dup-universe", 64, "distinct duplicate sites the -dup-ratio pool draws from")
+		tenants  = flag.String("tenants", "", "weighted tenant assignment as name:weight pairs, comma-separated (e.g. web:3,batch:1); each request is tagged deterministically from the seed, and both SPC and MSR round-trip the tag (empty: untagged)")
 	)
 	flag.Parse()
 	if *dupRatio < 0 || *dupRatio > 1 {
@@ -68,6 +71,13 @@ func main() {
 	}
 	if *dupRatio > 0 {
 		redirectDuplicates(tr, *volume, *dupRatio, *dupUni, *seed)
+	}
+	if *tenants != "" {
+		names, weights, err := parseTenantWeights(*tenants)
+		if err != nil {
+			fatalf("-tenants: %v", err)
+		}
+		assignTenants(tr, names, weights, *seed)
 	}
 
 	var w io.Writer = os.Stdout
@@ -143,6 +153,52 @@ func redirectDuplicates(tr *trace.Trace, volume int64, ratio float64, universe i
 			off = 0
 		}
 		r.Offset = off
+	}
+}
+
+// parseTenantWeights parses "name:weight,name:weight" (weight optional,
+// default 1) into parallel name/weight slices.
+func parseTenantWeights(s string) (names []string, weights []int64, err error) {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, nil, fmt.Errorf("empty tenant entry")
+		}
+		name, ws, has := strings.Cut(part, ":")
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return nil, nil, fmt.Errorf("bad tenant name %q", name)
+		}
+		w := int64(1)
+		if has {
+			w, err = strconv.ParseInt(ws, 10, 64)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("bad weight %q for tenant %q (want a positive integer)", ws, name)
+			}
+		}
+		names = append(names, name)
+		weights = append(weights, w)
+	}
+	return names, weights, nil
+}
+
+// assignTenants tags every request with a tenant drawn from the
+// weighted pool, deterministically from (seed, request index) — the
+// same trace regenerated with the same flags carries the same tags.
+func assignTenants(tr *trace.Trace, names []string, weights []int64, seed int64) {
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	for i := range tr.Requests {
+		h := splitmix64(uint64(seed)*0xd1b54a32d192ed03 + uint64(i))
+		pick := int64(h % uint64(total))
+		for j, w := range weights {
+			if pick < w {
+				tr.Requests[i].Tenant = names[j]
+				break
+			}
+			pick -= w
+		}
 	}
 }
 

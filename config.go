@@ -10,7 +10,32 @@ import (
 	"edc/internal/fault"
 	"edc/internal/maint"
 	"edc/internal/obs"
+	"edc/internal/qos"
 	"edc/internal/ssd"
+)
+
+// QoSConfig configures multi-tenant quality of service (see
+// internal/qos): a tenant table mapping names to traffic classes,
+// rclone-style time-of-day bandwidth schedules, and per-tenant queue
+// bounds, plus the Strict and Isolate global knobs. Attach one with
+// WithQoS or Config.QoS; nil keeps QoS off and untagged runs
+// bit-identical to earlier releases.
+type QoSConfig = qos.Config
+
+// QoSTenant is one tenant's treatment in a QoSConfig.
+type QoSTenant = qos.Tenant
+
+// QoSClass is a tenant's traffic class (standard, latency, bulk).
+type QoSClass = qos.Class
+
+// The three traffic classes, re-exported for QoSConfig literals.
+const (
+	// ClassStandard is the default best-effort class.
+	ClassStandard = qos.ClassStandard
+	// ClassLatency preempts the deferred FIFO under saturation.
+	ClassLatency = qos.ClassLatency
+	// ClassBulk drains only after standard and latency queues.
+	ClassBulk = qos.ClassBulk
 )
 
 // Dedup configures content-addressed deduplication (see internal/dedup):
@@ -133,6 +158,12 @@ type Config struct {
 	// bit-identical to a dedup-free run.
 	Dedup *Dedup
 
+	// QoS enables multi-tenant quality of service: per-tenant classes,
+	// bandwidth shaping, priority admission, and (with Isolate) per-
+	// tenant intensity windows for codec selection. Nil keeps QoS off;
+	// untagged requests behave identically either way.
+	QoS *QoSConfig
+
 	// Faults attaches a deterministic fault plan; nil injects nothing
 	// and the replay is bit-identical to a plan-free run.
 	Faults *FaultPlan
@@ -235,6 +266,9 @@ func (c *Config) Validate() error {
 		if err := c.Dedup.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.QoS.Validate(); err != nil {
+		return err
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -404,6 +438,18 @@ func WithDedup(d Dedup) Option {
 		d.Enabled = true
 		c.Dedup = &d
 	}
+}
+
+// WithQoS enables multi-tenant quality of service with the given tenant
+// table: requests tagged with a tenant (trace records, tagged serve
+// calls, or a tenant=-annotated workload spec) are shaped by that
+// tenant's time-of-day bandwidth schedule, admitted by traffic class
+// under saturation, and — with q.Isolate — judged against the tenant's
+// own calculated-IOPS window instead of the device-global signal.
+// Untagged requests are unaffected, so attaching a config leaves an
+// untagged run bit-identical.
+func WithQoS(q QoSConfig) Option {
+	return func(c *Config) { c.QoS = &q }
 }
 
 // WithFaults attaches a deterministic fault plan: every device

@@ -137,6 +137,11 @@ const (
 	// EvUnref: a dedup-shared extent lost its last reference and its
 	// slot was released.
 	EvUnref = obs.EvUnref
+	// EvShape: a tenant's bandwidth schedule delayed one request.
+	EvShape = obs.EvShape
+	// EvAdmitReject: admission control refused one request (tenant
+	// queue-depth bound).
+	EvAdmitReject = obs.EvAdmitReject
 )
 
 // NewJSONLTracer returns a Tracer writing one JSON event per line to w
@@ -229,19 +234,6 @@ func WorkloadByName(name string, volumeBytes int64) (WorkloadProfile, error) {
 		return WorkloadProfile{}, fmt.Errorf("%w %q (valid: %s)",
 			ErrUnknownWorkload, name, strings.Join(WorkloadNames(), ", "))
 	}
-}
-
-// Workload is the panicking form of WorkloadByName.
-//
-// Deprecated: use WorkloadByName and handle the error — tests and
-// examples included; a misspelled name should fail the test, not panic
-// the binary. Workload remains for quick throwaway scripts only.
-func Workload(name string, volumeBytes int64) WorkloadProfile {
-	p, err := WorkloadByName(name, volumeBytes)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 // StandardWorkloads returns the paper's four evaluation profiles.
@@ -354,6 +346,10 @@ func deviceOptions(c Config) (core.Options, error) {
 	if c.DisableEstimator {
 		pol = core.WithoutEstimator(pol)
 	}
+	share := c.Shards
+	if share < 1 {
+		share = 1
+	}
 	return core.Options{
 		Policy:        pol,
 		Cost:          c.Cost,
@@ -371,6 +367,10 @@ func deviceOptions(c Config) (core.Options, error) {
 		SnapshotEvery: c.SnapshotEvery,
 		Maint:         c.Maintenance,
 		Dedup:         c.Dedup,
+		QoS:           c.QoS,
+		// Each of n shards enforces 1/n of every tenant's schedule, so
+		// the aggregate device-wide rate matches the configured one.
+		QoSShare: share,
 	}, nil
 }
 

@@ -10,7 +10,11 @@ const testVolume = 64 << 20
 
 func smallTrace(t *testing.T, n int) *Trace {
 	t.Helper()
-	tr, err := Workload("fin1", testVolume).GenerateN(n, 42)
+	wl, err := WorkloadByName("fin1", testVolume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := wl.GenerateN(n, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,17 +87,17 @@ func TestSchemeOrderingOnDefaults(t *testing.T) {
 
 func TestWorkloadNames(t *testing.T) {
 	for _, n := range []string{"fin1", "fin2", "usr0", "prxy0", "Usr_0"} {
-		p := Workload(n, testVolume)
+		p, err := WorkloadByName(n, testVolume)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
 		if err := p.Validate(); err != nil {
 			t.Errorf("%s: %v", n, err)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown workload should panic")
-		}
-	}()
-	Workload("nope", testVolume)
+	if _, err := WorkloadByName("nope", testVolume); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("unknown workload = %v, want ErrUnknownWorkload", err)
+	}
 }
 
 func TestStandardWorkloadsCount(t *testing.T) {

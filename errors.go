@@ -5,6 +5,7 @@ import (
 
 	"edc/internal/core"
 	"edc/internal/fault"
+	"edc/internal/qos"
 )
 
 // Typed facade errors. Every error the facade returns for a
@@ -21,6 +22,13 @@ var (
 	ErrUnknownBackend = errors.New("edc: unknown backend kind")
 	// ErrReplayed reports a second Play on a single-use System.
 	ErrReplayed = core.ErrReplayed
+	// ErrUnknownTenant reports a request tagged with a tenant absent
+	// from a strict QoSConfig (replay fails the run; tagged serve calls
+	// return it per operation).
+	ErrUnknownTenant = qos.ErrUnknownTenant
+	// ErrAdmissionRejected reports a tagged operation refused admission
+	// because its tenant exceeded the configured queue depth.
+	ErrAdmissionRejected = qos.ErrAdmissionRejected
 )
 
 // FaultError is one injected device failure, carried inside replay

@@ -64,8 +64,8 @@ func ExampleNewSystem() {
 	// compressed with Lzf: true
 }
 
-// ExampleWorkload lists the paper's four evaluation workloads.
-func ExampleWorkload() {
+// ExampleStandardWorkloads lists the paper's four evaluation workloads.
+func ExampleStandardWorkloads() {
 	for _, p := range edc.StandardWorkloads(1 << 30) {
 		fmt.Println(p.Name)
 	}

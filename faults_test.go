@@ -24,6 +24,10 @@ func TestConfigOptionParity(t *testing.T) {
 	cm := DefaultCostModel()
 	plan := testFaultPlan()
 	ssdCfg := smallSSD()
+	qcfg := QoSConfig{
+		Tenants: map[string]QoSTenant{"web": {Class: ClassLatency, Bandwidth: "4M"}},
+		Strict:  true,
+	}
 	cases := []struct {
 		name   string
 		opt    Option
@@ -51,6 +55,7 @@ func TestConfigOptionParity(t *testing.T) {
 		{"WithTimeSeries", WithTimeSeries(2 * time.Second), func(c *Config) { c.TimeSeriesEvery = 2 * time.Second }},
 		{"WithFaults", WithFaults(plan), func(c *Config) { c.Faults = plan }},
 		{"WithSnapshotEvery", WithSnapshotEvery(time.Second), func(c *Config) { c.SnapshotEvery = time.Second }},
+		{"WithQoS", WithQoS(qcfg), func(c *Config) { q := qcfg; c.QoS = &q }},
 	}
 	for _, tc := range cases {
 		viaOpt := DefaultConfig()
@@ -84,6 +89,16 @@ func TestConfigValidate(t *testing.T) {
 	bad.Faults = &FaultPlan{Seed: 1, ReadHard: 1.5}
 	if err := bad.Validate(); err == nil {
 		t.Fatal("out-of-range fault probability must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.QoS = &QoSConfig{Tenants: map[string]QoSTenant{"web": {Bandwidth: "nope"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unparsable tenant bandwidth must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.QoS = &QoSConfig{Tenants: map[string]QoSTenant{"web": {Class: QoSClass(42)}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown tenant class must be rejected")
 	}
 	good := DefaultConfig()
 	if err := good.Validate(); err != nil {

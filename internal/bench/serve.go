@@ -2,7 +2,9 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +32,15 @@ type ServeParams struct {
 	// (0: the core defaults).
 	Mailbox int
 	Batch   int
+	// QoS overrides the QoS configuration attached to the System. Nil
+	// derives one from the spec's class/bw annotations
+	// (workload.Spec.QoSConfig); specs without annotations attach none.
+	QoS *edc.QoSConfig
+	// NoQoS suppresses even the spec-derived QoS config: operations
+	// still carry their tenant tags (so per-tenant accounting works)
+	// but no shaping, isolation, or priority applies — the
+	// interference baseline the qos experiment compares against.
+	NoQoS bool
 }
 
 func (p ServeParams) clients() int {
@@ -86,6 +97,9 @@ type ServeResult struct {
 	Steps []StepStats `json:"steps"`
 	// Stalls counts submissions that blocked on a full mailbox.
 	Stalls int64 `json:"stalls"`
+	// Rejected counts operations refused admission by per-tenant queue
+	// bounds (zero, and omitted, without QoS).
+	Rejected int64 `json:"rejected,omitempty"`
 	// WallTime is the harness wall-clock duration (generation through
 	// StopServe); OpsPerSecWall is total completions divided by it.
 	WallTime      time.Duration `json:"wall_ns"`
@@ -144,6 +158,13 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 	if p.Dedup {
 		opts = append(opts, edc.WithDedup(edc.Dedup{}))
 	}
+	qcfg := p.QoS
+	if qcfg == nil && !p.NoQoS {
+		qcfg = p.Spec.QoSConfig()
+	}
+	if qcfg != nil {
+		opts = append(opts, edc.WithQoS(*qcfg))
+	}
 	// The dup knob is spec-global (Validate enforces it): the -dup-ratio
 	// flag wins, otherwise the spec's first step supplies it.
 	dup, uni := p.DupRatio, p.DupUniverse
@@ -177,38 +198,54 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 	// measures genuine queueing, not cross-client submission skew).
 	// Completions are awaited concurrently: submission never blocks on
 	// earlier operations finishing, which keeps the load open-loop.
+	//
+	// A multi-tenant spec splits into per-tenant sub-specs (each
+	// tenant's timeline starting at t=0, so tenants run concurrently)
+	// and every tenant gets its own set of client streams with a
+	// tenant-offset seed; a single-tenant or untagged spec reduces to
+	// exactly the pre-tenant feed layout and seeds.
 	type workerOp struct {
 		op workload.Op
 		ok bool
 	}
-	feeds := make([]chan workerOp, clients)
-	for w := 0; w < clients; w++ {
-		stream, err := workload.NewStream(p.Spec, vol, 2000+p.Seed, w, clients)
-		if err != nil {
-			sys.StopServe()
-			return nil, err
-		}
-		ch := make(chan workerOp, 64)
-		feeds[w] = ch
-		go func(stream *workload.Stream, ch chan workerOp) {
-			for {
-				op, ok := stream.Next()
-				ch <- workerOp{op, ok}
-				if !ok {
-					return
-				}
+	parts := p.Spec.ByTenant()
+	var (
+		feeds   []chan workerOp
+		feedIdx [][]int // per feed: sub-spec step -> original spec index
+		feedCli []int   // per feed: client number within its tenant
+	)
+	for ti, part := range parts {
+		for w := 0; w < clients; w++ {
+			stream, err := workload.NewStream(part.Steps, vol, 2000+p.Seed+7919*int64(ti), w, clients)
+			if err != nil {
+				sys.StopServe()
+				return nil, err
 			}
-		}(stream, ch)
+			ch := make(chan workerOp, 64)
+			feeds = append(feeds, ch)
+			feedIdx = append(feedIdx, part.Index)
+			feedCli = append(feedCli, w)
+			go func(stream *workload.Stream, ch chan workerOp) {
+				for {
+					op, ok := stream.Next()
+					ch <- workerOp{op, ok}
+					if !ok {
+						return
+					}
+				}
+			}(stream, ch)
+		}
 	}
-	heads := make([]workerOp, clients)
+	heads := make([]workerOp, len(feeds))
 	for w, ch := range feeds {
 		heads[w] = <-ch
 	}
 	var (
-		wg      sync.WaitGroup
-		failed  atomic.Bool
-		errOnce sync.Mutex
-		runErr  error
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		errOnce  sync.Mutex
+		runErr   error
+		rejected atomic.Int64
 	)
 	fail := func(err error) {
 		errOnce.Lock()
@@ -232,21 +269,28 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 		}
 		op := heads[w].op
 		heads[w] = <-feeds[w]
-		await, err := sys.SubmitAt(ctx, op.At, op.Off, op.Size, op.Write)
+		cli, gi := feedCli[w], feedIdx[w][op.Step]
+		await, err := sys.SubmitAtTag(ctx, op.At, op.Off, op.Size, op.Write, op.Tenant)
 		if err != nil {
-			fail(fmt.Errorf("client %d: %w", w, err))
+			fail(fmt.Errorf("client %d: %w", cli, err))
 			break
 		}
 		wg.Add(1)
-		go func(w int, op workload.Op, await edc.Await) {
+		go func(cli, gi int, op workload.Op, await edc.Await) {
 			defer wg.Done()
 			lat, err := await(ctx)
 			if err != nil {
-				fail(fmt.Errorf("client %d: %w", w, err))
+				// A per-tenant queue bound refusing one operation is the
+				// shaper doing its job, not a harness failure.
+				if errors.Is(err, edc.ErrAdmissionRejected) {
+					rejected.Add(1)
+					return
+				}
+				fail(fmt.Errorf("client %d: %w", cli, err))
 				return
 			}
-			a := accums[op.Step]
-			a.lat.Observe(w, lat)
+			a := accums[gi]
+			a.lat.Observe(cli, lat)
 			a.ops.Add(1)
 			if op.Write {
 				a.writes.Add(1)
@@ -254,21 +298,24 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 				a.reads.Add(1)
 			}
 			a.noteEnd(int64(op.At + lat))
-		}(w, op, await)
+		}(cli, gi, op, await)
 	}
-	wg.Wait()
 	for w, h := range heads {
 		// Drain abandoned generators so their goroutines exit.
 		for h.ok {
 			h = <-feeds[w]
 		}
 	}
-	if runErr != nil {
-		sys.StopServe()
-		return nil, runErr
-	}
+	// Stop before waiting on the awaits: a shaped operation whose
+	// bandwidth deadline lies past the last real arrival parks in its
+	// shard until the stop-drain runs the engine dry, so waiting first
+	// would deadlock.
 	stalls := sys.ServeStalls()
 	res, err := sys.StopServe()
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -283,11 +330,22 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 		Shards:   shards,
 		SpecText: FormatSpec(p.Spec),
 		Stalls:   stalls,
+		Rejected: rejected.Load(),
 		WallTime: wall,
 		Result:   res,
 	}
+	// Each step's virtual start is its offset within its own tenant's
+	// timeline (tenants run concurrently, each from t=0); for a
+	// single-tenant spec this is the plain running sum of durations.
+	bases := make([]time.Duration, len(p.Spec))
+	for _, part := range parts {
+		var b time.Duration
+		for k, gi := range part.Index {
+			bases[gi] = b
+			b += part.Steps[k].D
+		}
+	}
 	var total int64
-	var base time.Duration
 	for i, st := range p.Spec {
 		a := accums[i]
 		h := a.lat.Merge()
@@ -303,12 +361,11 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 			P99:        h.Percentile(99),
 			P999:       h.Percentile(99.9),
 		}
-		if span := time.Duration(a.lastEnd.Load()) - base; span > 0 && ss.Ops > 0 {
+		if span := time.Duration(a.lastEnd.Load()) - bases[i]; span > 0 && ss.Ops > 0 {
 			ss.AchievedQPS = float64(ss.Ops) / span.Seconds()
 		}
 		total += ss.Ops
 		out.Steps = append(out.Steps, ss)
-		base += st.D
 	}
 	if wall > 0 {
 		out.OpsPerSecWall = float64(total) / wall.Seconds()
@@ -317,6 +374,8 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 }
 
 // FormatSpec renders a Spec back into the DSL, one step per line.
+// Tenant annotations only appear on tagged steps, so an untagged spec
+// renders exactly as it did before multi-tenant QoS existed.
 func FormatSpec(s workload.Spec) string {
 	var b []byte
 	for i, st := range s {
@@ -325,26 +384,53 @@ func FormatSpec(s workload.Spec) string {
 		}
 		b = fmt.Appendf(b, "d=%v rw=%g qps=%g ad=%s rkd=%s wkd=%s bs=%d",
 			st.D, st.RW, st.QPS, st.AD, st.RKD, st.WKD, st.BS)
+		if st.Tenant != "" {
+			b = fmt.Appendf(b, " tenant=%s", st.Tenant)
+			if st.Class != "" {
+				b = fmt.Appendf(b, " class=%s", st.Class)
+			}
+			if st.BW != "" {
+				b = fmt.Appendf(b, " bw=%s", strings.ReplaceAll(st.BW, " ", "+"))
+			}
+		}
 	}
 	return string(b)
 }
 
 // ServeTable renders a ServeResult as the standard table shape so the
-// CLI shares the text/CSV/JSON writers with the experiment suite.
+// CLI shares the text/CSV/JSON writers with the experiment suite. A
+// tenant column appears only when the spec names two or more distinct
+// tenants, so single-tenant and untagged runs render exactly the
+// pre-QoS table.
 func ServeTable(sr *ServeResult) *Table {
+	tenants := map[string]bool{}
+	for _, ss := range sr.Steps {
+		tenants[ss.Step.Tenant] = true
+	}
+	multi := len(tenants) > 1
 	t := &Table{
 		ID: "serve",
 		Title: fmt.Sprintf("open-loop serve: %d clients, %d shard(s), scheme %s",
 			sr.Clients, sr.Shards, sr.Result.Scheme),
 		Header: []string{"step", "dur", "offered qps", "achieved qps", "ops", "read%", "mean", "p50", "p99", "p999"},
 	}
+	if multi {
+		t.Header = append([]string{"step", "tenant"}, t.Header[1:]...)
+	}
 	for _, ss := range sr.Steps {
 		readPct := 0.0
 		if ss.Ops > 0 {
 			readPct = 100 * float64(ss.Reads) / float64(ss.Ops)
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", ss.Index+1),
+		row := []string{fmt.Sprintf("%d", ss.Index+1)}
+		if multi {
+			name := ss.Step.Tenant
+			if name == "" {
+				name = "-"
+			}
+			row = append(row, name)
+		}
+		row = append(row,
 			ss.Step.D.String(),
 			f1(ss.OfferedQPS),
 			f1(ss.AchievedQPS),
@@ -354,10 +440,14 @@ func ServeTable(sr *ServeResult) *Table {
 			ss.P50.Round(time.Microsecond).String(),
 			ss.P99.Round(time.Microsecond).String(),
 			ss.P999.Round(time.Microsecond).String(),
-		})
+		)
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("wall %v, %s ops/sec wall, %d submit stall(s); latency is open-loop virtual time",
 			sr.WallTime.Round(time.Millisecond), f1(sr.OpsPerSecWall), sr.Stalls))
+	if sr.Rejected > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d operation(s) refused admission by per-tenant queue bounds", sr.Rejected))
+	}
 	return t
 }

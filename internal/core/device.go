@@ -14,6 +14,7 @@ import (
 	"edc/internal/maint"
 	"edc/internal/obs"
 	"edc/internal/parallel"
+	"edc/internal/qos"
 	"edc/internal/sim"
 	"edc/internal/trace"
 )
@@ -104,6 +105,15 @@ type Options struct {
 	// with Enabled false) runs no maintenance and the replay is
 	// bit-identical to a build without the maintenance seam.
 	Maint *maint.Config
+	// QoS attaches the multi-tenant policy (per-tenant classes,
+	// bandwidth shaping, priority admission; see internal/qos). Nil
+	// disables QoS and the pipeline is bit-identical to a pre-QoS
+	// build; untagged requests are unaffected either way.
+	QoS *qos.Config
+	// QoSShare divides each tenant's bandwidth schedule across sharded
+	// pipelines: with n shards each enforcing rate/n, the aggregate
+	// stays at the configured rate. 0 or 1 keeps the full rate.
+	QoSShare int
 	// Dedup enables content-addressed deduplication under the mapping
 	// table (see writepath.go/engine.go): each merged run is
 	// fingerprinted before compression, and a run whose content is
@@ -267,6 +277,19 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		// mutation's durable point so journal order stays replayable.
 		se.mapping.deferFrees = true
 	}
+	var qs *qosState
+	if opts.QoS != nil {
+		if err := opts.QoS.Validate(); err != nil {
+			return nil, err
+		}
+		var err error
+		qs, err = newQoSState(opts.QoS, opts.QoSShare, func() WorkloadMeter {
+			return newDualMonitor(opts.MonitorWindow, opts.MonitorBins)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	hostCache := cache.New(opts.CacheBytes)
 	stats := newRunStats(opts.Policy.Name(), "", be.Describe())
 	if opts.Faults != nil {
@@ -290,6 +313,7 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		se:          se,
 		meter:       opts.Meter,
 		obs:         opts.Obs,
+		qs:          qs,
 		sd:          NewSeqDetector(opts.MaxRun),
 		est:         opts.Estimator,
 		data:        opts.Data,
@@ -323,15 +347,16 @@ func NewDevice(eng *sim.Engine, be Backend, volumeBytes int64, opts Options) (*D
 		stats:       stats,
 		meter:       opts.Meter,
 		obs:         opts.Obs,
+		qs:          qs,
 		volBytes:    volBytes,
 		maxInFlight: int64(opts.MaxOutstanding),
 	}
 	// Stage wiring: admission fans out to the write/read paths; both
 	// report completions back to the frontend's closed loop.
 	fe.onWrite = wp.admitWrite
-	fe.onRead = func(issue time.Duration, off, size int64) {
+	fe.onRead = func(issue time.Duration, off, size int64, done func(time.Duration)) {
 		wp.noteRead() // a read breaks write contiguity (Fig. 7)
-		rp.read(issue, off, size, nil)
+		rp.read(issue, off, size, done)
 	}
 	wp.complete = func(resp time.Duration) { fe.finish(resp, true) }
 	wp.drop = fe.drop

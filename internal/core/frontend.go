@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"edc/internal/obs"
+	"edc/internal/qos"
 	"edc/internal/sim"
 	"edc/internal/trace"
 )
@@ -22,15 +24,29 @@ type frontend struct {
 	meter WorkloadMeter
 	obs   *obs.Collector
 
+	// qs applies multi-tenant QoS (shaping, priority admission,
+	// per-tenant accounting). Nil disables QoS and the frontend is
+	// bit-identical to a pre-QoS build.
+	qs *qosState
+
 	volBytes    int64
 	inFlight    int64
 	maxInFlight int64
 	deferred    []trace.Request
+	// deferredC replaces the single FIFO with per-class queues when the
+	// QoS config leaves any tenant off the standard class; pop order is
+	// latency, standard, bulk (see admitOrder).
+	deferredC [3][]trace.Request
+	// deferredBy tracks queued requests per tenant when QoS is active,
+	// enforcing each tenant's MaxDeferred bound.
+	deferredBy map[string]int
 
 	// onWrite admits one aligned write (SD merge onward).
 	onWrite func(w PendingWrite)
 	// onRead admits one aligned read (pending-run flush + read plan).
-	onRead func(issue time.Duration, off, size int64)
+	// done, when non-nil, observes the response time ahead of the
+	// pipeline-wide completion (per-tenant latency attribution).
+	onRead func(issue time.Duration, off, size int64, done func(time.Duration))
 }
 
 // start begins replaying t: request i+1 is scheduled when request i
@@ -68,18 +84,112 @@ func (fe *frontend) start(t *trace.Trace) {
 	fe.eng.SchedulePriority(reqs[0].Arrival, step)
 }
 
-// arrive handles one host request at the current virtual time, deferring
-// it when the outstanding bound is reached (closed-loop admission).
+// arrive handles one host request at the current virtual time: strict
+// tenant admission, then bandwidth shaping (the request's tenant bucket
+// may delay it), then the closed-loop bound (deferring or, past the
+// tenant's queue bound, rejecting).
 func (fe *frontend) arrive(r trace.Request) {
 	if fe.fs.failed() {
 		return
 	}
+	if !fe.qs.known(r.Tenant) {
+		fe.fs.fail(fmt.Errorf("core: request at %v: %w: %q", r.Arrival, qos.ErrUnknownTenant, r.Tenant))
+		return
+	}
+	now := fe.eng.Now()
+	if d := fe.qs.shape(now, r.Tenant, r.Size); d > 0 {
+		// Charged once: the shaped re-arrival bypasses the bucket.
+		ts := fe.stats.Tenant(r.Tenant)
+		ts.Shaped++
+		ts.ShapeDelay += d
+		fe.obs.Shape(now, r.Offset, r.Size, r.Write, r.Tenant, d)
+		fe.eng.ScheduleAfter(d, func() { fe.arriveShaped(r) })
+		return
+	}
+	fe.enqueue(r)
+}
+
+// arriveShaped resumes a request the shaper delayed; the bucket was
+// already charged at first arrival.
+func (fe *frontend) arriveShaped(r trace.Request) {
+	if fe.fs.failed() {
+		return
+	}
+	fe.enqueue(r)
+}
+
+// enqueue admits one request under the closed-loop bound, deferring it
+// (or rejecting it past its tenant's queue bound) when the bound is
+// reached.
+func (fe *frontend) enqueue(r trace.Request) {
 	if fe.inFlight >= fe.maxInFlight {
-		fe.deferred = append(fe.deferred, r)
-		fe.obs.Defer(fe.eng.Now(), r.Offset, r.Size, r.Write, len(fe.deferred))
+		if !fe.pushDeferred(r) {
+			if ts := fe.stats.Tenant(r.Tenant); ts != nil {
+				ts.Rejected++
+			}
+			fe.obs.AdmitReject(fe.eng.Now(), r.Offset, r.Size, r.Write, r.Tenant, obs.RejectQueueDepth)
+			return
+		}
+		fe.obs.Defer(fe.eng.Now(), r.Offset, r.Size, r.Write, fe.deferredLen())
 		return
 	}
 	fe.admit(r)
+}
+
+// pushDeferred queues one request past the closed-loop bound; false
+// means the tenant's MaxDeferred bound was hit and the request must be
+// rejected instead.
+func (fe *frontend) pushDeferred(r trace.Request) bool {
+	if fe.qs != nil {
+		if max := fe.qs.maxDeferred(r.Tenant); max > 0 && fe.deferredBy[r.Tenant] >= max {
+			return false
+		}
+		if fe.deferredBy == nil {
+			fe.deferredBy = make(map[string]int)
+		}
+		fe.deferredBy[r.Tenant]++
+	}
+	if fe.qs.prioritized() {
+		c := fe.qs.class(r.Tenant)
+		fe.deferredC[c] = append(fe.deferredC[c], r)
+	} else {
+		fe.deferred = append(fe.deferred, r)
+	}
+	return true
+}
+
+// popDeferred dequeues the next request to admit: latency before
+// standard before bulk under priority admission, plain FIFO otherwise.
+func (fe *frontend) popDeferred() (trace.Request, bool) {
+	if fe.qs.prioritized() {
+		for _, c := range admitOrder {
+			if q := fe.deferredC[c]; len(q) > 0 {
+				r := q[0]
+				fe.deferredC[c] = q[1:]
+				fe.deferredBy[r.Tenant]--
+				return r, true
+			}
+		}
+		return trace.Request{}, false
+	}
+	if len(fe.deferred) == 0 {
+		return trace.Request{}, false
+	}
+	r := fe.deferred[0]
+	fe.deferred = fe.deferred[1:]
+	if fe.deferredBy != nil {
+		fe.deferredBy[r.Tenant]--
+	}
+	return r, true
+}
+
+// deferredLen is the total queued depth across all deferred queues.
+func (fe *frontend) deferredLen() int {
+	n := len(fe.deferred)
+	for _, q := range fe.deferredC {
+		n += len(q)
+	}
+	return n
 }
 
 // admit processes one admitted request.
@@ -87,21 +197,38 @@ func (fe *frontend) admit(r trace.Request) {
 	off, size := alignRequest(fe.volBytes, r)
 	now := fe.eng.Now()
 	fe.meter.Record(now, size)
-	fe.obs.Admit(now, off, size, r.Write)
+	if m := fe.qs.meter(r.Tenant); m != nil {
+		m.Record(now, size)
+	}
+	fe.obs.AdmitTenant(now, off, size, r.Write, r.Tenant)
 	fe.stats.Requests++
+	ts := fe.stats.Tenant(r.Tenant) // nil for untagged traffic
+	if ts != nil {
+		ts.Requests++
+	}
 	// Response time is measured from issue (admission): under closed-loop
 	// replay a saturated backend shifts issue times instead of growing an
 	// unbounded arrival backlog, exactly as hardware trace replayers do.
 	issue := now
+	var done func(time.Duration)
+	if ts != nil {
+		done = func(resp time.Duration) { ts.Resp.Observe(resp) }
+	}
 	if r.Write {
 		fe.stats.Writes++
+		if ts != nil {
+			ts.Writes++
+		}
 		fe.inFlight++
-		fe.onWrite(PendingWrite{Arrival: issue, Offset: off, Size: size})
+		fe.onWrite(PendingWrite{Arrival: issue, Offset: off, Size: size, Tenant: r.Tenant, Done: done})
 		return
 	}
 	fe.stats.Reads++
+	if ts != nil {
+		ts.Reads++
+	}
 	fe.inFlight++
-	fe.onRead(issue, off, size)
+	fe.onRead(issue, off, size, done)
 }
 
 // finish completes one request: the response time is observed and the
@@ -114,10 +241,10 @@ func (fe *frontend) finish(resp time.Duration, write bool) {
 		fe.stats.RespRead.Observe(resp)
 	}
 	// A completion frees one admission slot.
-	if len(fe.deferred) > 0 && fe.inFlight <= fe.maxInFlight {
-		next := fe.deferred[0]
-		fe.deferred = fe.deferred[1:]
-		fe.admit(next)
+	if fe.inFlight <= fe.maxInFlight {
+		if next, ok := fe.popDeferred(); ok {
+			fe.admit(next)
+		}
 	}
 	fe.inFlight--
 }

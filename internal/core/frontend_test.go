@@ -35,7 +35,7 @@ func runFrontend(t *testing.T, maxInFlight int64, svc time.Duration, reqs []trac
 		eng.ScheduleAfter(svc, func() { fe.finish(eng.Now()-issue, write) })
 	}
 	fe.onWrite = func(w PendingWrite) { record(w.Offset, true) }
-	fe.onRead = func(_ time.Duration, off, _ int64) { record(off, false) }
+	fe.onRead = func(_ time.Duration, off, _ int64, _ func(time.Duration)) { record(off, false) }
 
 	tr := &trace.Trace{Name: "unit", Requests: reqs}
 	fe.start(tr)

@@ -10,10 +10,17 @@ type PendingWrite struct {
 	Offset  int64         // logical byte offset
 	Size    int64         // length in bytes
 
+	// Tenant names the submitting tenant ("" for untagged traffic). The
+	// write path attributes a merged run to its first write's tenant
+	// and, under QoS isolation, evaluates the policy against that
+	// tenant's own intensity window.
+	Tenant string
+
 	// Done, if non-nil, fires once at write completion with the response
 	// time measured from Arrival, before the pipeline-wide complete
-	// callback. Replay leaves it nil; serve mode uses it to route each
-	// submitted operation's completion back to its waiting client.
+	// callback. Untagged replay leaves it nil; serve mode routes each
+	// submitted operation's completion back to its waiting client with
+	// it, and tagged replay observes the tenant's own latency histogram.
 	Done func(resp time.Duration)
 }
 

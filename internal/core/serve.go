@@ -10,6 +10,7 @@ import (
 
 	"edc/internal/obs"
 	"edc/internal/parallel"
+	"edc/internal/qos"
 	"edc/internal/sim"
 	"edc/internal/trace"
 )
@@ -108,11 +109,13 @@ func (j *joinOp) complete(lat time.Duration, err error) {
 // serveOp is one shard-local submission: an intended virtual arrival
 // stamp plus the (already shard-rebased) operation it carries.
 type serveOp struct {
-	at    time.Duration // intended virtual arrival (offset from serve start)
-	off   int64         // shard-local byte offset
-	size  int64         // length in bytes
-	write bool
-	j     *joinOp
+	at     time.Duration // intended virtual arrival (offset from serve start)
+	off    int64         // shard-local byte offset
+	size   int64         // length in bytes
+	write  bool
+	tenant string // submitting tenant ("" untagged)
+	shaped bool   // the tenant's bucket was already charged
+	j      *joinOp
 }
 
 // Server routes live requests to LBA-range shards, each drained by a
@@ -123,6 +126,11 @@ type Server struct {
 	vol    int64
 	bounds []int64
 	shards []*serveShard
+
+	// qcfg is the QoS configuration shared by every shard (nil when QoS
+	// is off); the facade-side strict-tenant check runs against it
+	// before any piece is mailed.
+	qcfg *qos.Config
 
 	obs  *obs.Collector
 	kids []*obs.Collector
@@ -144,6 +152,10 @@ type serveShard struct {
 
 	batch   int
 	pending map[*serveOp]struct{}
+	// inflightBy counts pending operations per tenant; a tenant with a
+	// MaxDeferred bound is refused admission past it (the serve-mode
+	// analogue of the replay frontend's deferred-queue bound).
+	inflightBy map[string]int
 }
 
 // NewServer validates the setup, stamps out one pipeline per shard, and
@@ -180,6 +192,9 @@ func NewServer(setup ServeSetup) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		if i == 0 {
+			sv.qcfg = opts.QoS
+		}
 		if opts.Faults != nil && opts.Faults.PowerCutAt > 0 {
 			return nil, errors.New("core: serve mode does not support power-cut fault plans")
 		}
@@ -207,13 +222,14 @@ func NewServer(setup ServeSetup) (*Server, error) {
 		dev.wp.drop = func(int) {}
 		dev.rp.drop = func(int) {}
 		sv.shards[i] = &serveShard{
-			id:      i,
-			dev:     dev,
-			mail:    make(chan *serveOp, setup.Mailbox),
-			stop:    make(chan struct{}),
-			done:    make(chan struct{}),
-			batch:   setup.Batch,
-			pending: make(map[*serveOp]struct{}),
+			id:         i,
+			dev:        dev,
+			mail:       make(chan *serveOp, setup.Mailbox),
+			stop:       make(chan struct{}),
+			done:       make(chan struct{}),
+			batch:      setup.Batch,
+			pending:    make(map[*serveOp]struct{}),
+			inflightBy: make(map[string]int),
 		}
 	}
 	for _, ss := range sv.shards {
@@ -286,7 +302,16 @@ type Await func(ctx context.Context) (time.Duration, error)
 // the clamp in admit measures true queueing delay rather than
 // cross-client submission skew.
 func (sv *Server) SubmitAt(ctx context.Context, at time.Duration, off, size int64, write bool) (Await, error) {
-	j, err := sv.mail(ctx, at, off, size, write)
+	return sv.SubmitAtTag(ctx, at, off, size, write, "")
+}
+
+// SubmitAtTag is SubmitAt with the submitting tenant's tag: the
+// operation is shaped, prioritized, and accounted under that tenant's
+// QoS treatment. Under a strict QoS config an unknown tenant fails
+// immediately with ErrUnknownTenant. The empty tag is untagged traffic
+// and behaves exactly as SubmitAt.
+func (sv *Server) SubmitAtTag(ctx context.Context, at time.Duration, off, size int64, write bool, tenant string) (Await, error) {
+	j, err := sv.mail(ctx, at, off, size, write, tenant)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +327,7 @@ func (sv *Server) SubmitAt(ctx context.Context, at time.Duration, off, size int6
 
 // submit is the synchronous form: mail, then wait.
 func (sv *Server) submit(ctx context.Context, at time.Duration, off, size int64, write bool) (time.Duration, error) {
-	j, err := sv.mail(ctx, at, off, size, write)
+	j, err := sv.mail(ctx, at, off, size, write, "")
 	if err != nil {
 		return 0, err
 	}
@@ -319,9 +344,12 @@ func (sv *Server) submit(ctx context.Context, at time.Duration, off, size int64,
 // full mailboxes (backpressure). The read lock holds Stop off until
 // every piece is mailed, so a mailbox is never closed under a
 // submitter.
-func (sv *Server) mail(ctx context.Context, at time.Duration, off, size int64, write bool) (*joinOp, error) {
+func (sv *Server) mail(ctx context.Context, at time.Duration, off, size int64, write bool, tenant string) (*joinOp, error) {
 	if at < 0 {
 		at = 0
+	}
+	if tenant != "" && !sv.qcfg.Known(tenant) {
+		return nil, fmt.Errorf("core: tenant %q: %w", tenant, qos.ErrUnknownTenant)
 	}
 	aOff, aSize := alignRequest(sv.vol, trace.Request{Offset: off, Size: size, Write: write})
 	// Count the shard-boundary pieces first: the join needs the fan-out
@@ -350,7 +378,7 @@ func (sv *Server) mail(ctx context.Context, at time.Duration, off, size int64, w
 		if c > n {
 			c = n
 		}
-		op := &serveOp{at: at, off: o - sv.bounds[i], size: c, write: write, j: j}
+		op := &serveOp{at: at, off: o - sv.bounds[i], size: c, write: write, tenant: tenant, j: j}
 		ss := sv.shards[i]
 		select {
 		case ss.mail <- op:
@@ -472,11 +500,23 @@ drain:
 // admit schedules one submission's arrival at max(virtual now, its
 // intended stamp) — the clamp models the ingress queue: an arrival the
 // pipeline could not have seen yet is admitted as soon as it can be.
+// A tenant with a MaxDeferred bound is refused admission past that many
+// pending operations in the shard (ErrAdmissionRejected).
 func (ss *serveShard) admit(op *serveOp) {
 	d := ss.dev
 	if d.fs.failed() {
 		op.j.complete(0, d.fs.err)
 		return
+	}
+	if op.tenant != "" {
+		if max := d.fe.qs.maxDeferred(op.tenant); max > 0 && ss.inflightBy[op.tenant] >= max {
+			now := d.eng.Now()
+			d.stats.Tenant(op.tenant).Rejected++
+			d.obs.AdmitReject(now, op.off, op.size, op.write, op.tenant, obs.RejectQueueDepth)
+			op.j.complete(0, fmt.Errorf("core: tenant %q: %w", op.tenant, qos.ErrAdmissionRejected))
+			return
+		}
+		ss.inflightBy[op.tenant]++
 	}
 	at := op.at
 	if now := d.eng.Now(); at < now {
@@ -486,27 +526,66 @@ func (ss *serveShard) admit(op *serveOp) {
 	d.eng.SchedulePriority(at, func() { ss.arrive(op) })
 }
 
+// remove drops one pending operation from the shard's books.
+func (ss *serveShard) remove(op *serveOp) {
+	delete(ss.pending, op)
+	if op.tenant != "" {
+		ss.inflightBy[op.tenant]--
+	}
+}
+
 // arrive feeds one admitted operation into the pipeline at the current
 // virtual time, wiring a per-operation completion that measures the
-// open-loop latency from the intended stamp.
+// open-loop latency from the intended stamp. A shaped tenant's bucket
+// may push the arrival later; the added delay is part of the measured
+// latency, exactly like ingress queueing.
 func (ss *serveShard) arrive(op *serveOp) {
 	d := ss.dev
 	if d.fs.failed() {
 		if _, ok := ss.pending[op]; ok {
-			delete(ss.pending, op)
+			ss.remove(op)
 			op.j.complete(0, d.fs.err)
 		}
 		return
 	}
 	now := d.eng.Now()
+	if !op.shaped {
+		if delay := d.fe.qs.shape(now, op.tenant, op.size); delay > 0 {
+			// Charged once: the delayed re-arrival bypasses the bucket.
+			// The re-arrival parks as a housekeeping event — like the
+			// maintenance timers, a far-future deadline must not
+			// fast-forward the clock past arrival stamps still in
+			// flight, or every later operation is billed for delay the
+			// shaper only owed this one. Parked re-arrivals fire when
+			// real traffic pushes the clock past them, or during the
+			// stop-drain.
+			op.shaped = true
+			ts := d.stats.Tenant(op.tenant)
+			ts.Shaped++
+			ts.ShapeDelay += delay
+			d.obs.Shape(now, op.off, op.size, op.write, op.tenant, delay)
+			d.eng.ScheduleHousekeepingAfter(delay, func() { ss.arrive(op) })
+			return
+		}
+	}
 	d.wp.meter.Record(now, op.size)
-	d.obs.Admit(now, op.off, op.size, op.write)
+	if m := d.fe.qs.meter(op.tenant); m != nil {
+		m.Record(now, op.size)
+	}
+	d.obs.AdmitTenant(now, op.off, op.size, op.write, op.tenant)
 	d.stats.Requests++
+	ts := d.stats.Tenant(op.tenant) // nil for untagged traffic
+	if ts != nil {
+		ts.Requests++
+	}
 	wait := now - op.at // ingress queueing ahead of admission
 	done := func(resp time.Duration) {
-		delete(ss.pending, op)
+		ss.remove(op)
 		lat := wait + resp
 		d.stats.Resp.Observe(lat)
+		if ts != nil {
+			ts.Resp.Observe(lat)
+		}
 		if op.write {
 			d.stats.RespWrite.Observe(lat)
 		} else {
@@ -516,10 +595,16 @@ func (ss *serveShard) arrive(op *serveOp) {
 	}
 	if op.write {
 		d.stats.Writes++
-		d.wp.admitWrite(PendingWrite{Arrival: now, Offset: op.off, Size: op.size, Done: done})
+		if ts != nil {
+			ts.Writes++
+		}
+		d.wp.admitWrite(PendingWrite{Arrival: now, Offset: op.off, Size: op.size, Tenant: op.tenant, Done: done})
 		return
 	}
 	d.stats.Reads++
+	if ts != nil {
+		ts.Reads++
+	}
 	d.wp.noteRead()
 	d.rp.read(now, op.off, op.size, done)
 }
@@ -533,7 +618,7 @@ func (ss *serveShard) failAll() {
 		err = errors.New("core: serve pipeline failed")
 	}
 	for op := range ss.pending {
-		delete(ss.pending, op)
+		ss.remove(op)
 		op.j.complete(0, err)
 	}
 }

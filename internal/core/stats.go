@@ -93,6 +93,13 @@ type RunStats struct {
 	Recoveries       int64         // crash recoveries performed (power cut)
 	CrashLost        int64         // requests in flight and lost at the power cut
 
+	// Tenants breaks the run down by submitting tenant when multi-
+	// tenant QoS is active (nil otherwise — untagged runs carry no
+	// tenant section, and omitempty keeps their serialized form
+	// identical to pre-QoS builds). Keys are tenant names; the map is
+	// merged in sorted key order so sharded runs stay deterministic.
+	Tenants map[string]*TenantStats `json:"Tenants,omitempty"`
+
 	// Infrastructure:
 	CPU     sim.Stats
 	Cache   cache.Stats
@@ -108,6 +115,69 @@ type RunStats struct {
 
 	// Err records a fatal replay error (e.g. device space exhaustion).
 	Err error
+}
+
+// TenantStats is one tenant's slice of a run: request counts, the
+// tenant's own response-time distribution, its codec mix, and the QoS
+// actions applied to it.
+type TenantStats struct {
+	// Requests/Reads/Writes count the tenant's completed operations.
+	Requests int64
+	Reads    int64
+	Writes   int64
+	// Resp is the tenant's response-time distribution.
+	Resp *metrics.LatencyHist
+	// RunsByTag counts stored runs per codec attributed to the tenant
+	// (by the run's first write).
+	RunsByTag map[compress.Tag]int64
+	// WriteThrough counts the tenant's runs bypassed by the estimator.
+	WriteThrough int64
+	// Shaped counts requests delayed by the tenant's bandwidth
+	// schedule; ShapeDelay sums the virtual time added.
+	Shaped     int64
+	ShapeDelay time.Duration
+	// Rejected counts requests refused admission (queue depth or
+	// strict-tenant violations surfaced as errors in serve mode).
+	Rejected int64
+}
+
+func newTenantStats() *TenantStats {
+	return &TenantStats{
+		Resp:      metrics.NewLatencyHist(),
+		RunsByTag: make(map[compress.Tag]int64),
+	}
+}
+
+// merge folds o into ts (counter sums, histogram merge).
+func (ts *TenantStats) merge(o *TenantStats) {
+	ts.Requests += o.Requests
+	ts.Reads += o.Reads
+	ts.Writes += o.Writes
+	ts.Resp.Merge(o.Resp)
+	for tag, n := range o.RunsByTag {
+		ts.RunsByTag[tag] += n
+	}
+	ts.WriteThrough += o.WriteThrough
+	ts.Shaped += o.Shaped
+	ts.ShapeDelay += o.ShapeDelay
+	ts.Rejected += o.Rejected
+}
+
+// Tenant returns the named tenant's stats, allocating on first use.
+// Unnamed (untagged) traffic is never given an entry.
+func (rs *RunStats) Tenant(name string) *TenantStats {
+	if name == "" {
+		return nil
+	}
+	if rs.Tenants == nil {
+		rs.Tenants = make(map[string]*TenantStats)
+	}
+	ts, ok := rs.Tenants[name]
+	if !ok {
+		ts = newTenantStats()
+		rs.Tenants[name] = ts
+	}
+	return ts
 }
 
 func newRunStats(scheme, traceName, backend string) *RunStats {
@@ -187,6 +257,18 @@ func MergeRunStats(parts []*RunStats) *RunStats {
 		out.UnrecoveredReads += p.UnrecoveredReads
 		out.Recoveries += p.Recoveries
 		out.CrashLost += p.CrashLost
+		if len(p.Tenants) > 0 {
+			// Fold tenants in sorted name order so the merge stays
+			// deterministic whatever map iteration does.
+			names := make([]string, 0, len(p.Tenants))
+			for name := range p.Tenants {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				out.Tenant(name).merge(p.Tenants[name])
+			}
+		}
 		out.CPU.Jobs += p.CPU.Jobs
 		out.CPU.BusyTime += p.CPU.BusyTime
 		out.CPU.WaitTime += p.CPU.WaitTime
@@ -379,6 +461,41 @@ func (rs *RunStats) Format() string {
 			rs.DegradedReadTime.Round(time.Microsecond),
 			rs.WriteReallocs, rs.UnrecoveredReads, rs.Recoveries, rs.CrashLost)
 	}
+	// The tenant lines only appear when QoS tagged something, so
+	// untagged reports stay byte-identical to pre-QoS builds.
+	if len(rs.Tenants) > 0 {
+		names := make([]string, 0, len(rs.Tenants))
+		for name := range rs.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ts := rs.Tenants[name]
+			fmt.Fprintf(&b, "tenant %s: requests=%d (%d reads, %d writes) mean=%v p99=%v",
+				name, ts.Requests, ts.Reads, ts.Writes,
+				ts.Resp.Mean().Round(time.Microsecond),
+				ts.Resp.Percentile(99).Round(time.Microsecond))
+			tags := make([]int, 0, len(ts.RunsByTag))
+			for tag := range ts.RunsByTag {
+				tags = append(tags, int(tag))
+			}
+			sort.Ints(tags)
+			for _, t := range tags {
+				tag := compress.Tag(t)
+				fmt.Fprintf(&b, " %s=%d", tagLabel(tag), ts.RunsByTag[tag])
+			}
+			if ts.WriteThrough > 0 {
+				fmt.Fprintf(&b, " write-through=%d", ts.WriteThrough)
+			}
+			if ts.Shaped > 0 {
+				fmt.Fprintf(&b, " shaped=%d delay=%v", ts.Shaped, ts.ShapeDelay.Round(time.Microsecond))
+			}
+			if ts.Rejected > 0 {
+				fmt.Fprintf(&b, " rejected=%d", ts.Rejected)
+			}
+			b.WriteByte('\n')
+		}
+	}
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d\n", rs.Cache.Hits, rs.Cache.Misses)
 	fmt.Fprintf(&b, "endurance: erases=%d flash-pages=%d\n", rs.TotalErases(), rs.TotalFlashWrites())
 	fmt.Fprintf(&b, "composite=%.3f duration=%v\n", rs.Composite(), rs.Duration.Round(time.Millisecond))
@@ -478,11 +595,36 @@ type Report struct {
 	Composite  float64 `json:"composite"`
 	DurationUS int64   `json:"duration_us"`
 
+	// Tenants is the per-tenant breakdown (omitted for untagged runs).
+	Tenants map[string]*TenantReport `json:"tenants,omitempty"`
+
 	// Obs is the observability snapshot when a collector was attached.
 	Obs *obs.Report `json:"obs,omitempty"`
 
 	// Error is the fatal replay error, if any.
 	Error string `json:"error,omitempty"`
+}
+
+// TenantReport is the machine-readable form of TenantStats.
+type TenantReport struct {
+	// Requests/Reads/Writes count the tenant's completed operations.
+	Requests int64 `json:"requests"`
+	Reads    int64 `json:"reads"`
+	Writes   int64 `json:"writes"`
+	// MeanUS/P50US/P99US summarize the tenant's latency distribution
+	// in microseconds.
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	// RunsByCodec is the tenant's codec mix (keys are registry names).
+	RunsByCodec map[string]int64 `json:"runs_by_codec,omitempty"`
+	// WriteThrough counts the tenant's estimator-bypassed runs.
+	WriteThrough int64 `json:"write_through,omitempty"`
+	// Shaped/ShapeDelayUS account the bandwidth shaper's actions.
+	Shaped       int64 `json:"shaped,omitempty"`
+	ShapeDelayUS int64 `json:"shape_delay_us,omitempty"`
+	// Rejected counts admission rejections.
+	Rejected int64 `json:"rejected,omitempty"`
 }
 
 // Report flattens the run into its machine-readable form.
@@ -529,6 +671,25 @@ func (rs *RunStats) Report() *Report {
 	}
 	for tag, n := range rs.BytesByTag {
 		r.BytesByCodec[tagLabel(tag)] += n
+	}
+	if len(rs.Tenants) > 0 {
+		r.Tenants = make(map[string]*TenantReport, len(rs.Tenants))
+		for name, ts := range rs.Tenants {
+			tr := &TenantReport{
+				Requests: ts.Requests, Reads: ts.Reads, Writes: ts.Writes,
+				MeanUS: us(ts.Resp.Mean()), P50US: us(ts.Resp.Percentile(50)),
+				P99US:        us(ts.Resp.Percentile(99)),
+				WriteThrough: ts.WriteThrough, Shaped: ts.Shaped,
+				ShapeDelayUS: ts.ShapeDelay.Microseconds(), Rejected: ts.Rejected,
+			}
+			if len(ts.RunsByTag) > 0 {
+				tr.RunsByCodec = make(map[string]int64, len(ts.RunsByTag))
+				for tag, n := range ts.RunsByTag {
+					tr.RunsByCodec[tagLabel(tag)] += n
+				}
+			}
+			r.Tenants[name] = tr
+		}
 	}
 	if rs.Err != nil {
 		r.Error = rs.Err.Error()

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"edc/internal/compress"
+)
+
+// tenantPart builds a RunStats carrying only tenant-attributed state,
+// deterministically from seed, for the merge-algebra tests below.
+func tenantPart(seed int64, tenants ...string) *RunStats {
+	rs := newRunStats("elastic", "t", "sim")
+	for i, name := range tenants {
+		ts := rs.Tenant(name)
+		n := seed + int64(i) + 1
+		ts.Requests += 10 * n
+		ts.Reads += 4 * n
+		ts.Writes += 6 * n
+		ts.WriteThrough += n
+		ts.Shaped += n / 2
+		ts.ShapeDelay += time.Duration(n) * time.Millisecond
+		ts.Rejected += n % 3
+		ts.RunsByTag[compress.TagGZ] += n
+		ts.RunsByTag[compress.TagNone] += 2 * n
+		for j := int64(0); j < n; j++ {
+			ts.Resp.Observe(time.Duration(100+7*j*n) * time.Microsecond)
+		}
+	}
+	return rs
+}
+
+// TestMergeTenantsCommutes pins the merge algebra the sharded replay
+// relies on: the per-tenant section of a merged RunStats is the same
+// whatever order the shards land in, and however the fold is grouped.
+func TestMergeTenantsCommutes(t *testing.T) {
+	mk := func() []*RunStats {
+		return []*RunStats{
+			tenantPart(3, "web", "batch"),
+			tenantPart(11, "batch"),
+			tenantPart(29, "web", "ml"),
+		}
+	}
+	base := MergeRunStats(mk()).Tenants
+	perms := [][]int{{0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		parts := mk()
+		shuffled := []*RunStats{parts[perm[0]], parts[perm[1]], parts[perm[2]]}
+		got := MergeRunStats(shuffled).Tenants
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("merge order %v changed tenant stats:\nwant %+v\ngot  %+v", perm, base, got)
+		}
+	}
+	// Associativity: fold left and fold right agree.
+	parts := mk()
+	left := MergeRunStats([]*RunStats{MergeRunStats(parts[:2]), parts[2]}).Tenants
+	right := MergeRunStats([]*RunStats{parts[0], MergeRunStats(parts[1:])}).Tenants
+	if !reflect.DeepEqual(base, left) || !reflect.DeepEqual(base, right) {
+		t.Fatalf("grouped merges disagree:\nflat  %+v\nleft  %+v\nright %+v", base, left, right)
+	}
+	// Sanity: the merge actually accumulated across parts.
+	if base["web"] == nil || base["batch"] == nil || base["ml"] == nil {
+		t.Fatalf("missing tenants after merge: %+v", base)
+	}
+	if base["web"].Requests != 10*(3+1)+10*(29+1) {
+		t.Fatalf("web requests = %d", base["web"].Requests)
+	}
+}
+
+// TestMergeTenantsNilParts checks merging tolerates parts without any
+// tenant section and never materializes an empty map.
+func TestMergeTenantsNilParts(t *testing.T) {
+	plain := newRunStats("elastic", "t", "sim")
+	out := MergeRunStats([]*RunStats{plain, tenantPart(5, "web"), newRunStats("elastic", "t", "sim")})
+	if out.Tenants["web"] == nil {
+		t.Fatalf("tenant lost in merge: %+v", out.Tenants)
+	}
+	if out2 := MergeRunStats([]*RunStats{plain, newRunStats("elastic", "t", "sim")}); out2.Tenants != nil {
+		t.Fatalf("untagged merge materialized a tenant map: %+v", out2.Tenants)
+	}
+}

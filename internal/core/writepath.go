@@ -53,6 +53,10 @@ type writePath struct {
 	policy Policy
 	cost   CostModel
 
+	// qs resolves per-tenant intensity under QoS isolation; nil keeps
+	// the device-global policy signal.
+	qs *qosState
+
 	hostCache   *cache.Cache
 	disableSD   bool
 	exactSlots  bool
@@ -254,6 +258,26 @@ func (wp *writePath) abandonDying(dying []*Extent) {
 	}
 }
 
+// runTenant is the tenant a merged run is attributed to: its first
+// write's. Cross-tenant merges are possible (contiguous writes from
+// different tenants), so attribution is a convention, not a partition.
+func runTenant(run *Run) string {
+	if len(run.Writes) == 0 {
+		return ""
+	}
+	return run.Writes[0].Tenant
+}
+
+// intensity is the calculated-IOPS signal the policy sees for a run:
+// the submitting tenant's own window under QoS isolation, the
+// device-global stream otherwise.
+func (wp *writePath) intensity(now time.Duration, run *Run) float64 {
+	if m := wp.qs.meter(runTenant(run)); m != nil {
+		return m.Intensity(now)
+	}
+	return wp.meter.Intensity(now)
+}
+
 // compressRun runs the elastic pipeline for one run: compressibility
 // estimate → policy selection → codec dispatch → store. sum/hasSum
 // carry the dedup fingerprint (if one was computed) through to the
@@ -270,7 +294,7 @@ func (wp *writePath) compressRun(run *Run, content []byte, sum dedup.Sum, hasSum
 			wp.obs.Estimate(now, run.Offset, run.Size, ratio, false)
 			// Intensity is a pure read of the meter, so capturing it for
 			// the trace costs nothing on the disabled path.
-			ciops := wp.meter.Intensity(now)
+			ciops := wp.intensity(now, run)
 			if ra, ok := wp.policy.(RatioAware); ok {
 				codec = ra.SelectWithRatio(ciops, ratio)
 			} else {
@@ -279,10 +303,13 @@ func (wp *writePath) compressRun(run *Run, content []byte, sum dedup.Sum, hasSum
 			wp.obs.PolicyChoice(now, run.Offset, run.Size, ciops, codecName(codec))
 		} else {
 			wp.stats.WriteThrough++
+			if ts := wp.stats.Tenant(runTenant(run)); ts != nil {
+				ts.WriteThrough++
+			}
 			wp.obs.Estimate(now, run.Offset, run.Size, ratio, true)
 		}
 	} else {
-		ciops := wp.meter.Intensity(now)
+		ciops := wp.intensity(now, run)
 		codec = wp.policy.Select(ciops)
 		wp.obs.PolicyChoice(now, run.Offset, run.Size, ciops, codecName(codec))
 	}
@@ -387,6 +414,9 @@ func (wp *writePath) store(run *Run, content []byte, codec compress.Codec, fut *
 	wp.stats.StoredBytes += slotLen
 	wp.stats.RunsByTag[tag]++
 	wp.stats.BytesByTag[tag] += run.Size
+	if ts := wp.stats.Tenant(runTenant(run)); ts != nil {
+		ts.RunsByTag[tag]++
+	}
 	wp.se.putBuf(content)
 	wp.se.putBuf(payload)
 

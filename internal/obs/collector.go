@@ -169,6 +169,46 @@ func (c *Collector) Defer(now time.Duration, off, size int64, write bool, queued
 	c.emit(Event{TUS: now.Microseconds(), Type: EvDefer, Op: op(write), Off: off, Size: size, Queued: queued})
 }
 
+// AdmitTenant records one tenant-tagged request admitted by the
+// frontend: the admit event gains the tenant label and the per-tenant
+// counters tick. Called instead of Admit when QoS tagging is active.
+func (c *Collector) AdmitTenant(now time.Duration, off, size int64, write bool, tenant string) {
+	if c == nil {
+		return
+	}
+	if tenant == "" {
+		c.Admit(now, off, size, write)
+		return
+	}
+	c.counters[fmt.Sprintf("edc_admitted_total{op=%q}", op(write))]++
+	c.counters[fmt.Sprintf("edc_tenant_requests_total{tenant=%q}", tenant)]++
+	c.counters[fmt.Sprintf("edc_tenant_bytes_total{tenant=%q}", tenant)] += size
+	c.emit(Event{TUS: now.Microseconds(), Type: EvAdmit, Op: op(write), Off: off, Size: size, Tenant: tenant})
+}
+
+// Shape records the bandwidth shaper delaying a tenant's request by
+// delay of virtual time before admission.
+func (c *Collector) Shape(now time.Duration, off, size int64, write bool, tenant string, delay time.Duration) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_tenant_shaped_total{tenant=%q}", tenant)]++
+	c.counters[fmt.Sprintf("edc_tenant_shape_delay_us_total{tenant=%q}", tenant)] += delay.Microseconds()
+	c.emit(Event{TUS: now.Microseconds(), Type: EvShape, Op: op(write), Off: off, Size: size,
+		Tenant: tenant, DelayUS: delay.Microseconds()})
+}
+
+// AdmitReject records admission control refusing a tenant's request
+// for the given reason ("queue_depth").
+func (c *Collector) AdmitReject(now time.Duration, off, size int64, write bool, tenant, reason string) {
+	if c == nil {
+		return
+	}
+	c.counters[fmt.Sprintf("edc_tenant_rejected_total{tenant=%q}", tenant)]++
+	c.emit(Event{TUS: now.Microseconds(), Type: EvAdmitReject, Op: op(write), Off: off, Size: size,
+		Tenant: tenant, Reason: reason})
+}
+
 // SDMerge records a write joining the pending run; writes is the run's
 // host-write count including it.
 func (c *Collector) SDMerge(now time.Duration, off, size int64, writes int) {
@@ -488,6 +528,11 @@ var counterHelp = map[string]string{
 	"edc_dedup_misses_total":          "flushed runs fingerprinted but unseen in the content index",
 	"edc_dedup_saved_bytes_total":     "slot bytes dedup hits avoided allocating",
 	"edc_dedup_unrefs_total":          "shared extents released on their last unref",
+	"edc_tenant_requests_total":       "tenant-tagged requests admitted, by tenant",
+	"edc_tenant_bytes_total":          "tenant-tagged bytes admitted, by tenant",
+	"edc_tenant_shaped_total":         "requests delayed by a tenant bandwidth schedule",
+	"edc_tenant_shape_delay_us_total": "virtual microseconds of bandwidth-shaping delay, by tenant",
+	"edc_tenant_rejected_total":       "requests refused admission, by tenant",
 }
 
 // WritePrometheus renders the counters in the Prometheus text

@@ -105,6 +105,12 @@ const (
 	// slot bytes were released (the dedup analogue of slot_free; Size is
 	// the original length, Slot the released slot bytes).
 	EvUnref EventType = "unref"
+	// EvShape: the tenant's bandwidth schedule delayed a request's
+	// admission (Tenant names the tenant, DelayUS the added wait).
+	EvShape EventType = "shape"
+	// EvAdmitReject: admission control refused a request (Reason
+	// "queue_depth" when the tenant's deferred bound overflowed).
+	EvAdmitReject EventType = "admit_reject"
 )
 
 // SD flush reasons recorded in Event.Reason.
@@ -119,6 +125,13 @@ const (
 	FlushTimeout = "timeout"
 	// FlushDrain: end-of-trace drain forced the run out.
 	FlushDrain = "drain"
+)
+
+// Admission-rejection reasons recorded in Event.Reason on admit_reject
+// events.
+const (
+	// RejectQueueDepth: the tenant's deferred-queue bound overflowed.
+	RejectQueueDepth = "queue_depth"
 )
 
 // Recovery reasons recorded in Event.Reason on recover events.
@@ -215,6 +228,13 @@ type Event struct {
 	// Merged is the number of adjacent free slots coalesced by a
 	// compact event.
 	Merged int `json:"merged,omitempty"`
+	// Tenant names the submitting tenant on QoS-tagged events (absent
+	// on untagged traffic, so untagged streams keep the pre-tenant
+	// schema byte for byte).
+	Tenant string `json:"tenant,omitempty"`
+	// DelayUS is the virtual delay a shape event added, in
+	// microseconds.
+	DelayUS int64 `json:"delay_us,omitempty"`
 }
 
 // Tracer consumes pipeline decision events. Implementations must not

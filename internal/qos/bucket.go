@@ -1,0 +1,183 @@
+package qos
+
+import (
+	"time"
+)
+
+const nanos = int64(time.Second)
+
+// maxBurst bounds the token bucket so byte*nanosecond arithmetic stays
+// in int64 range.
+const maxBurst = 8 << 30
+
+// Bucket is a token-bucket bandwidth shaper driven by a Timetable,
+// operating entirely in virtual time: Take charges bytes against the
+// bucket and returns how long the request must be delayed to respect
+// the schedule. All arithmetic is integral, so identical call sequences
+// produce identical delays — the property replay determinism needs.
+//
+// A Bucket is not goroutine-safe; each pipeline (shard) owns its own.
+// Sharded pipelines pass share=n so each of the n buckets enforces
+// rate/n, approximating the tenant-global cap without cross-shard
+// coordination.
+type Bucket struct {
+	tt    Timetable
+	share int64
+	burst int64         // bytes; bucket capacity
+	level int64         // bytes; negative = charged-ahead deficit
+	last  time.Duration // virtual time tokens were last accrued
+}
+
+// NewBucket builds a bucket over a parsed schedule. burstBytes <= 0
+// defaults to one second of the schedule's fastest rate; share > 1
+// scales rate and burst down for sharded enforcement.
+func NewBucket(tt Timetable, burstBytes int64, share int) *Bucket {
+	sh := int64(share)
+	if sh < 1 {
+		sh = 1
+	}
+	b := burstBytes
+	if b <= 0 {
+		b = tt.MaxRate()
+	}
+	b /= sh
+	if b < 1 {
+		b = 1
+	}
+	if b > maxBurst {
+		b = maxBurst
+	}
+	return &Bucket{tt: tt, share: sh, burst: b, level: b}
+}
+
+// rateAt returns the shard-scaled rate in effect at now.
+func (b *Bucket) rateAt(now time.Duration) int64 {
+	r := b.tt.RateAt(now)
+	if r == Unlimited {
+		return Unlimited
+	}
+	r /= b.share
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// nsFor returns the nanoseconds needed to move n bytes at r bytes/sec,
+// rounded up, without overflowing the intermediate product.
+func nsFor(n, r int64) int64 {
+	return (n/r)*nanos + ((n%r)*nanos+r-1)/r
+}
+
+// bytesFor returns the bytes accrued over dt nanoseconds at r
+// bytes/sec, rounded down, without overflowing.
+func bytesFor(r, dt int64) int64 {
+	return r*(dt/nanos) + r*(dt%nanos)/nanos
+}
+
+// advance accrues tokens from the last update to now, walking the
+// schedule segment by segment. An "off" segment refills the bucket
+// instantly (and forgives any deficit): unlimited periods do not carry
+// debt forward.
+func (b *Bucket) advance(now time.Duration) {
+	if now <= b.last {
+		return
+	}
+	t := b.last
+	for t < now && b.level < b.burst {
+		segEnd := b.tt.nextChange(t)
+		if segEnd > now {
+			segEnd = now
+		}
+		if r := b.rateAt(t); r == Unlimited {
+			b.level = b.burst
+		} else {
+			need := b.burst - b.level
+			if dt := int64(segEnd - t); dt >= nsFor(need, r) {
+				b.level = b.burst
+			} else {
+				b.level += bytesFor(r, dt)
+			}
+		}
+		t = segEnd
+	}
+	b.last = now
+}
+
+// Take charges n bytes at virtual time now. The returned delay is how
+// long admission must be postponed for the schedule to cover the
+// charge (0: admit immediately). The charge lands on first call —
+// callers reschedule the request once by the returned delay and admit
+// it unconditionally when it re-arrives.
+func (b *Bucket) Take(now time.Duration, n int64) time.Duration {
+	b.advance(now)
+	if b.rateAt(now) == Unlimited {
+		return 0 // off period: unlimited, bucket already refilled
+	}
+	b.level -= n
+	if b.level >= 0 {
+		return 0
+	}
+	return b.refillDelay(now)
+}
+
+// refillDelay predicts when the deficit clears, walking future
+// schedule segments (with a whole-day fast path for deep deficits).
+func (b *Bucket) refillDelay(now time.Duration) time.Duration {
+	deficit := -b.level
+	t := now
+	daily, hasOff := b.dailyCapacity()
+	if !hasOff && deficit > daily && len(b.tt) > 1 {
+		days := deficit / daily
+		t += time.Duration(days) * Day
+		deficit -= days * daily
+		if deficit <= 0 {
+			deficit = 1
+		}
+	}
+	for {
+		r := b.rateAt(t)
+		if r == Unlimited {
+			// The off slot refills the bucket the moment it starts.
+			return t - now
+		}
+		segEnd := b.tt.nextChange(t)
+		dt := int64(segEnd - t)
+		if fill := nsFor(deficit, r); fill <= dt || len(b.tt) == 1 {
+			return t - now + time.Duration(fill)
+		}
+		deficit -= bytesFor(r, dt)
+		if deficit <= 0 {
+			return segEnd - now
+		}
+		t = segEnd
+	}
+}
+
+// dailyCapacity sums one full day's shard-scaled byte budget; hasOff
+// reports an unlimited slot (infinite capacity).
+func (b *Bucket) dailyCapacity() (bytes int64, hasOff bool) {
+	base := time.Duration(0)
+	t := base
+	for t < Day {
+		r := b.rateAt(t)
+		segEnd := b.tt.nextChange(t)
+		if segEnd > Day {
+			segEnd = Day
+		}
+		if r == Unlimited {
+			hasOff = true
+		} else {
+			bytes += bytesFor(r, int64(segEnd-t))
+		}
+		t = segEnd
+	}
+	if bytes < 1 {
+		bytes = 1
+	}
+	return bytes, hasOff
+}
+
+// Level returns the current token level in bytes (negative while a
+// charged-ahead deficit drains) without accruing.
+func (b *Bucket) Level() int64 { return b.level }

@@ -1,0 +1,202 @@
+package qos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Unlimited marks a timetable slot with no bandwidth cap ("off").
+const Unlimited int64 = -1
+
+// Slot is one timetable entry: from Start-of-day onward the tenant's
+// rate is Rate bytes per second (Unlimited for "off").
+type Slot struct {
+	// Start is the offset from midnight at which the slot takes effect.
+	Start time.Duration
+	// Rate is the bandwidth cap in bytes/second (Unlimited: none).
+	Rate int64
+}
+
+// Timetable is a cyclic 24-hour bandwidth schedule: the rate in effect
+// at time-of-day tod is the last slot whose Start <= tod, wrapping to
+// the day's last slot before the first Start (the rclone bwtimetable
+// semantics).
+type Timetable []Slot
+
+// ParseRate parses a bandwidth figure: a decimal number with an
+// optional binary suffix (k/K=KiB, M=MiB, G=GiB) in bytes/second, or
+// "off" for no limit. Bare numbers are KiB/s, matching rclone.
+func ParseRate(s string) (int64, error) {
+	if s == "off" {
+		return Unlimited, nil
+	}
+	mult := int64(1 << 10) // bare figures are KiB/s
+	num := s
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'b', 'B':
+			mult = 1
+			num = s[:n-1]
+		case 'k', 'K':
+			mult = 1 << 10
+			num = s[:n-1]
+		case 'm', 'M':
+			mult = 1 << 20
+			num = s[:n-1]
+		case 'g', 'G':
+			mult = 1 << 30
+			num = s[:n-1]
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("qos: bad rate %q: %v", s, err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("qos: rate %q must be positive (use \"off\" for no limit)", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// parseTOD parses "HH:MM" into an offset from midnight.
+func parseTOD(s string) (time.Duration, error) {
+	hh, mm, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, fmt.Errorf("qos: bad time of day %q (want HH:MM)", s)
+	}
+	h, err := strconv.Atoi(hh)
+	if err != nil || h < 0 || h > 23 {
+		return 0, fmt.Errorf("qos: bad hour in %q", s)
+	}
+	m, err := strconv.Atoi(mm)
+	if err != nil || m < 0 || m > 59 {
+		return 0, fmt.Errorf("qos: bad minute in %q", s)
+	}
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute, nil
+}
+
+// ParseTimetable parses a bandwidth schedule: either one bare rate
+// ("10M") applying all day, or whitespace-separated "HH:MM,rate" pairs
+// ("08:00,10M 18:00,off") with strictly increasing starts. An all-"off"
+// schedule is rejected — drop the Bandwidth field instead.
+func ParseTimetable(s string) (Timetable, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("qos: empty bandwidth schedule")
+	}
+	if len(fields) == 1 && !strings.Contains(fields[0], ",") {
+		r, err := ParseRate(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		if r == Unlimited {
+			return nil, fmt.Errorf("qos: schedule %q never limits; leave bandwidth unset instead", s)
+		}
+		return Timetable{{Start: 0, Rate: r}}, nil
+	}
+	tt := make(Timetable, 0, len(fields))
+	limited := false
+	for _, f := range fields {
+		tod, rate, ok := strings.Cut(f, ",")
+		if !ok {
+			return nil, fmt.Errorf("qos: bad schedule entry %q (want HH:MM,rate)", f)
+		}
+		at, err := parseTOD(tod)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ParseRate(rate)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(tt); n > 0 && at <= tt[n-1].Start {
+			return nil, fmt.Errorf("qos: schedule times must be strictly increasing (%q)", f)
+		}
+		if r != Unlimited {
+			limited = true
+		}
+		tt = append(tt, Slot{Start: at, Rate: r})
+	}
+	if !limited {
+		return nil, fmt.Errorf("qos: schedule %q never limits; leave bandwidth unset instead", s)
+	}
+	return tt, nil
+}
+
+// RateAt returns the rate in effect at virtual time now (anchored with
+// midnight at t=0, repeating every Day).
+func (tt Timetable) RateAt(now time.Duration) int64 {
+	if len(tt) == 0 {
+		return Unlimited
+	}
+	tod := now % Day
+	// Before the first slot of the day the previous day's last slot is
+	// still in effect (the schedule is cyclic).
+	cur := tt[len(tt)-1].Rate
+	for _, s := range tt {
+		if s.Start <= tod {
+			cur = s.Rate
+		} else {
+			break
+		}
+	}
+	return cur
+}
+
+// nextChange returns the virtual time > now at which the effective
+// rate next changes slot (not necessarily value). With a single slot
+// the schedule never changes; nextChange returns now+Day as a bound.
+func (tt Timetable) nextChange(now time.Duration) time.Duration {
+	tod := now % Day
+	base := now - tod
+	for _, s := range tt {
+		if s.Start > tod {
+			return base + s.Start
+		}
+	}
+	return base + Day + tt[0].Start
+}
+
+// MaxRate returns the schedule's fastest finite rate (sizes the default
+// burst). At least one finite rate exists by construction.
+func (tt Timetable) MaxRate() int64 {
+	var max int64
+	for _, s := range tt {
+		if s.Rate != Unlimited && s.Rate > max {
+			max = s.Rate
+		}
+	}
+	return max
+}
+
+// String renders the schedule in its DSL spelling.
+func (tt Timetable) String() string {
+	if len(tt) == 1 && tt[0].Start == 0 {
+		return FormatRate(tt[0].Rate)
+	}
+	parts := make([]string, len(tt))
+	for i, s := range tt {
+		parts[i] = fmt.Sprintf("%02d:%02d,%s",
+			int(s.Start.Hours()), int(s.Start.Minutes())%60, FormatRate(s.Rate))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatRate renders a rate in the parser's spelling ("off", "10M",
+// "512k").
+func FormatRate(r int64) string {
+	switch {
+	case r == Unlimited:
+		return "off"
+	case r >= 1<<30 && r%(1<<30) == 0:
+		return fmt.Sprintf("%dG", r>>30)
+	case r >= 1<<20 && r%(1<<20) == 0:
+		return fmt.Sprintf("%dM", r>>20)
+	case r >= 1<<10 && r%(1<<10) == 0:
+		return fmt.Sprintf("%dk", r>>10)
+	default:
+		return fmt.Sprintf("%dB", r)
+	}
+}

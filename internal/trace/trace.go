@@ -30,6 +30,11 @@ type Request struct {
 	Size int64
 	// Write distinguishes writes from reads.
 	Write bool
+	// Tenant optionally names the submitting tenant for multi-tenant
+	// QoS. Empty means untagged: the request is treated exactly as
+	// before tenancy existed, and writers emit the pre-tenant record
+	// format byte for byte.
+	Tenant string
 }
 
 // Trace is an ordered sequence of requests plus identification metadata.
@@ -112,7 +117,9 @@ var ErrFormat = errors.New("trace: malformed record")
 //	ASU,LBA,Size,Opcode,Timestamp[,...]
 //
 // where LBA counts 512-byte sectors, Size is in bytes, Opcode is r/R or
-// w/W, and Timestamp is seconds from trace start.
+// w/W, and Timestamp is seconds from trace start. Extra trailing fields
+// are ignored, except a "tenant=NAME" field (the extension WriteSPC
+// emits for tagged requests), which sets Request.Tenant.
 func ParseSPC(r io.Reader, name string) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
@@ -141,11 +148,18 @@ func ParseSPC(r io.Reader, name string) (*Trace, error) {
 		if size <= 0 || lba < 0 || ts < 0 {
 			return nil, fmt.Errorf("%w: line %d: negative field", ErrFormat, lineNo)
 		}
+		tenant := ""
+		for _, extra := range f[5:] {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(extra), "tenant="); ok {
+				tenant = v
+			}
+		}
 		t.Requests = append(t.Requests, Request{
 			Arrival: time.Duration(ts * float64(time.Second)),
 			Offset:  lba * SectorSize,
 			Size:    size,
 			Write:   op == "w",
+			Tenant:  tenant,
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -155,7 +169,9 @@ func ParseSPC(r io.Reader, name string) (*Trace, error) {
 	return t, nil
 }
 
-// WriteSPC writes t in the SPC ASCII format (ASU fixed to 0).
+// WriteSPC writes t in the SPC ASCII format (ASU fixed to 0). Tagged
+// requests gain a trailing ",tenant=NAME" field; untagged requests emit
+// the pre-tenant record byte for byte.
 func WriteSPC(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range t.Requests {
@@ -163,8 +179,15 @@ func WriteSPC(w io.Writer, t *Trace) error {
 		if r.Write {
 			op = "w"
 		}
-		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
-			r.Offset/SectorSize, r.Size, op, r.Arrival.Seconds()); err != nil {
+		var err error
+		if r.Tenant != "" {
+			_, err = fmt.Fprintf(bw, "0,%d,%d,%s,%.6f,tenant=%s\n",
+				r.Offset/SectorSize, r.Size, op, r.Arrival.Seconds(), r.Tenant)
+		} else {
+			_, err = fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
+				r.Offset/SectorSize, r.Size, op, r.Arrival.Seconds())
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -181,7 +204,9 @@ func WriteSPC(w io.Writer, t *Trace) error {
 //
 // Timestamp is in Windows FILETIME ticks (100 ns); Type is "Read" or
 // "Write"; Offset and Size are bytes. Arrival times are rebased to the
-// first record.
+// first record. A Hostname other than the synthetic default "edc" (or
+// empty) becomes Request.Tenant — MSR's host column is the natural
+// place to carry the submitting stream's identity.
 func ParseMSR(r io.Reader, name string) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
@@ -219,11 +244,16 @@ func ParseMSR(r io.Reader, name string) (*Trace, error) {
 		if base < 0 {
 			base = ts
 		}
+		tenant := strings.TrimSpace(f[1])
+		if tenant == "edc" {
+			tenant = ""
+		}
 		t.Requests = append(t.Requests, Request{
 			Arrival: time.Duration(ts-base) * 100 * time.Nanosecond,
 			Offset:  off,
 			Size:    size,
 			Write:   write,
+			Tenant:  tenant,
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -233,7 +263,9 @@ func ParseMSR(r io.Reader, name string) (*Trace, error) {
 	return t, nil
 }
 
-// WriteMSR writes t in the MSR CSV format with a synthetic host name.
+// WriteMSR writes t in the MSR CSV format. Tagged requests carry the
+// tenant in the Hostname column; untagged requests keep the synthetic
+// default "edc", emitting the pre-tenant record byte for byte.
 func WriteMSR(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range t.Requests {
@@ -241,9 +273,13 @@ func WriteMSR(w io.Writer, t *Trace) error {
 		if r.Write {
 			typ = "Write"
 		}
+		host := r.Tenant
+		if host == "" {
+			host = "edc"
+		}
 		ticks := r.Arrival.Nanoseconds() / 100
-		if _, err := fmt.Fprintf(bw, "%d,edc,0,%s,%d,%d,0\n",
-			ticks, typ, r.Offset, r.Size); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d,%s,0,%s,%d,%d,0\n",
+			ticks, host, typ, r.Offset, r.Size); err != nil {
 			return err
 		}
 	}

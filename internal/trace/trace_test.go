@@ -140,6 +140,59 @@ func TestParseMSRErrors(t *testing.T) {
 	}
 }
 
+func TestSPCTenantRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Requests: []Request{
+		{Arrival: 0, Offset: 4096, Size: 8192, Write: true, Tenant: "alice"},
+		{Arrival: 100 * time.Millisecond, Offset: 0, Size: 512, Write: false},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSPC(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasSuffix(lines[0], ",tenant=alice") {
+		t.Fatalf("tagged line missing tenant field: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "tenant") {
+		t.Fatalf("untagged line grew a tenant field: %q", lines[1])
+	}
+	got, err := ParseSPC(strings.NewReader(out), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests[0].Tenant != "alice" || got.Requests[1].Tenant != "" {
+		t.Fatalf("tenants = %q, %q", got.Requests[0].Tenant, got.Requests[1].Tenant)
+	}
+}
+
+func TestMSRTenantRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Requests: []Request{
+		{Arrival: 0, Offset: 1 << 20, Size: 4096, Write: true, Tenant: "bob"},
+		{Arrival: time.Second, Offset: 0, Size: 65536, Write: false},
+	}}
+	var buf bytes.Buffer
+	if err := WriteMSR(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], ",bob,") {
+		t.Fatalf("tagged line should carry the tenant as hostname: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",edc,") {
+		t.Fatalf("untagged line should keep the synthetic host: %q", lines[1])
+	}
+	got, err := ParseMSR(strings.NewReader(buf.String()), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Requests {
+		if orig.Requests[i] != got.Requests[i] {
+			t.Fatalf("request %d: %+v != %+v", i, orig.Requests[i], got.Requests[i])
+		}
+	}
+}
+
 func TestStats(t *testing.T) {
 	tr := &Trace{Requests: []Request{
 		{Arrival: 0, Offset: 0, Size: 4096, Write: true},

@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"edc/internal/qos"
 )
 
 // ArrivalKind selects a step's interarrival process.
@@ -82,6 +84,17 @@ type Step struct {
 	// to the whole run and Validate rejects a mid-spec change.
 	Dup         float64
 	DupUniverse int
+
+	// Tenant names the tenant submitting this step's operations for
+	// multi-tenant QoS; empty means untagged (the pre-tenant behavior).
+	// Class ("standard", "latency", "bulk") and BW (an rclone-style
+	// time-of-day bandwidth schedule, '+'-separated in the DSL) describe
+	// the tenant's QoS treatment; both require Tenant and must not
+	// change between a tenant's steps. The json tags keep untagged
+	// specs' serialized form identical to the pre-tenant encoding.
+	Tenant string `json:"Tenant,omitempty"`
+	Class  string `json:"Class,omitempty"`
+	BW     string `json:"BW,omitempty"`
 }
 
 // Spec is a multi-step open-loop workload, executed in order.
@@ -128,17 +141,103 @@ func (s Spec) Validate(volumeBytes int64) error {
 		if i > 0 && (st.Dup != s[0].Dup || st.DupUniverse != s[0].DupUniverse) {
 			return fmt.Errorf("workload: step %d: dup knobs cannot change mid-spec (payload content is a device property, not a phase property)", i+1)
 		}
+		if st.Tenant == "" && (st.Class != "" || st.BW != "") {
+			return fmt.Errorf("workload: step %d: class/bw require tenant", i+1)
+		}
+		if _, err := qos.ParseClass(st.Class); err != nil {
+			return fmt.Errorf("workload: step %d: %v", i+1, err)
+		}
+		if st.BW != "" {
+			if _, err := qos.ParseTimetable(st.BW); err != nil {
+				return fmt.Errorf("workload: step %d: %v", i+1, err)
+			}
+		}
+	}
+	// A tenant's QoS treatment is a tenant property, not a phase
+	// property: class/bw must agree across all of a tenant's steps.
+	seen := map[string]Step{}
+	for i, st := range s {
+		if st.Tenant == "" {
+			continue
+		}
+		if prev, ok := seen[st.Tenant]; ok {
+			if prev.Class != st.Class || prev.BW != st.BW {
+				return fmt.Errorf("workload: step %d: tenant %q changes class/bw mid-spec", i+1, st.Tenant)
+			}
+		} else {
+			seen[st.Tenant] = st
+		}
 	}
 	return nil
 }
 
+// TenantSteps is one tenant's slice of a multi-tenant Spec: the steps
+// in spec order, each step's index in the original spec, and the
+// tenant's own virtual timeline (each tenant's first step starts at
+// t=0 — tenants run concurrently, not sequentially).
+type TenantSteps struct {
+	// Tenant is the tenant name ("" for the untagged stream).
+	Tenant string
+	// Steps is the tenant's sub-spec, timeline starting at zero.
+	Steps Spec
+	// Index maps each sub-spec step back to its index in the original.
+	Index []int
+}
+
+// ByTenant splits the spec into per-tenant sub-specs in order of first
+// appearance. A single-tenant (or untagged) spec returns one entry
+// containing the whole spec, so callers can treat every spec uniformly.
+func (s Spec) ByTenant() []TenantSteps {
+	var out []TenantSteps
+	at := map[string]int{}
+	for i, st := range s {
+		j, ok := at[st.Tenant]
+		if !ok {
+			j = len(out)
+			at[st.Tenant] = j
+			out = append(out, TenantSteps{Tenant: st.Tenant})
+		}
+		out[j].Steps = append(out[j].Steps, st)
+		out[j].Index = append(out[j].Index, i)
+	}
+	return out
+}
+
+// QoSConfig derives a qos.Config from the spec's tenant annotations:
+// one tenant entry per tagged tenant, carrying its class= and bw=
+// values. Specs without annotations (or with only bare tenant= tags)
+// return nil — nothing to configure. The spec must have passed
+// Validate.
+func (s Spec) QoSConfig() *qos.Config {
+	tenants := map[string]qos.Tenant{}
+	any := false
+	for _, st := range s {
+		if st.Tenant == "" {
+			continue
+		}
+		if _, ok := tenants[st.Tenant]; ok {
+			continue
+		}
+		cls, _ := qos.ParseClass(st.Class)
+		tenants[st.Tenant] = qos.Tenant{Class: cls, Bandwidth: st.BW}
+		if st.Class != "" || st.BW != "" {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return &qos.Config{Tenants: tenants}
+}
+
 // Op is one generated open-loop operation.
 type Op struct {
-	At    time.Duration // intended virtual arrival (from serve start)
-	Off   int64         // volume byte offset
-	Size  int64         // length in bytes
-	Write bool
-	Step  int // index of the producing spec step
+	At     time.Duration // intended virtual arrival (from serve start)
+	Off    int64         // volume byte offset
+	Size   int64         // length in bytes
+	Write  bool
+	Step   int    // index of the producing spec step
+	Tenant string // submitting tenant ("" untagged)
 }
 
 // splitmix64 is the SplitMix64 finalizer: a cheap high-quality bijection
@@ -315,11 +414,12 @@ func (s *Stream) Next() (op Op, ok bool) {
 			off = s.vol - st.BS
 		}
 		return Op{
-			At:    s.base + s.at,
-			Off:   off,
-			Size:  st.BS,
-			Write: write,
-			Step:  s.step,
+			At:     s.base + s.at,
+			Off:    off,
+			Size:   st.BS,
+			Write:  write,
+			Step:   s.step,
+			Tenant: st.Tenant,
 		}, true
 	}
 }

@@ -19,6 +19,20 @@ package workload
 // ad=poisson, rkd=uniform, wkd=uniform, bs=4096, dup=0. Payload
 // content is a device property, so dup/dupu are spec-global: set them
 // on the first step (Spec.Validate rejects a mid-spec change).
+//
+// Multi-tenant QoS keys: tenant (the submitting tenant's name; steps
+// of different tenants run concurrently, each tenant's first step at
+// t=0), class (standard | latency | bulk), and bw (an rclone-style
+// time-of-day bandwidth schedule with '+' joining the slots, e.g.
+// bw=08:00,10M+18:00,off, or a single all-day rate like bw=4M).
+// class/bw require tenant. Treatment sticks to its tenant: switching
+// tenant= on a line restores that tenant's own class/bw (defaults for
+// a first appearance) instead of inheriting the previous tenant's,
+// while all other keys inherit as usual.
+//
+//	# a latency-sensitive victim plus a shaped bulk aggressor
+//	tenant=web   class=latency d=30s qps=200
+//	tenant=batch class=bulk bw=4M d=30s qps=4000 rw=0.1
 
 import (
 	"errors"
@@ -26,6 +40,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"edc/internal/qos"
 )
 
 // Parse error classes, matched through errors.Is on a *SpecError.
@@ -74,6 +90,11 @@ func ParseSpec(src string) (Spec, error) {
 	var spec Spec
 	cur := defaultStep()
 	first := true
+	// Each tenant's last-seen QoS treatment: a tenant switch restores
+	// the target tenant's own class/bw (defaults for a new tenant)
+	// instead of leaking the previous tenant's.
+	type treatment struct{ class, bw string }
+	seen := map[string]treatment{}
 	for n, raw := range strings.Split(src, "\n") {
 		line := raw
 		if i := strings.IndexByte(line, '#'); i >= 0 {
@@ -85,6 +106,16 @@ func ParseSpec(src string) (Spec, error) {
 		}
 		fail := func(err error) (Spec, error) {
 			return nil, &SpecError{Line: n + 1, Text: line, Err: err}
+		}
+		// A tenant switch swaps in the target tenant's own class/bw
+		// before the main pass, whatever the keys' order on the line:
+		// treatment belongs to a tenant and must not leak across a
+		// switch.
+		for _, tok := range strings.Fields(line) {
+			if val, ok := strings.CutPrefix(tok, "tenant="); ok && val != cur.Tenant {
+				tr := seen[val]
+				cur.Tenant, cur.Class, cur.BW = val, tr.class, tr.bw
+			}
 		}
 		sawD, sawQPS := false, false
 		for _, tok := range strings.Fields(line) {
@@ -165,9 +196,34 @@ func ParseSpec(src string) (Spec, error) {
 					return fail(fmt.Errorf("%w: dupu=%q must be non-negative", ErrSpecBadValue, val))
 				}
 				cur.DupUniverse = u
+			case "tenant":
+				if val == "" {
+					return fail(fmt.Errorf("%w: tenant= needs a name", ErrSpecBadValue))
+				}
+				if strings.ContainsAny(val, ", \t") {
+					return fail(fmt.Errorf("%w: tenant=%q must not contain commas or spaces", ErrSpecBadValue, val))
+				}
+				// Already applied by the pre-pass; nothing to do here.
+			case "class":
+				if _, err := qos.ParseClass(val); err != nil {
+					return fail(fmt.Errorf("%w: class=%q (want standard, latency or bulk)", ErrSpecBadValue, val))
+				}
+				cur.Class = val
+			case "bw":
+				sched := strings.ReplaceAll(val, "+", " ")
+				if _, err := qos.ParseTimetable(sched); err != nil {
+					return fail(fmt.Errorf("%w: bw=%q: %v", ErrSpecBadValue, val, err))
+				}
+				cur.BW = sched
 			default:
 				return fail(fmt.Errorf("%w: %q", ErrSpecUnknownKey, key))
 			}
+		}
+		if cur.Tenant == "" && (cur.Class != "" || cur.BW != "") {
+			return fail(fmt.Errorf("%w: class/bw require tenant", ErrSpecBadValue))
+		}
+		if cur.Tenant != "" {
+			seen[cur.Tenant] = treatment{class: cur.Class, bw: cur.BW}
 		}
 		if first && (!sawD || !sawQPS) {
 			return fail(fmt.Errorf("%w: the first step must set d and qps", ErrSpecBadValue))

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"edc/internal/qos"
 )
 
 // TestParseSpecBasic parses a full single-step line.
@@ -104,6 +106,158 @@ func TestParseSpecErrors(t *testing.T) {
 		if !errors.Is(err, tc.is) {
 			t.Errorf("%s: error %v does not unwrap to %v", tc.name, err, tc.is)
 		}
+	}
+}
+
+// TestParseSpecTenants parses the multi-tenant QoS keys: tenant/class/
+// bw inherit like everything else, except a tenant switch restores the
+// target tenant's own class/bw so treatment never leaks between
+// tenants.
+func TestParseSpecTenants(t *testing.T) {
+	spec, err := ParseSpec(`
+tenant=web class=latency d=10s qps=100
+d=20s qps=200                            # still web/latency
+tenant=batch class=bulk bw=08:00,4M+18:00,off d=30s qps=500
+d=5s tenant=web                          # switch back: web's own class returns
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 4 {
+		t.Fatalf("steps=%d, want 4", len(spec))
+	}
+	if spec[0].Tenant != "web" || spec[0].Class != "latency" {
+		t.Errorf("step 1 = %+v", spec[0])
+	}
+	if spec[1].Tenant != "web" || spec[1].Class != "latency" {
+		t.Errorf("step 2 should inherit tenant and class: %+v", spec[1])
+	}
+	if spec[2].Tenant != "batch" || spec[2].Class != "bulk" || spec[2].BW != "08:00,4M 18:00,off" {
+		t.Errorf("step 3 = %+v", spec[2])
+	}
+	if spec[3].Tenant != "web" || spec[3].Class != "latency" || spec[3].BW != "" {
+		t.Errorf("step 4 should restore web's own treatment: %+v", spec[3])
+	}
+	if err := spec.Validate(1 << 26); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseSpecTenantErrors is the malformed tenant=/bandwidth-schedule
+// error table: every failure is a *SpecError naming the offending line
+// and unwrapping to its class.
+func TestParseSpecTenantErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		line int
+		is   error
+	}{
+		{"empty tenant", "d=1s qps=10 tenant=", 1, ErrSpecBadValue},
+		{"tenant with comma", "d=1s qps=10 tenant=a,b", 1, ErrSpecBadValue},
+		{"class without tenant", "d=1s qps=10 class=latency", 1, ErrSpecBadValue},
+		{"bw without tenant", "d=1s qps=10 bw=4M", 1, ErrSpecBadValue},
+		{"unknown class", "d=1s qps=10 tenant=a class=turbo", 1, ErrSpecBadValue},
+		{"bad bw rate", "d=1s qps=10 tenant=a bw=fast", 1, ErrSpecBadValue},
+		{"bad bw time", "d=1s qps=10 tenant=a bw=25:00,4M", 1, ErrSpecBadValue},
+		{"bw times not increasing", "d=1s qps=10 tenant=a bw=08:00,4M+08:00,1M", 1, ErrSpecBadValue},
+		{"bw never limits", "d=1s qps=10 tenant=a bw=00:00,off", 1, ErrSpecBadValue},
+		{"bad bw on later line", "d=1s qps=10\nd=2s tenant=a bw=08:00", 2, ErrSpecBadValue},
+	} {
+		_, err := ParseSpec(tc.src)
+		if err == nil {
+			t.Errorf("%s: ParseSpec accepted %q", tc.name, tc.src)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a *SpecError", tc.name, err)
+			continue
+		}
+		if se.Line != tc.line {
+			t.Errorf("%s: error names line %d, want %d (%v)", tc.name, se.Line, tc.line, err)
+		}
+		if !errors.Is(err, tc.is) {
+			t.Errorf("%s: error %v does not unwrap to %v", tc.name, err, tc.is)
+		}
+	}
+}
+
+// TestSpecByTenant checks the per-tenant split: order of first
+// appearance, original indices preserved, untagged specs pass through
+// whole.
+func TestSpecByTenant(t *testing.T) {
+	spec, err := ParseSpec(`
+tenant=web d=10s qps=100
+tenant=batch d=30s qps=500
+tenant=web d=20s qps=200
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := spec.ByTenant()
+	if len(parts) != 2 {
+		t.Fatalf("parts=%d, want 2", len(parts))
+	}
+	if parts[0].Tenant != "web" || parts[1].Tenant != "batch" {
+		t.Fatalf("order = %q, %q", parts[0].Tenant, parts[1].Tenant)
+	}
+	if len(parts[0].Steps) != 2 || parts[0].Index[0] != 0 || parts[0].Index[1] != 2 {
+		t.Errorf("web part = %+v", parts[0])
+	}
+	if len(parts[1].Steps) != 1 || parts[1].Index[0] != 1 {
+		t.Errorf("batch part = %+v", parts[1])
+	}
+
+	plain, _ := ParseSpec("d=1s qps=10")
+	pp := plain.ByTenant()
+	if len(pp) != 1 || pp[0].Tenant != "" || len(pp[0].Steps) != 1 {
+		t.Errorf("untagged split = %+v", pp)
+	}
+}
+
+// TestSpecQoSConfig derives the qos.Config from spec annotations.
+func TestSpecQoSConfig(t *testing.T) {
+	spec, err := ParseSpec("tenant=web class=latency d=1s qps=10\ntenant=batch bw=4M d=1s qps=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.QoSConfig()
+	if cfg == nil {
+		t.Fatal("want a derived config")
+	}
+	if cfg.Tenants["web"].Class != qos.ClassLatency {
+		t.Errorf("web = %+v", cfg.Tenants["web"])
+	}
+	if cfg.Tenants["batch"].Bandwidth != "4M" {
+		t.Errorf("batch = %+v", cfg.Tenants["batch"])
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain, _ := ParseSpec("d=1s qps=10"); plain.QoSConfig() != nil {
+		t.Error("untagged spec should derive no config")
+	}
+	if bare, _ := ParseSpec("tenant=web d=1s qps=10"); bare.QoSConfig() != nil {
+		t.Error("bare tenant tags carry no treatment; want nil config")
+	}
+}
+
+// TestValidateTenantConsistency rejects a tenant whose class or bw
+// changes between steps when the Spec is built programmatically (the
+// DSL's inheritance makes this unreachable from ParseSpec).
+func TestValidateTenantConsistency(t *testing.T) {
+	spec := Spec{
+		{D: time.Second, QPS: 10, BS: 4096, Tenant: "a", Class: "latency"},
+		{D: time.Second, QPS: 10, BS: 4096, Tenant: "a", Class: "bulk"},
+	}
+	if err := spec.Validate(1 << 26); err == nil {
+		t.Fatal("want mid-spec class change rejected")
+	}
+	spec[1].Class = "latency"
+	if err := spec.Validate(1 << 26); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -4,14 +4,15 @@
 # Combines the fig8/fig10 replay tables (edcbench -format json), the
 # background-maintenance before/after space table (-experiment maint),
 # the content-addressed dedup off/on table (-experiment dedup), the
-# codec microbenchmarks (go test -bench, parsed into JSON), and one
-# open-loop serve run (edcbench -serve -json) into a single file.
-# Invoked by `make perfjson`, which names the output (BENCH_8.json by
+# multi-tenant QoS isolation table (-experiment qos), the codec
+# microbenchmarks (go test -bench, parsed into JSON), and one open-loop
+# serve run (edcbench -serve -json) into a single file.
+# Invoked by `make perfjson`, which names the output (BENCH_9.json by
 # default); the numbers are whatever this machine produces, so snapshots
 # from different hosts are comparable only in shape, not in magnitude.
 set -eu
 
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 servespec=${SERVESPEC:-specs/serve-smoke.spec}
 requests=${REQUESTS:-4000}
 benchtime=${BENCHTIME:-10x}
@@ -23,6 +24,7 @@ go build -o "$tmp/edcbench" ./cmd/edcbench
 "$tmp/edcbench" -experiment fig10 -format json -requests "$requests" >"$tmp/fig10.json"
 "$tmp/edcbench" -experiment maint -format json -requests "$requests" >"$tmp/maint.json"
 "$tmp/edcbench" -experiment dedup -format json -requests "$requests" >"$tmp/dedup.json"
+"$tmp/edcbench" -experiment qos -format json >"$tmp/qos.json"
 "$tmp/edcbench" -serve -spec "$servespec" -clients 8 -shards 2 -volume 64 -json >"$tmp/serve.json"
 go test -run '^$' -bench 'Compress|Decompress' -benchmem \
 	-benchtime "$benchtime" ./internal/compress >"$tmp/bench.txt"
@@ -58,6 +60,8 @@ END { printf "\n]\n" }
 	cat "$tmp/maint.json"
 	printf ',\n  "dedup": '
 	cat "$tmp/dedup.json"
+	printf ',\n  "qos": '
+	cat "$tmp/qos.json"
 	printf ',\n  "codec_benchmarks": '
 	cat "$tmp/bench.json"
 	printf ',\n  "serve": '

@@ -1,0 +1,55 @@
+#!/bin/sh
+# qoscheck.sh — determinism and tag-inertness gate for multi-tenant QoS,
+# invoked by `make qoscheck`.
+#
+# Runs the two-tenant qos-smoke spec (latency class + bandwidth-shaped
+# bulk class) twice under the race detector at one and two shards and
+# fails on any divergence in the pipeline-determined results: per-step
+# op counts and read/write mix, global and per-tenant request counts,
+# codec mixes, byte totals, and the shaper's and admission control's
+# action counts. Open-loop latency fields, achieved rates, and wall
+# times depend on real-time mailbox batch boundaries (OBSERVABILITY.md,
+# "Serve mode") and are excluded from the projection.
+#
+# Then runs a tagged-single-tenant spec against its untagged twin: the
+# tag alone must change nothing beyond adding the tenant section.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -race -o "$tmp/edcbench" ./cmd/edcbench
+
+stable='{spec, clients, shards,
+  steps: [.steps[] | {index, step, ops, reads, writes, offered_qps}],
+  requests: .result.Requests, reads: .result.Reads, writes: .result.Writes,
+  orig: .result.OrigBytes, comp: .result.CompBytes, stored: .result.StoredBytes,
+  runs: .result.RunsByTag, write_through: .result.WriteThrough,
+  tenants: (.result.Tenants // {} | map_values(
+    {Requests, Reads, Writes, RunsByTag, WriteThrough, Shaped, Rejected}))}'
+
+run() { GOMAXPROCS=4 "$tmp/edcbench" -serve -volume 64 -clients 4 -json "$@"; }
+
+for shards in 1 2; do
+	run -spec specs/qos-smoke.spec -shards "$shards" | jq -S "$stable" >"$tmp/a.json"
+	run -spec specs/qos-smoke.spec -shards "$shards" | jq -S "$stable" >"$tmp/b.json"
+	cmp "$tmp/a.json" "$tmp/b.json" || {
+		echo "qoscheck FAIL: qos-smoke diverged at $shards shard(s):" >&2
+		diff "$tmp/a.json" "$tmp/b.json" >&2 || true
+		exit 1
+	}
+done
+
+# The tagged run differs from the untagged one only in the spec text,
+# the step's tenant label, and the tenant section; drop those and
+# demand identity.
+untag='del(.spec, .tenants, .steps[].step.Tenant)'
+run -spec 'tenant=web d=300ms qps=1000 rw=0.5' | jq -S "$stable | $untag" >"$tmp/t.json"
+run -spec 'd=300ms qps=1000 rw=0.5' | jq -S "$stable | $untag" >"$tmp/u.json"
+cmp "$tmp/t.json" "$tmp/u.json" || {
+	echo "qoscheck FAIL: a bare tenant tag changed the run:" >&2
+	diff "$tmp/t.json" "$tmp/u.json" >&2 || true
+	exit 1
+}
+
+echo "qoscheck OK: QoS serve results are deterministic (1 and 2 shards, -race) and tags alone change nothing"

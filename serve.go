@@ -117,6 +117,34 @@ func (s *System) WriteAt(ctx context.Context, at time.Duration, off, size int64)
 	return s.srv.WriteAt(ctx, at, off, size)
 }
 
+// ReadAtTag is ReadAt with the submitting tenant's tag: the operation
+// is shaped by the tenant's bandwidth schedule, bounded by its queue
+// depth (ErrAdmissionRejected), and accounted in the tenant's own
+// Results section. Under a strict QoSConfig an unknown tenant fails
+// with ErrUnknownTenant. The empty tag is untagged traffic and behaves
+// exactly as ReadAt.
+func (s *System) ReadAtTag(ctx context.Context, at time.Duration, off, size int64, tenant string) (time.Duration, error) {
+	return s.submitTag(ctx, at, off, size, false, tenant)
+}
+
+// WriteAtTag is WriteAt with the submitting tenant's tag; see
+// ReadAtTag.
+func (s *System) WriteAtTag(ctx context.Context, at time.Duration, off, size int64, tenant string) (time.Duration, error) {
+	return s.submitTag(ctx, at, off, size, true, tenant)
+}
+
+// submitTag mails one tagged operation and waits for it.
+func (s *System) submitTag(ctx context.Context, at time.Duration, off, size int64, write bool, tenant string) (time.Duration, error) {
+	if s.srv == nil {
+		return 0, ErrNotServing
+	}
+	aw, err := s.srv.SubmitAtTag(ctx, at, off, size, write, tenant)
+	if err != nil {
+		return 0, err
+	}
+	return aw(ctx)
+}
+
 // Await blocks for one submitted operation's completion; see SubmitAt.
 type Await = core.Await
 
@@ -132,6 +160,15 @@ func (s *System) SubmitAt(ctx context.Context, at time.Duration, off, size int64
 		return nil, ErrNotServing
 	}
 	return s.srv.SubmitAt(ctx, at, off, size, write)
+}
+
+// SubmitAtTag is SubmitAt with the submitting tenant's tag; see
+// ReadAtTag for the tag's semantics.
+func (s *System) SubmitAtTag(ctx context.Context, at time.Duration, off, size int64, write bool, tenant string) (Await, error) {
+	if s.srv == nil {
+		return nil, ErrNotServing
+	}
+	return s.srv.SubmitAtTag(ctx, at, off, size, write, tenant)
 }
 
 // ServeStalls returns how many submissions so far found a full shard
