@@ -87,9 +87,10 @@ bench:
 
 # Machine-readable performance snapshot: fig8/fig10 replay tables, the
 # maintenance before/after space table, the codec microbenchmarks, an
-# open-loop serve run, and the multi-tenant qos isolation run, written
-# to $(PERFJSON_OUT) at the repo root (override to snapshot elsewhere).
-PERFJSON_OUT ?= BENCH_9.json
+# open-loop serve run, the multi-tenant qos isolation run, and the
+# corescale sweep, written to $(PERFJSON_OUT) at the repo root
+# (override to snapshot elsewhere).
+PERFJSON_OUT ?= BENCH_10.json
 perfjson:
 	sh scripts/perfjson.sh $(PERFJSON_OUT)
 
@@ -100,8 +101,12 @@ servecheck:
 	GOMAXPROCS=4 $(GO) run -race ./cmd/edcbench -serve \
 		-spec specs/serve-smoke.spec -clients 8 -shards 2 -volume 64
 
-# Core-scaling sweep: the same serve workload at GOMAXPROCS 1/2/4,
-# reporting wall-clock ops/sec (virtual-time results do not change).
+# Core-scaling sweep and gate: the same paced serve workload at
+# GOMAXPROCS 1/2/4. Always asserts the virtual-time results (per-step
+# counts, achieved QPS, percentiles) are byte-identical across the
+# three runs; with CORESCALE_MIN set (CI: 1.5 on 4-vCPU runners) also
+# asserts ops/sec-wall at 4 procs >= CORESCALE_MIN x the 1-proc run.
+# Needs jq.
 corescale:
 	sh scripts/corescale.sh
 

@@ -56,6 +56,16 @@ type Dedup = dedup.Config
 // maintenance off and the replay bit-identical to earlier releases.
 type Maintenance = maint.Config
 
+// ResplitConfig tunes serve mode's heat-balanced shard repartitioning
+// (see internal/core): a shard whose admitted-op share stays above its
+// fair share for several evaluation windows splits its LBA range at a
+// quiesced, heat-balanced boundary into two independent event loops.
+// Zero-valued fields take documented defaults. Attach one with
+// WithResplit or Config.Resplit; nil (or Enabled=false) keeps the shard
+// map fixed. Splits are triggered by real-time traffic imbalance, so a
+// resplit-enabled run is not byte-deterministic across machines.
+type ResplitConfig = core.ResplitConfig
+
 // FaultPlan is a seeded, virtual-time fault schedule (see
 // internal/fault): per-operation read/write error probabilities
 // (transient and hard), latency spikes, whole-device stall windows, and
@@ -147,6 +157,15 @@ type Config struct {
 	// ServeBatch caps how many submissions one serve-mode event-loop
 	// wakeup drains before running the engine (0 → 64).
 	ServeBatch int
+	// Resplit enables serve mode's heat-balanced shard repartitioning;
+	// nil (or Enabled=false) keeps the shard map fixed. Incompatible
+	// with Verify, Dedup, and QoS (see WithResplit).
+	Resplit *ResplitConfig
+	// PacedServe keeps each serve-mode shard's virtual clock at or
+	// below the highest arrival stamp it has admitted — determinism for
+	// stamp-ordered submitters; see WithPacedServe. Incompatible with
+	// Resplit and with the synchronous Read/Write wrappers.
+	PacedServe bool
 
 	// Maintenance enables temperature-aware background recompression
 	// and slot compaction; nil (or Enabled=false) runs no maintenance
@@ -275,6 +294,18 @@ func (c *Config) Validate() error {
 	}
 	if c.Faults != nil && c.Faults.PowerCutAt > 0 && c.Shards > 1 {
 		return fmt.Errorf("edc: power-cut recovery is not supported with WithShards(%d): shards crash and recover independently of each other", c.Shards)
+	}
+	if c.Resplit != nil && c.Resplit.Enabled {
+		switch {
+		case c.Dedup != nil && c.Dedup.Enabled:
+			return fmt.Errorf("edc: resplit cannot migrate dedup-shared extents (references may span the split boundary); disable one of the two")
+		case c.Verify:
+			return fmt.Errorf("edc: resplit rebases extents to new shard-local offsets, which breaks offset-keyed read verification; disable one of the two")
+		case c.QoS != nil:
+			return fmt.Errorf("edc: resplit changes the shard count mid-run, invalidating per-shard QoS rate shares; disable one of the two")
+		case c.PacedServe:
+			return fmt.Errorf("edc: resplit's quiesce protocol must run the engine past the paced-serve watermark; disable one of the two")
+		}
 	}
 	return nil
 }
@@ -438,6 +469,47 @@ func WithDedup(d Dedup) Option {
 		d.Enabled = true
 		c.Dedup = &d
 	}
+}
+
+// WithResplit enables serve mode's heat-balanced shard repartitioning
+// with the given policy (zero-valued fields take documented defaults;
+// the Enabled flag is set for the caller). When one shard's admitted-op
+// share stays above Factor times the post-split fair share for Streak
+// evaluation windows, its LBA range is split at a quiesced,
+// heat-balanced boundary into two shards with independent event loops —
+// extents beyond the boundary move to the new shard's device, and the
+// router re-routes without ever dropping or reordering a submission.
+// The trigger reacts to real-time traffic imbalance, so resplit-enabled
+// runs are not byte-deterministic across machines; replay mode ignores
+// the setting. Incompatible with WithVerify (expected read content is
+// keyed by shard-local offsets, which a move rebases), WithDedup
+// (shared references may span the boundary), and WithQoS (per-shard
+// rate shares assume a fixed shard count).
+func WithResplit(r ResplitConfig) Option {
+	return func(c *Config) {
+		r.Enabled = true
+		c.Resplit = &r
+	}
+}
+
+// WithPacedServe makes serve mode's virtual-time results deterministic
+// for stamp-ordered submitters: each shard's engine runs only up to the
+// highest arrival stamp it has admitted so far (a conservative
+// watermark), so completions past the newest stamp wait for a later
+// arrival — or StopServe's final drain — instead of letting the clock
+// race ahead of arrivals still in flight. Without pacing, an engine
+// that runs dry before the next submission lands clamps that arrival
+// to wherever the clock happened to be, leaking real scheduling races
+// (GOMAXPROCS, mailbox batching) into virtual latencies. The contract
+// requires submitters to mail operations in globally non-decreasing
+// stamp order through SubmitAt/SubmitAtTag and to await completions
+// concurrently (internal/bench's serve driver does both); the
+// synchronous Read/Write wrappers are refused — a caller blocked on
+// its own completion can never send the later arrival that would
+// release it. Incompatible with WithResplit, whose quiesce protocol
+// must run the engine dry past the watermark.
+func WithPacedServe() Option {
+	return func(c *Config) { c.PacedServe = true }
 }
 
 // WithQoS enables multi-tenant quality of service with the given tenant

@@ -10,9 +10,13 @@ import (
 // replay-worker count changes only wall-clock speed, never results.
 // Compressed output is a pure function of (content, codec) and the event
 // loop joins every future before using it, so RunStats must match
-// field-by-field between sequential (workers=1) and pipelined (workers=8)
-// replays. Run under -race this also exercises the pool's handoff of
-// content/payload buffers between the event loop and the workers.
+// field-by-field between sequential (workers=1) and pipelined replays.
+// With workers > 1 the codec futures run on the process-wide
+// work-stealing pool (each replay registers a queue; any idle pool
+// worker may execute any job), so matching at both 2 and 8 workers also
+// pins down that stealing cannot reorder results. Run under -race this
+// exercises the pool's handoff of content/payload buffers between the
+// event loop and the workers.
 func TestReplayWorkersDeterminism(t *testing.T) {
 	tr := smallTrace(t, 1500)
 	backends := []struct {
@@ -38,16 +42,18 @@ func TestReplayWorkersDeterminism(t *testing.T) {
 					return res
 				}
 				seq := runWith(1)
-				par := runWith(8)
-				if !reflect.DeepEqual(seq, par) {
-					report := func(r *Results) []interface{} {
-						return []interface{}{
-							r.OrigBytes, r.CompBytes, r.StoredBytes,
-							r.Resp.Count(), r.MeanResponse(), r.RunsByTag,
+				for _, workers := range []int{2, 8} {
+					par := runWith(workers)
+					if !reflect.DeepEqual(seq, par) {
+						report := func(r *Results) []interface{} {
+							return []interface{}{
+								r.OrigBytes, r.CompBytes, r.StoredBytes,
+								r.Resp.Count(), r.MeanResponse(), r.RunsByTag,
+							}
 						}
+						t.Fatalf("results differ between workers=1 and workers=%d:\nseq: %v\npar: %v",
+							workers, report(seq), report(par))
 					}
-					t.Fatalf("results differ between workers=1 and workers=8:\nseq: %v\npar: %v",
-						report(seq), report(par))
 				}
 			})
 		}
@@ -59,7 +65,8 @@ func TestReplayWorkersDeterminism(t *testing.T) {
 // payload snapshot and compares it with the regenerated original, and
 // with workers > 1 that whole check runs on pool goroutines between the
 // read's submission and completion events. Results must still match the
-// sequential replay field-by-field — alone, combined with LBA sharding,
+// sequential replay field-by-field — alone, combined with LBA sharding
+// (where every shard's queue feeds the same shared work-stealing pool),
 // and under an active fault plan (whose retries reorder nothing). Run
 // under -race this exercises the event loop handing freelist buffers
 // and payload snapshots to the verify workers.
@@ -95,10 +102,12 @@ func TestReadPathWorkersDeterminism(t *testing.T) {
 				return res
 			}
 			seq := runWith(1)
-			par := runWith(4)
-			if !reflect.DeepEqual(seq, par) {
-				t.Fatalf("verify-mode results differ between workers=1 and workers=4:\nseq: %+v\npar: %+v",
-					seq, par)
+			for _, workers := range []int{2, 4} {
+				par := runWith(workers)
+				if !reflect.DeepEqual(seq, par) {
+					t.Fatalf("verify-mode results differ between workers=1 and workers=%d:\nseq: %+v\npar: %+v",
+						workers, seq, par)
+				}
 			}
 		})
 	}

@@ -33,7 +33,6 @@ package edc
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 
 	"edc/internal/compress"
@@ -142,6 +141,11 @@ const (
 	// EvAdmitReject: admission control refused one request (tenant
 	// queue-depth bound).
 	EvAdmitReject = obs.EvAdmitReject
+	// EvResplit: serve mode split a hot shard's LBA range in two
+	// (Off: split offset within the source shard, Records: extents
+	// migrated, Slot: slot bytes migrated, LeftBlocks/RightBlocks: the
+	// two halves' occupancy after the split).
+	EvResplit = obs.EvResplit
 )
 
 // NewJSONLTracer returns a Tracer writing one JSON event per line to w
@@ -394,17 +398,11 @@ func NewSystemFromConfig(volumeBytes int64, cfg Config) (*System, error) {
 	}
 	col := cfg.collector()
 	if cfg.Shards > 1 {
-		// Split the replay-pipeline budget across shards: each shard's
-		// event loop already runs on its own goroutine, so per-shard
-		// codec workers beyond GOMAXPROCS/shards only add contention.
+		// Codec futures dispatch to the process-wide work-stealing pool
+		// (one bounded queue per shard), so no per-shard worker budget is
+		// carved out of GOMAXPROCS: an idle core helps whichever shard is
+		// hot.
 		perShard := cfg
-		if perShard.ReplayWorkers == 0 {
-			w := runtime.GOMAXPROCS(0) / cfg.Shards
-			if w <= 1 {
-				w = -1 // sequential inline execution
-			}
-			perShard.ReplayWorkers = w
-		}
 		sharded, err := core.NewSharded(core.ShardSetup{
 			Shards:      cfg.Shards,
 			VolumeBytes: volumeBytes,

@@ -11,6 +11,7 @@ import (
 
 	"edc"
 	"edc/internal/metrics"
+	"edc/internal/parallel"
 	"edc/internal/workload"
 )
 
@@ -104,8 +105,31 @@ type ServeResult struct {
 	// StopServe); OpsPerSecWall is total completions divided by it.
 	WallTime      time.Duration `json:"wall_ns"`
 	OpsPerSecWall float64       `json:"ops_per_sec_wall"`
+	// Pool is the shared work-stealing codec pool's activity during the
+	// run (nil when the run never touched the pool — replay workers <= 1
+	// keep codec work inline on the event loops).
+	Pool *PoolActivity `json:"pool,omitempty"`
 	// Result is the merged pipeline Results, as a replay would return.
 	Result *edc.Results `json:"result"`
+}
+
+// PoolActivity is the delta of the process-wide work-stealing codec
+// pool's counters over one serve run: how much codec work the shard
+// queues offered, how much of it was executed by a worker that stole it
+// from another shard's queue, and how much ran inline on a submitting
+// event loop because its queue was full (backpressure). The counters
+// are process-global, so concurrent runs would blend — the bench
+// harness runs one at a time.
+type PoolActivity struct {
+	// Workers is the pool's worker count (GOMAXPROCS at first use).
+	Workers int `json:"workers"`
+	// Submitted counts jobs queued to shard codec queues.
+	Submitted int64 `json:"submitted"`
+	// Stolen counts jobs executed by a worker scanning past its
+	// preferred queue — cross-shard work movement.
+	Stolen int64 `json:"stolen"`
+	// Inline counts jobs the submitter ran itself on a full queue.
+	Inline int64 `json:"inline"`
 }
 
 // stepAccum accumulates one step's completions across all clients.
@@ -127,11 +151,13 @@ func (a *stepAccum) noteEnd(ns int64) {
 	}
 }
 
-// RunServe builds a System from p, switches it into serve mode, and
-// drives it with p.Clients() open-loop generator goroutines until the
-// spec is exhausted. Virtual-time results (counts, latencies, achieved
-// QPS) are deterministic for a fixed (spec, seed, clients, shards);
-// WallTime and Stalls vary with the machine.
+// RunServe builds a System from p, switches it into serve mode (paced:
+// see edc.WithPacedServe), and drives it with p.Clients() open-loop
+// generator goroutines until the spec is exhausted. Virtual-time
+// results (counts, latencies, achieved QPS) are deterministic for a
+// fixed (spec, seed, clients, shards) — the corescale gate asserts
+// they are byte-identical across GOMAXPROCS; WallTime and Stalls vary
+// with the machine.
 func RunServe(p ServeParams) (*ServeResult, error) {
 	vol := p.volume()
 	if err := p.Spec.Validate(vol); err != nil {
@@ -142,6 +168,11 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 		edc.WithScheme(edc.Scheme(p.scheme())),
 		edc.WithSSDConfig(singleSSDConfig()),
 		edc.WithServeQueue(p.Mailbox, p.Batch),
+		// The sequencer below submits in global stamp order and awaits
+		// concurrently — exactly the contract pacing requires — so the
+		// virtual-time results become a pure function of (spec, seed,
+		// clients, shards), independent of GOMAXPROCS and mailbox races.
+		edc.WithPacedServe(),
 	}
 	if p.Workers != 0 {
 		opts = append(opts, edc.WithReplayWorkers(p.Workers))
@@ -188,6 +219,7 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 		accums[i] = &stepAccum{lat: metrics.NewStripedLatency(clients)}
 	}
 
+	poolBefore := parallel.Shared().Stats()
 	start := time.Now()
 	ctx := context.Background()
 
@@ -320,16 +352,27 @@ func RunServe(p ServeParams) (*ServeResult, error) {
 		return nil, err
 	}
 	wall := time.Since(start)
+	poolAfter := parallel.Shared().Stats()
 
 	shards := p.Shards
 	if shards < 1 {
 		shards = 1
+	}
+	var pool *PoolActivity
+	if poolAfter.Submitted+poolAfter.Inline > poolBefore.Submitted+poolBefore.Inline {
+		pool = &PoolActivity{
+			Workers:   poolAfter.Workers,
+			Submitted: poolAfter.Submitted - poolBefore.Submitted,
+			Stolen:    poolAfter.Stolen - poolBefore.Stolen,
+			Inline:    poolAfter.Inline - poolBefore.Inline,
+		}
 	}
 	out := &ServeResult{
 		Clients:  clients,
 		Shards:   shards,
 		SpecText: FormatSpec(p.Spec),
 		Stalls:   stalls,
+		Pool:     pool,
 		Rejected: rejected.Load(),
 		WallTime: wall,
 		Result:   res,

@@ -413,11 +413,14 @@ func (d *Device) Play(t *trace.Trace) (*RunStats, error) {
 		return nil, err
 	}
 	if d.replayWorkers > 1 {
-		pool := parallel.NewPool(d.replayWorkers)
-		d.wp.pool = pool
-		d.rp.pool = pool
+		// One bounded queue on the process-wide work-stealing pool: any
+		// idle pool worker — including one whose own shard is cold — can
+		// run this device's codec futures.
+		q := parallel.Shared().NewQueue()
+		d.wp.pool = q
+		d.rp.pool = q
 		defer func() {
-			pool.Close()
+			q.Close()
 			d.wp.pool = nil
 			d.rp.pool = nil
 		}()

@@ -7,6 +7,7 @@ import (
 	"edc/internal/compress"
 	"edc/internal/maint"
 	"edc/internal/obs"
+	"edc/internal/parallel"
 	"edc/internal/sim"
 )
 
@@ -170,6 +171,24 @@ func (mt *maintainer) relocate(e *Extent, codec compress.Codec, reason string) {
 			mt.abort(e)
 			return
 		}
+		// Pipeline the real codec work exactly as store-time compression
+		// does: regenerated content and its re-encoding are pure functions
+		// of the extent's immutable identity (offset, length, version), so
+		// they run on the shared pool while the event loop advances;
+		// reencode joins the future at the same virtual-time event it
+		// would have computed inline.
+		var fut *parallel.Future[reencodedRun]
+		if d.wp.pool != nil {
+			cbuf, pbuf := d.se.getBuf(), d.se.getBuf()
+			off, olen, ver, c := e.Offset, e.OrigLen, e.Version, codec
+			fut = parallel.Go(d.wp.pool, func() reencodedRun {
+				content := d.wp.data.AppendBlock(cbuf, off, int(olen), ver)
+				return reencodedRun{
+					content: content,
+					payload: compress.AppendCompress(c, pbuf, content),
+				}
+			})
+		}
 		var cpu time.Duration
 		if !d.wp.offload {
 			cpu = d.wp.cost.DecompressTime(e.Tag, e.OrigLen) +
@@ -177,12 +196,19 @@ func (mt *maintainer) relocate(e *Extent, codec compress.Codec, reason string) {
 		}
 		if cpu > 0 {
 			d.cpu.Submit(sim.Job{Service: cpu, Done: func(_, _ time.Duration) {
-				mt.reencode(e, codec, reason)
+				mt.reencode(e, codec, reason, fut)
 			}})
 			return
 		}
-		mt.reencode(e, codec, reason)
+		mt.reencode(e, codec, reason, fut)
 	})
+}
+
+// reencodedRun carries a relocation's regenerated content and codec
+// output from a pool worker back to the event loop.
+type reencodedRun struct {
+	content []byte
+	payload []byte
 }
 
 // reencode re-runs the codec over e's regenerated content (stored
@@ -191,14 +217,25 @@ func (mt *maintainer) relocate(e *Extent, codec compress.Codec, reason string) {
 // new placement. A cold move that would not shrink the slot aborts; a
 // hot demotion whose cheap codec misses every compressed class falls
 // back to an uncompressed slot, the cheapest possible read.
-func (mt *maintainer) reencode(e *Extent, codec compress.Codec, reason string) {
+func (mt *maintainer) reencode(e *Extent, codec compress.Codec, reason string, fut *parallel.Future[reencodedRun]) {
 	d := mt.d
+	// Join before any early return: the worker owns both buffers until
+	// the future resolves.
+	var content, payload []byte
+	if fut != nil {
+		r := fut.Wait()
+		content, payload = r.content, r.payload
+	}
 	if d.fs.failed() || e.live == 0 {
+		d.se.putBuf(content)
+		d.se.putBuf(payload)
 		mt.abort(e)
 		return
 	}
-	content := d.wp.data.AppendBlock(d.se.getBuf(), e.Offset, int(e.OrigLen), e.Version)
-	payload := compress.AppendCompress(codec, d.se.getBuf(), content)
+	if fut == nil {
+		content = d.wp.data.AppendBlock(d.se.getBuf(), e.Offset, int(e.OrigLen), e.Version)
+		payload = compress.AppendCompress(codec, d.se.getBuf(), content)
+	}
 	tag := codec.Tag()
 	compLen := int64(len(payload))
 	slotLen, ok := QuantizeSlot(e.OrigLen, compLen)

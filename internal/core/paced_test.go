@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"edc/internal/datagen"
+	"edc/internal/sim"
+	"edc/internal/ssd"
+)
+
+func newPacedServer(t *testing.T, shards int, vol int64) *Server {
+	t.Helper()
+	reg := defaultTestRegistry(t)
+	sv, err := NewServer(ServeSetup{
+		Shards:      shards,
+		VolumeBytes: vol,
+		Backend: func(eng *sim.Engine) (Backend, error) {
+			cfg := ssd.DefaultConfig()
+			cfg.Blocks = 512
+			d, err := ssd.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewSingleSSD(eng, d), nil
+		},
+		Options: func(int) (Options, error) {
+			return Options{
+				Registry:    reg,
+				Data:        datagen.New(datagen.Enterprise(), 11),
+				VerifyReads: true,
+			}, nil
+		},
+		Paced: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
+
+// pacedRun submits one fixed stamp-ordered operation sequence to a
+// paced server and returns the per-operation open-loop latencies.
+// jitter injects real-time stalls between submissions — the exact
+// scheduling noise (mailbox batching, engines running dry mid-stream)
+// that pacing must keep out of the virtual results.
+func pacedRun(t *testing.T, jitter bool) []time.Duration {
+	t.Helper()
+	const vol = 1 << 20
+	const ops = 400
+	sv := newPacedServer(t, 2, vol)
+	ctx := context.Background()
+	lats := make([]time.Duration, ops)
+	errs := make([]error, ops)
+	done := make(chan int, ops)
+	for i := 0; i < ops; i++ {
+		// Dense stamps against 4-16KiB ops guarantee virtual queueing:
+		// completions routinely land past later arrival stamps, which is
+		// precisely where an unpaced engine's clock would run ahead.
+		at := time.Duration(i) * 20 * time.Microsecond
+		off := int64((i*7919)%(vol/BlockSize)) * BlockSize
+		size := int64(BlockSize)
+		if i%7 == 0 {
+			size = 4 * BlockSize // may straddle the shard boundary
+		}
+		if off+size > vol {
+			off = vol - size
+		}
+		aw, err := sv.SubmitAt(ctx, at, off, size, i%3 != 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(i int, aw Await) {
+			lats[i], errs[i] = aw(ctx)
+			done <- i
+		}(i, aw)
+		if jitter && i%16 == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	// Stop before draining the awaits: in paced mode the tail of the
+	// run only completes when the stop-drain runs the engines dry.
+	if _, err := sv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ops; i++ {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	return lats
+}
+
+// TestPacedServeDeterminism checks the paced-mode contract end to end:
+// the same stamp-ordered submission sequence yields bit-identical
+// per-operation virtual latencies no matter how real time slices the
+// mailbox batches. The jittered run forces engines to drain and idle
+// mid-stream; without pacing, the admit clamp converts those races
+// into virtual latency (the bug the corescale identity gate catches).
+func TestPacedServeDeterminism(t *testing.T) {
+	smooth := pacedRun(t, false)
+	jittered := pacedRun(t, true)
+	for i := range smooth {
+		if smooth[i] != jittered[i] {
+			t.Fatalf("op %d: latency %v (smooth) != %v (jittered)", i, smooth[i], jittered[i])
+		}
+	}
+}
+
+// TestPacedRefusesSyncSubmit checks the synchronous wrappers are
+// refused under pacing: a blocked caller could never send the later
+// arrival that releases its own completion.
+func TestPacedRefusesSyncSubmit(t *testing.T) {
+	sv := newPacedServer(t, 1, 1<<20)
+	ctx := context.Background()
+	if _, err := sv.Read(ctx, 0, BlockSize); err == nil {
+		t.Fatal("synchronous Read accepted under paced serve")
+	}
+	if _, err := sv.WriteAt(ctx, time.Millisecond, 0, BlockSize); err == nil {
+		t.Fatal("synchronous WriteAt accepted under paced serve")
+	}
+	// The async form is the supported path.
+	aw, err := sv.SubmitAt(ctx, 0, 0, BlockSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPacedRefusesResplit checks NewServer rejects pacing combined
+// with repartitioning (the quiesce protocol must run the engine dry
+// past the watermark).
+func TestPacedRefusesResplit(t *testing.T) {
+	reg := defaultTestRegistry(t)
+	_, err := NewServer(ServeSetup{
+		Shards:      1,
+		VolumeBytes: 1 << 20,
+		Backend: func(eng *sim.Engine) (Backend, error) {
+			cfg := ssd.DefaultConfig()
+			cfg.Blocks = 512
+			d, err := ssd.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NewSingleSSD(eng, d), nil
+		},
+		Options: func(int) (Options, error) {
+			return Options{Registry: reg, Data: datagen.New(datagen.Enterprise(), 11)}, nil
+		},
+		Paced:   true,
+		Resplit: ResplitConfig{Enabled: true},
+	})
+	if err == nil {
+		t.Fatal("NewServer accepted paced + resplit")
+	}
+}

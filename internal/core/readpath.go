@@ -39,9 +39,10 @@ type readPath struct {
 	// Real-CPU pipeline: verify-mode decompression dispatched at read
 	// submission runs on pool workers while the event loop advances
 	// virtual time; the completion event joins on the future, exactly as
-	// the write path joins codec futures at store time. The pool exists
-	// only while Play runs.
-	pool *parallel.Pool
+	// the write path joins codec futures at store time. The executor is
+	// this pipeline's queue on the process-wide work-stealing pool and
+	// exists only while the pipeline runs.
+	pool parallel.Executor
 
 	// complete finishes one host read; drop releases a read without
 	// observing it on a failed run.

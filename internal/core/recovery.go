@@ -194,9 +194,10 @@ func (d *Device) PlayUntil(t *trace.Trace, cut time.Duration) (*RunStats, *Crash
 		d.wp.jnl = d.per.jnl
 	}
 	if d.replayWorkers > 1 {
-		d.wp.pool = parallel.NewPool(d.replayWorkers)
+		q := parallel.Shared().NewQueue()
+		d.wp.pool = q
 		defer func() {
-			d.wp.pool.Close()
+			q.Close()
 			d.wp.pool = nil
 		}()
 	}

@@ -65,6 +65,26 @@ type ServeSetup struct {
 	// child collector, folded back deterministically at Stop. Nil
 	// disables observability.
 	Obs *obs.Collector
+	// Resplit enables heat-balanced shard repartitioning: a shard whose
+	// admitted-op share stays above its fair share splits its LBA range
+	// at a quiesced, heat-balanced boundary (see ResplitConfig). The
+	// zero value keeps the shard map fixed.
+	Resplit ResplitConfig
+	// Paced keeps every shard's virtual clock at or below the highest
+	// arrival stamp it has admitted so far (a conservative watermark):
+	// completion events past the watermark stay queued until a later
+	// arrival — or the stop-drain — advances it. For submitters that
+	// mail operations in globally non-decreasing stamp order this makes
+	// every virtual-time result a pure function of the operation
+	// sequence, independent of GOMAXPROCS and mailbox batching; without
+	// it, an engine that ran dry ahead of an arrival still in flight
+	// clamps that arrival to wherever the clock happened to be — a real
+	// scheduling race leaking into virtual latency. The synchronous
+	// Read/Write wrappers are refused under pacing (their completion may
+	// only be released by a later arrival the blocked caller would never
+	// send), as is resplitting (its quiesce protocol must run the engine
+	// dry past the watermark).
+	Paced bool
 }
 
 // serveResult is one completed facade operation: the open-loop latency
@@ -127,6 +147,13 @@ type Server struct {
 	bounds []int64
 	shards []*serveShard
 
+	// setup keeps the (normalized) factories so a resplit can stamp out
+	// an additional shard pipeline mid-run.
+	setup ServeSetup
+	// rcfg is the normalized repartitioning policy (Enabled=false keeps
+	// the shard map fixed).
+	rcfg ResplitConfig
+
 	// qcfg is the QoS configuration shared by every shard (nil when QoS
 	// is off); the facade-side strict-tenant check runs against it
 	// before any piece is mailed.
@@ -135,7 +162,11 @@ type Server struct {
 	obs  *obs.Collector
 	kids []*obs.Collector
 
-	mu     sync.RWMutex // guards closed against in-flight submissions
+	// paced freezes each shard's clock at its arrival watermark; see
+	// ServeSetup.Paced. Immutable after NewServer.
+	paced bool
+
+	mu     sync.RWMutex // guards closed and the shard router (bounds/shards/kids)
 	closed bool
 	stalls atomic.Int64 // submissions that found a full mailbox
 }
@@ -144,6 +175,7 @@ type Server struct {
 // mailbox, and the event-loop goroutine state. All fields past the
 // channels are touched only by that goroutine.
 type serveShard struct {
+	sv   *Server
 	id   int
 	dev  *Device
 	mail chan *serveOp
@@ -156,6 +188,22 @@ type serveShard struct {
 	// MaxDeferred bound is refused admission past it (the serve-mode
 	// analogue of the replay frontend's deferred-queue bound).
 	inflightBy map[string]int
+
+	// ops counts admitted operations; written by this shard's event-loop
+	// goroutine, read by other shards evaluating the resplit trigger.
+	ops atomic.Int64
+	// Resplit trigger state, touched only by this shard's goroutine:
+	// the ops/total marks of the last evaluation and how many
+	// consecutive windows this shard exceeded its fair share.
+	evalSelf  int64
+	evalTotal int64
+	streak    int
+	// splitting marks a trySplit in progress, so the ingests that drain
+	// the mailbox while awaiting the router lock cannot re-enter it.
+	splitting bool
+	// horizon is the highest arrival stamp admitted so far — the paced
+	// mode watermark the engine may run up to.
+	horizon time.Duration
 }
 
 // NewServer validates the setup, stamps out one pipeline per shard, and
@@ -180,57 +228,26 @@ func NewServer(setup ServeSetup) (*Server, error) {
 	if setup.Batch <= 0 {
 		setup.Batch = DefaultServeBatch
 	}
+	if setup.Paced && setup.Resplit.Enabled {
+		return nil, errors.New("core: resplit quiesce must run the engine past the paced-mode watermark; disable one of the two")
+	}
 	sv := &Server{
 		vol:    vol,
 		bounds: shardBounds(vol, setup.Shards),
 		shards: make([]*serveShard, setup.Shards),
+		setup:  setup,
+		rcfg:   setup.Resplit.normalized(setup.Shards),
 		obs:    setup.Obs,
 		kids:   make([]*obs.Collector, setup.Shards),
+		paced:  setup.Paced,
 	}
 	for i := 0; i < setup.Shards; i++ {
-		opts, err := setup.Options(i)
+		ss, kid, err := sv.buildShard(i, sv.bounds[i+1]-sv.bounds[i])
 		if err != nil {
 			return nil, err
 		}
-		if i == 0 {
-			sv.qcfg = opts.QoS
-		}
-		if opts.Faults != nil && opts.Faults.PowerCutAt > 0 {
-			return nil, errors.New("core: serve mode does not support power-cut fault plans")
-		}
-		sv.kids[i] = setup.Obs.Child(i)
-		opts.Obs = sv.kids[i]
-		eng := sim.NewEngine()
-		be, err := setup.Backend(eng)
-		if err != nil {
-			return nil, fmt.Errorf("core: shard %d backend: %w", i, err)
-		}
-		dev, err := NewDevice(eng, be, sv.bounds[i+1]-sv.bounds[i], opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: shard %d: %w", i, err)
-		}
-		if dev.wp.flushWait <= 0 && !dev.wp.disableSD {
-			return nil, errors.New("core: serve mode requires a positive SD flush timeout (a disabled timer would buffer the last run forever)")
-		}
-		// The device is consumed by the serve loop: a Play on it would
-		// race the loop, so mark it used and detach the replay-only
-		// closed-loop callbacks — serve tracks completion per operation.
-		dev.played = true
-		dev.stats.Trace = "serve"
-		dev.wp.complete = func(time.Duration) {}
-		dev.rp.complete = func(time.Duration) {}
-		dev.wp.drop = func(int) {}
-		dev.rp.drop = func(int) {}
-		sv.shards[i] = &serveShard{
-			id:         i,
-			dev:        dev,
-			mail:       make(chan *serveOp, setup.Mailbox),
-			stop:       make(chan struct{}),
-			done:       make(chan struct{}),
-			batch:      setup.Batch,
-			pending:    make(map[*serveOp]struct{}),
-			inflightBy: make(map[string]int),
-		}
+		sv.kids[i] = kid
+		sv.shards[i] = ss
 	}
 	for _, ss := range sv.shards {
 		go ss.run()
@@ -238,8 +255,81 @@ func NewServer(setup ServeSetup) (*Server, error) {
 	return sv, nil
 }
 
+// buildShard stamps out one shard pipeline from the setup factories:
+// id is its observability shard tag, vol its LBA-range width. Used by
+// NewServer for the initial partition and by a resplit for the shard
+// it adds mid-run; the caller registers the returned shard and child
+// collector in the router.
+func (sv *Server) buildShard(id int, vol int64) (*serveShard, *obs.Collector, error) {
+	opts, err := sv.setup.Options(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if id == 0 {
+		sv.qcfg = opts.QoS
+	}
+	if opts.Faults != nil && opts.Faults.PowerCutAt > 0 {
+		return nil, nil, errors.New("core: serve mode does not support power-cut fault plans")
+	}
+	if sv.rcfg.Enabled {
+		// Resplitting migrates extents by re-homing their mapping
+		// entries; features whose state is keyed to a fixed shard-local
+		// address space cannot survive that and are refused up front.
+		switch {
+		case opts.Dedup != nil && opts.Dedup.Enabled:
+			return nil, nil, errors.New("core: resplit cannot migrate dedup-shared extents (references may span the split boundary); disable one of the two")
+		case opts.VerifyReads:
+			return nil, nil, errors.New("core: resplit rebases extents to new shard-local offsets, which breaks offset-keyed read verification; disable one of the two")
+		case opts.QoS != nil:
+			return nil, nil, errors.New("core: resplit changes the shard count mid-run, invalidating per-shard QoS rate shares; disable one of the two")
+		}
+	}
+	kid := sv.setup.Obs.Child(id)
+	opts.Obs = kid
+	eng := sim.NewEngine()
+	be, err := sv.setup.Backend(eng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: shard %d backend: %w", id, err)
+	}
+	dev, err := NewDevice(eng, be, vol, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: shard %d: %w", id, err)
+	}
+	if dev.wp.flushWait <= 0 && !dev.wp.disableSD {
+		return nil, nil, errors.New("core: serve mode requires a positive SD flush timeout (a disabled timer would buffer the last run forever)")
+	}
+	// The device is consumed by the serve loop: a Play on it would
+	// race the loop, so mark it used and detach the replay-only
+	// closed-loop callbacks — serve tracks completion per operation.
+	dev.played = true
+	dev.stats.Trace = "serve"
+	dev.wp.complete = func(time.Duration) {}
+	dev.rp.complete = func(time.Duration) {}
+	dev.wp.drop = func(int) {}
+	dev.rp.drop = func(int) {}
+	return &serveShard{
+		sv:         sv,
+		id:         id,
+		dev:        dev,
+		mail:       make(chan *serveOp, sv.setup.Mailbox),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		batch:      sv.setup.Batch,
+		pending:    make(map[*serveOp]struct{}),
+		inflightBy: make(map[string]int),
+	}, kid, nil
+}
+
 // VolumeBytes returns the full logical volume size.
 func (sv *Server) VolumeBytes() int64 { return sv.vol }
+
+// Shards returns the current shard count — the initial partition width
+// plus one per resplit so far.
+func (sv *Server) Shards() int {
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	return len(sv.shards)
+}
 
 // Stalls returns how many submissions so far found their shard mailbox
 // full and had to block (the backpressure signal).
@@ -327,6 +417,11 @@ func (sv *Server) SubmitAtTag(ctx context.Context, at time.Duration, off, size i
 
 // submit is the synchronous form: mail, then wait.
 func (sv *Server) submit(ctx context.Context, at time.Duration, off, size int64, write bool) (time.Duration, error) {
+	if sv.paced {
+		// Under pacing a completion past the watermark is only released
+		// by a later arrival; a caller blocked here would never send it.
+		return 0, errors.New("core: synchronous submit would deadlock under paced serve; use SubmitAt and await concurrently")
+	}
 	j, err := sv.mail(ctx, at, off, size, write, "")
 	if err != nil {
 		return 0, err
@@ -352,6 +447,14 @@ func (sv *Server) mail(ctx context.Context, at time.Duration, off, size int64, w
 		return nil, fmt.Errorf("core: tenant %q: %w", tenant, qos.ErrUnknownTenant)
 	}
 	aOff, aSize := alignRequest(sv.vol, trace.Request{Offset: off, Size: size, Write: write})
+	// The read lock covers both passes over the router: a resplit
+	// (holding the write lock) must not move a boundary between the
+	// piece count and the mailing.
+	sv.mu.RLock()
+	if sv.closed {
+		sv.mu.RUnlock()
+		return nil, ErrServeStopped
+	}
 	// Count the shard-boundary pieces first: the join needs the fan-out
 	// width before the first piece can be mailed.
 	pieces := 0
@@ -366,12 +469,6 @@ func (sv *Server) mail(ctx context.Context, at time.Duration, off, size int64, w
 		pieces++
 	}
 	j := &joinOp{remaining: pieces, res: make(chan serveResult, 1)}
-
-	sv.mu.RLock()
-	if sv.closed {
-		sv.mu.RUnlock()
-		return nil, ErrServeStopped
-	}
 	for o, n := aOff, aSize; n > 0; {
 		i := shardIndex(sv.bounds, o)
 		c := sv.bounds[i+1] - o
@@ -423,6 +520,10 @@ func (sv *Server) Stop() (*RunStats, error) {
 	merged := MergeRunStats(parts)
 	merged.Obs = sv.obs.Report()
 	merged.SubmitStalls = sv.stalls.Load()
+	merged.ShardLiveBlocks = make([]int64, len(sv.shards))
+	for i, ss := range sv.shards {
+		merged.ShardLiveBlocks[i] = ss.dev.se.mapping.LiveBlocks()
+	}
 	merged.Backend = fmt.Sprintf("serve %d-shard [%s]", len(sv.shards), parts[0].Backend)
 	var firstErr error
 	for i, ss := range sv.shards {
@@ -443,11 +544,14 @@ func (sv *Server) Stop() (*RunStats, error) {
 func (ss *serveShard) run() {
 	defer close(ss.done)
 	if ss.dev.replayWorkers > 1 {
-		pool := parallel.NewPool(ss.dev.replayWorkers)
-		ss.dev.wp.pool = pool
-		ss.dev.rp.pool = pool
+		// Every shard's codec futures go through one queue each on the
+		// process-wide work-stealing pool, so a hot shard's backlog is
+		// drained by whatever workers the cold shards leave idle.
+		q := parallel.Shared().NewQueue()
+		ss.dev.wp.pool = q
+		ss.dev.rp.pool = q
 		defer func() {
-			pool.Close()
+			q.Close()
 			ss.dev.wp.pool = nil
 			ss.dev.rp.pool = nil
 		}()
@@ -489,12 +593,21 @@ drain:
 	// pending disarmed itself). RunPending — not Run — so the armed
 	// maintenance/checkpoint timers cannot fast-forward the clock ahead
 	// of arrival stamps still in flight; they fire when real traffic
-	// pushes the clock past their deadlines.
+	// pushes the clock past their deadlines. Paced mode goes further:
+	// the engine stops at the arrival watermark itself, so completions
+	// past the newest stamp wait for the next batch (or the stop-drain)
+	// and the clock can never outrun a stamp-ordered submitter.
 	ss.dev.armMaint()
-	ss.dev.eng.RunPending()
+	if ss.sv.paced {
+		ss.dev.eng.RunUntil(ss.horizon)
+	} else {
+		ss.dev.eng.RunPending()
+	}
 	if ss.dev.fs.failed() {
 		ss.failAll()
+		return
 	}
+	ss.maybeResplit()
 }
 
 // admit schedules one submission's arrival at max(virtual now, its
@@ -518,9 +631,13 @@ func (ss *serveShard) admit(op *serveOp) {
 		}
 		ss.inflightBy[op.tenant]++
 	}
+	ss.ops.Add(1)
 	at := op.at
 	if now := d.eng.Now(); at < now {
 		at = now
+	}
+	if at > ss.horizon {
+		ss.horizon = at
 	}
 	ss.pending[op] = struct{}{}
 	d.eng.SchedulePriority(at, func() { ss.arrive(op) })

@@ -73,8 +73,10 @@ type writePath struct {
 
 	// Real-CPU pipeline: codec work dispatched at processRun time runs
 	// on pool workers while the event loop advances virtual time; store
-	// joins on the future. The pool exists only while Play runs.
-	pool *parallel.Pool
+	// joins on the future. The executor is this pipeline's queue on the
+	// process-wide work-stealing pool and exists only while the pipeline
+	// runs (replay or serve).
+	pool parallel.Executor
 
 	// complete finishes one host write (response observation +
 	// closed-loop slot release); drop releases writes without observing

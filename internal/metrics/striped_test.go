@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -58,6 +59,54 @@ func TestStripedConcurrentObserve(t *testing.T) {
 	wg.Wait()
 	if got := s.Merge().Count(); got != workers*perWorker {
 		t.Fatalf("final count: got %d want %d", got, workers*perWorker)
+	}
+}
+
+// TestStripedContendedObserve hammers EVERY stripe from every one of
+// GOMAXPROCS goroutines — unlike the distinct-stripe test above, this
+// forces real mutex contention on each stripe — and checks the merged
+// result is bucket-exact against a serial reference histogram fed the
+// same observations: same count, mean, and percentiles, not just the
+// same cardinality. Run under -race this is the shared-pool era's
+// contention gate for the recorder.
+func TestStripedContendedObserve(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const stripes = 4
+	const perWorker = 5000
+	s := NewStripedLatency(stripes)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Every goroutine cycles over all stripes; the duration
+				// depends only on (w, i), so the reference can replay it.
+				s.Observe(i, time.Duration(1+(w*perWorker+i)*13)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := NewLatencyHist()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			want.Observe(time.Duration(1+(w*perWorker+i)*13) * time.Microsecond)
+		}
+	}
+	got := s.Merge()
+	if got.Count() != want.Count() {
+		t.Fatalf("count: got %d want %d", got.Count(), want.Count())
+	}
+	if got.Mean() != want.Mean() {
+		t.Fatalf("mean: got %v want %v", got.Mean(), want.Mean())
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		if got.Percentile(p) != want.Percentile(p) {
+			t.Fatalf("p%.1f: got %v want %v", p, got.Percentile(p), want.Percentile(p))
+		}
 	}
 }
 

@@ -57,6 +57,16 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
+// Executor is anything that runs submitted closures: a private Pool or
+// a client Queue on the process-wide SharedPool. Pipelines hold their
+// dispatch target through this interface so replay and serve code is
+// indifferent to which backs it.
+type Executor interface {
+	// Submit hands one closure to the executor; it may run on a worker
+	// goroutine or inline on the caller (bounded-backlog backpressure).
+	Submit(f func())
+}
+
 // Future holds the eventual result of a closure submitted to a Pool.
 // It is single-consumer: exactly one goroutine may call Wait (possibly
 // repeatedly — the first call blocks, later calls return the cached
@@ -67,8 +77,8 @@ type Future[T any] struct {
 	done bool
 }
 
-// Go submits f to the pool and returns a Future for its result.
-func Go[T any](p *Pool, f func() T) *Future[T] {
+// Go submits f to the executor and returns a Future for its result.
+func Go[T any](p Executor, f func() T) *Future[T] {
 	fut := &Future[T]{ch: make(chan T, 1)}
 	p.Submit(func() { fut.ch <- f() })
 	return fut

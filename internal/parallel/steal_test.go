@@ -1,0 +1,153 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSharedPoolRunsAllJobs(t *testing.T) {
+	p := NewSharedPool(4)
+	defer p.Close()
+	q1, q2 := p.NewQueue(), p.NewQueue()
+	defer q1.Close()
+	defer q2.Close()
+	var n atomic.Int64
+	const jobs = 500
+	futs := make([]*Future[int], 2*jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		futs[2*i] = Go[int](q1, func() int { n.Add(1); return i })
+		futs[2*i+1] = Go[int](q2, func() int { n.Add(1); return -i })
+	}
+	for i := 0; i < jobs; i++ {
+		if got := futs[2*i].Wait(); got != i {
+			t.Fatalf("q1 future %d = %d", i, got)
+		}
+		if got := futs[2*i+1].Wait(); got != -i {
+			t.Fatalf("q2 future %d = %d", i, got)
+		}
+	}
+	if n.Load() != 2*jobs {
+		t.Fatalf("ran %d jobs, want %d", n.Load(), 2*jobs)
+	}
+}
+
+// A worker whose preferred queue is empty must steal from a backlogged
+// one: with every job funneled through a single queue on a multi-worker
+// pool, all of it still completes (and under -race, concurrently).
+func TestSharedPoolStealsFromBackloggedQueue(t *testing.T) {
+	p := NewSharedPool(4)
+	defer p.Close()
+	// Several registered queues, but only one ever submits.
+	idle1, idle2 := p.NewQueue(), p.NewQueue()
+	defer idle1.Close()
+	defer idle2.Close()
+	hot := p.NewQueue()
+	defer hot.Close()
+	var n atomic.Int64
+	var futs []*Future[int]
+	for i := 0; i < 2000; i++ {
+		futs = append(futs, Go[int](hot, func() int { return int(n.Add(1)) }))
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+	if n.Load() != 2000 {
+		t.Fatalf("ran %d jobs, want 2000", n.Load())
+	}
+}
+
+// A full queue must push the job back on the submitter (inline
+// execution), not block or drop it.
+func TestSharedQueueInlineWhenFull(t *testing.T) {
+	p := NewSharedPool(1) // queue capacity 4
+	defer p.Close()
+	q := p.NewQueue()
+	defer q.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	q.Submit(func() { close(started); <-gate }) // occupies the only worker
+	<-started
+	for i := 0; i < 4; i++ { // fill the ring
+		q.Submit(func() { <-gate })
+	}
+	ran := false
+	q.Submit(func() { ran = true }) // full: must run inline, synchronously
+	if !ran {
+		t.Fatal("submit to a full queue did not run the job inline")
+	}
+	if s := p.Stats(); s.Inline == 0 {
+		t.Fatalf("inline counter not bumped: %+v", s)
+	}
+	close(gate)
+}
+
+// Closing a queue with stragglers runs them rather than stranding their
+// futures.
+func TestSharedQueueCloseDrains(t *testing.T) {
+	p := NewSharedPool(1)
+	q := p.NewQueue()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	q.Submit(func() { close(started); <-gate })
+	<-started
+	var n atomic.Int64
+	futs := []*Future[int]{
+		Go[int](q, func() int { return int(n.Add(1)) }),
+		Go[int](q, func() int { return int(n.Add(1)) }),
+	}
+	q.Close() // worker is blocked: Close itself must run the stragglers
+	for _, f := range futs {
+		f.Wait()
+	}
+	if n.Load() != 2 {
+		t.Fatalf("close drained %d jobs, want 2", n.Load())
+	}
+	close(gate)
+	p.Close()
+}
+
+// Hammer several queues from many goroutines while workers steal across
+// them; run under -race this is the pool's memory-safety gate.
+func TestSharedPoolConcurrentSubmitters(t *testing.T) {
+	p := NewSharedPool(4)
+	defer p.Close()
+	const submitters = 8
+	const perSubmitter = 500
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		q := p.NewQueue()
+		go func() {
+			defer wg.Done()
+			defer q.Close()
+			futs := make([]*Future[int], perSubmitter)
+			for i := 0; i < perSubmitter; i++ {
+				futs[i] = Go[int](q, func() int { return int(n.Add(1)) })
+			}
+			for _, f := range futs {
+				f.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != submitters*perSubmitter {
+		t.Fatalf("ran %d jobs, want %d", n.Load(), submitters*perSubmitter)
+	}
+	s := p.Stats()
+	if s.Submitted+s.Inline != submitters*perSubmitter {
+		t.Fatalf("stats lost jobs: %+v", s)
+	}
+}
+
+func TestSharedSingletonWorkers(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared() is not a singleton")
+	}
+	if Shared().Workers() < 1 {
+		t.Fatalf("shared pool has %d workers", Shared().Workers())
+	}
+}

@@ -1,14 +1,34 @@
 #!/bin/sh
-# corescale.sh — wall-clock scaling sweep for the live serve path.
+# corescale.sh — wall-clock scaling sweep and determinism gate for the
+# live serve path.
 #
 # Runs the same open-loop spec at GOMAXPROCS 1, 2, and 4 and reports the
-# harness throughput (ops per wall-clock second). Virtual-time results
-# — counts, achieved QPS, latency percentiles — are the core-scaling
-# control: they must not move with the core count; only wall-clock
-# throughput should. Invoked by `make corescale`.
+# harness throughput (ops per wall-clock second). Two gates ride on the
+# sweep:
+#
+#   1. Identity gate (always on): the virtual-time results — per-step
+#      counts, achieved QPS, latency percentiles — are the core-scaling
+#      control and must be byte-identical across all three runs. The
+#      canonicalised `.steps` arrays are compared with cmp; any
+#      divergence exits non-zero with a diff.
+#   2. Speedup gate (opt-in): when CORESCALE_MIN is set (CI sets 1.5 on
+#      its 4-vCPU runners), ops/sec-wall at GOMAXPROCS=4 must be at
+#      least CORESCALE_MIN times the GOMAXPROCS=1 run. Unset locally so
+#      single-core containers can still run the identity gate.
+#
+# Set CORESCALE_JSON=path to also write a machine-readable summary
+# (consumed by scripts/perfjson.sh for the BENCH snapshot).
+#
+# Requires jq; all field extraction fails loudly on missing or
+# malformed output. Invoked by `make corescale`.
 set -eu
 
-spec=${SPEC:-specs/serve-smoke.spec}
+command -v jq >/dev/null 2>&1 || {
+	echo "corescale: jq is required (apt-get install jq)" >&2
+	exit 1
+}
+
+spec=${SPEC:-specs/corescale.spec}
 clients=${CLIENTS:-8}
 shards=${SHARDS:-2}
 volume=${VOLUME:-64}
@@ -17,13 +37,75 @@ trap 'rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/edcbench" ./cmd/edcbench
 
-echo "spec=$spec clients=$clients shards=$shards volume=${volume}MiB"
-printf '%-10s  %-14s  %-10s\n' "GOMAXPROCS" "ops/sec wall" "wall"
+# field FILE JQ_EXPR — extract one scalar, failing loudly if the path is
+# missing, null, or empty (a sed-style silent miss is exactly the bug
+# this script used to have).
+field() {
+	v=$(jq -er "$2" "$1") || {
+		echo "corescale: field $2 missing from $1" >&2
+		exit 1
+	}
+	[ -n "$v" ] || {
+		echo "corescale: field $2 empty in $1" >&2
+		exit 1
+	}
+	printf '%s' "$v"
+}
+
+echo "spec=$spec clients=$clients shards=$shards volume=${volume}MiB cores=$(nproc)"
+printf '%-10s  %-14s  %-10s  %s\n' "GOMAXPROCS" "ops/sec wall" "wall" "pool submitted/stolen/inline"
 for procs in 1 2 4; do
 	GOMAXPROCS=$procs "$tmp/edcbench" -serve -spec "$spec" \
 		-clients "$clients" -shards "$shards" -volume "$volume" \
 		-json >"$tmp/run-$procs.json"
-	opsw=$(sed -n 's/.*"ops_per_sec_wall": *\([0-9.e+-]*\).*/\1/p' "$tmp/run-$procs.json" | head -1)
-	wall=$(sed -n 's/.*"wall_ns": *\([0-9]*\).*/\1/p' "$tmp/run-$procs.json" | head -1)
-	printf '%-10s  %-14s  %sms\n' "$procs" "$opsw" "$((${wall:-0} / 1000000))"
+	opsw=$(field "$tmp/run-$procs.json" '.ops_per_sec_wall')
+	wall=$(field "$tmp/run-$procs.json" '.wall_ns')
+	# The pool block is omitted when no jobs ran off-loop (GOMAXPROCS=1
+	# keeps a single worker, so it is normally present at every width).
+	pool=$(jq -r 'if .pool then "\(.pool.submitted)/\(.pool.stolen)/\(.pool.inline)" else "-" end' "$tmp/run-$procs.json")
+	# Virtual-time fingerprint: the canonicalised steps array. Everything
+	# the simulation computes — counts, achieved QPS, percentiles — lives
+	# here; wall-clock fields deliberately do not.
+	jq -S '.steps' "$tmp/run-$procs.json" >"$tmp/steps-$procs.json"
+	case $opsw in
+	0 | 0.0 | "") echo "corescale: zero ops/sec at GOMAXPROCS=$procs" >&2 && exit 1 ;;
+	esac
+	printf '%-10s  %-14s  %-10s  %s\n' "$procs" "$opsw" "$((wall / 1000000))ms" "$pool"
 done
+
+for procs in 2 4; do
+	if ! cmp -s "$tmp/steps-1.json" "$tmp/steps-$procs.json"; then
+		echo "corescale: virtual-time results differ between GOMAXPROCS=1 and GOMAXPROCS=$procs" >&2
+		diff "$tmp/steps-1.json" "$tmp/steps-$procs.json" >&2 || true
+		exit 1
+	fi
+done
+echo "virtual-time results identical across GOMAXPROCS 1/2/4"
+
+ops1=$(field "$tmp/run-1.json" '.ops_per_sec_wall')
+ops4=$(field "$tmp/run-4.json" '.ops_per_sec_wall')
+speedup=$(awk -v a="$ops4" -v b="$ops1" 'BEGIN { printf "%.2f", a / b }')
+echo "speedup 4v1: ${speedup}x"
+
+if [ -n "${CORESCALE_MIN:-}" ]; then
+	awk -v s="$speedup" -v m="$CORESCALE_MIN" 'BEGIN { exit !(s >= m) }' || {
+		echo "corescale: speedup ${speedup}x below required ${CORESCALE_MIN}x" >&2
+		exit 1
+	}
+	echo "speedup gate passed (>= ${CORESCALE_MIN}x)"
+fi
+
+if [ -n "${CORESCALE_JSON:-}" ]; then
+	for procs in 1 2 4; do
+		jq --argjson procs "$procs" \
+			'{procs: $procs, wall_ns: .wall_ns, ops_per_sec_wall: .ops_per_sec_wall, stalls: .stalls, pool: .pool}' \
+			"$tmp/run-$procs.json" >"$tmp/summary-$procs.json"
+	done
+	jq -n --arg spec "$spec" --argjson cores "$(nproc)" --argjson speedup "$speedup" \
+		--slurpfile r1 "$tmp/summary-1.json" \
+		--slurpfile r2 "$tmp/summary-2.json" \
+		--slurpfile r4 "$tmp/summary-4.json" \
+		'{spec: $spec, cores: $cores, speedup_4v1: $speedup, runs: ($r1 + $r2 + $r4)}' \
+		>"$CORESCALE_JSON"
+	echo "wrote $CORESCALE_JSON"
+fi

@@ -5,14 +5,16 @@
 # background-maintenance before/after space table (-experiment maint),
 # the content-addressed dedup off/on table (-experiment dedup), the
 # multi-tenant QoS isolation table (-experiment qos), the codec
-# microbenchmarks (go test -bench, parsed into JSON), and one open-loop
-# serve run (edcbench -serve -json) into a single file.
-# Invoked by `make perfjson`, which names the output (BENCH_9.json by
+# microbenchmarks (go test -bench, parsed into JSON), one open-loop
+# serve run (edcbench -serve -json), and the corescale wall-clock
+# scaling sweep (scripts/corescale.sh) into a single file.
+# Invoked by `make perfjson`, which names the output (BENCH_10.json by
 # default); the numbers are whatever this machine produces, so snapshots
-# from different hosts are comparable only in shape, not in magnitude.
+# from different hosts are comparable only in shape, not in magnitude
+# (the corescale section records its own honest `cores` count).
 set -eu
 
-out=${1:-BENCH_9.json}
+out=${1:-BENCH_10.json}
 servespec=${SERVESPEC:-specs/serve-smoke.spec}
 requests=${REQUESTS:-4000}
 benchtime=${BENCHTIME:-10x}
@@ -26,6 +28,7 @@ go build -o "$tmp/edcbench" ./cmd/edcbench
 "$tmp/edcbench" -experiment dedup -format json -requests "$requests" >"$tmp/dedup.json"
 "$tmp/edcbench" -experiment qos -format json >"$tmp/qos.json"
 "$tmp/edcbench" -serve -spec "$servespec" -clients 8 -shards 2 -volume 64 -json >"$tmp/serve.json"
+CORESCALE_JSON="$tmp/corescale.json" sh scripts/corescale.sh
 go test -run '^$' -bench 'Compress|Decompress' -benchmem \
 	-benchtime "$benchtime" ./internal/compress >"$tmp/bench.txt"
 
@@ -66,6 +69,8 @@ END { printf "\n]\n" }
 	cat "$tmp/bench.json"
 	printf ',\n  "serve": '
 	cat "$tmp/serve.json"
+	printf ',\n  "corescale": '
+	cat "$tmp/corescale.json"
 	printf '}\n'
 } >"$out"
 

@@ -3,7 +3,6 @@ package edc
 import (
 	"context"
 	"errors"
-	"runtime"
 	"time"
 
 	"edc/internal/core"
@@ -42,17 +41,11 @@ func (s *System) Serve() error {
 	if shards < 1 {
 		shards = 1
 	}
+	// Codec work runs on the process-wide work-stealing pool: each shard
+	// registers its own bounded queue and any idle pool worker drains any
+	// shard's backlog, so there is no per-shard worker budget to split.
 	perShard := s.cfg
-	if perShard.ReplayWorkers == 0 && shards > 1 {
-		// Same budget split as sharded replay: each shard's event loop
-		// already owns a goroutine.
-		w := runtime.GOMAXPROCS(0) / shards
-		if w <= 1 {
-			w = -1 // sequential inline execution
-		}
-		perShard.ReplayWorkers = w
-	}
-	srv, err := core.NewServer(core.ServeSetup{
+	setup := core.ServeSetup{
 		Shards:      shards,
 		VolumeBytes: s.volBytes,
 		Backend: func(eng *sim.Engine) (core.Backend, error) {
@@ -64,7 +57,12 @@ func (s *System) Serve() error {
 		Mailbox: s.cfg.ServeMailbox,
 		Batch:   s.cfg.ServeBatch,
 		Obs:     s.col,
-	})
+		Paced:   s.cfg.PacedServe,
+	}
+	if s.cfg.Resplit != nil {
+		setup.Resplit = *s.cfg.Resplit
+	}
+	srv, err := core.NewServer(setup)
 	if err != nil {
 		return err
 	}
@@ -178,6 +176,16 @@ func (s *System) ServeStalls() int64 {
 		return 0
 	}
 	return s.srv.Stalls()
+}
+
+// ServeShards returns the current shard count: the configured partition
+// width, plus one per heat-balanced resplit so far (WithResplit).
+// Returns 0 when the System is not serving.
+func (s *System) ServeShards() int {
+	if s.srv == nil {
+		return 0
+	}
+	return s.srv.Shards()
 }
 
 // StopServe closes the intake, drains every shard's mailbox and
